@@ -1,0 +1,163 @@
+//! Morrigan-mono — the single-table ablation of §6.3.
+//!
+//! Operation identical to Morrigan, but the IRIP module is one prediction
+//! table with a **fixed** 8 prediction slots per entry (like the
+//! state-of-the-art MP), sized to 203 entries so its storage matches the
+//! ensemble's 3.76 KB: 203 × (16 + 8×(15+2)) bits ≈ 3.77 KB.
+//!
+//! The paper's point (its Fig 17): for the same budget the ensemble tracks
+//! 448 pages while mono tracks 203, because most pages need fewer than 8
+//! slots — variable-length chains use storage better.
+
+use morrigan::{IripConfig, Morrigan, MorriganConfig, PrtConfig};
+use morrigan_types::{MissContext, PrefetchDecision, PrefetchOrigin, TlbPrefetcher};
+
+/// Number of entries in the mono table (§6.3).
+pub const MONO_ENTRIES: usize = 203;
+
+/// The Morrigan-mono ablation design.
+#[derive(Debug, Clone)]
+pub struct MorriganMono {
+    inner: Morrigan,
+}
+
+impl MorriganMono {
+    /// Builds the paper's mono configuration (203 × 8-slot entries, fully
+    /// associative, RLFU, SDP enabled).
+    pub fn new() -> Self {
+        Self::with_entries(MONO_ENTRIES)
+    }
+
+    /// Builds a mono variant with a custom entry count (budget sweeps).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is zero.
+    pub fn with_entries(entries: usize) -> Self {
+        assert!(entries > 0, "mono table needs at least one entry");
+        let irip = IripConfig {
+            tables: vec![PrtConfig {
+                entries,
+                ways: entries,
+                slots: 8,
+            }],
+            ..IripConfig::default()
+        };
+        let cfg = MorriganConfig {
+            irip,
+            ..MorriganConfig::default()
+        };
+        Self {
+            inner: Morrigan::new(cfg),
+        }
+    }
+
+    /// The wrapped composite prefetcher (inspection).
+    pub fn inner(&self) -> &Morrigan {
+        &self.inner
+    }
+}
+
+impl Default for MorriganMono {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TlbPrefetcher for MorriganMono {
+    fn name(&self) -> &'static str {
+        "morrigan-mono"
+    }
+
+    fn on_stlb_miss(&mut self, ctx: &MissContext, out: &mut Vec<PrefetchDecision>) {
+        self.inner.on_stlb_miss(ctx, out);
+    }
+
+    fn on_prefetch_hit(&mut self, origin: &PrefetchOrigin) {
+        self.inner.on_prefetch_hit(origin);
+    }
+
+    fn flush(&mut self) {
+        self.inner.flush();
+    }
+
+    fn storage_bits(&self) -> u64 {
+        self.inner.storage_bits()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use morrigan_types::{ThreadId, VirtAddr, VirtPage};
+
+    fn ctx(page: u64) -> MissContext {
+        MissContext {
+            vpn: VirtPage::new(page),
+            pc: VirtAddr::new(page << 12),
+            thread: ThreadId::ZERO,
+            pb_hit: false,
+            cycle: 0,
+        }
+    }
+
+    #[test]
+    fn storage_matches_ensemble_budget() {
+        let mono = MorriganMono::new();
+        let ensemble_bits = IripConfig::default().storage_bits();
+        let diff = mono.storage_bits() as f64 / ensemble_bits as f64;
+        assert!(
+            (0.95..1.05).contains(&diff),
+            "mono ({}) should be ISO-storage with the ensemble ({})",
+            mono.storage_bits(),
+            ensemble_bits
+        );
+    }
+
+    #[test]
+    fn tracks_fewer_pages_than_ensemble_capacity() {
+        // §6.3: ensemble tracks 448 entries, mono tracks 203.
+        let ensemble_capacity: usize = IripConfig::default().tables.iter().map(|t| t.entries).sum();
+        assert_eq!(ensemble_capacity, 448);
+        assert_eq!(MONO_ENTRIES, 203);
+    }
+
+    #[test]
+    fn behaves_like_morrigan_on_simple_chain() {
+        let mut mono = MorriganMono::new();
+        let mut out = Vec::new();
+        for p in [100u64, 117, 100] {
+            out.clear();
+            mono.on_stlb_miss(&ctx(p), &mut out);
+        }
+        assert!(out.iter().any(|d| d.vpn == VirtPage::new(117)));
+        assert_eq!(mono.name(), "morrigan-mono");
+    }
+
+    #[test]
+    fn single_entry_holds_up_to_eight_distances() {
+        let mut mono = MorriganMono::new();
+        let mut out = Vec::new();
+        let mut seq = Vec::new();
+        for d in 1..=8u64 {
+            seq.push(100);
+            seq.push(100 + d);
+        }
+        for p in seq {
+            out.clear();
+            mono.on_stlb_miss(&ctx(p), &mut out);
+        }
+        out.clear();
+        mono.on_stlb_miss(&ctx(100), &mut out);
+        assert_eq!(out.len(), 8, "all eight successors predicted");
+    }
+
+    #[test]
+    fn flush_works() {
+        let mut mono = MorriganMono::new();
+        let mut out = Vec::new();
+        mono.on_stlb_miss(&ctx(100), &mut out);
+        mono.flush();
+        assert_eq!(mono.inner().irip().occupancy(), 0);
+    }
+}

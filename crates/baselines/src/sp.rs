@@ -1,0 +1,89 @@
+//! SP — the sequential dSTLB prefetcher (§2.1).
+//!
+//! Prefetches the PTE of the page located next to the one that triggered
+//! the STLB miss. Stateless, so there is nothing to size or flush. Unlike
+//! Morrigan's SDP, the prior-art SP does **not** exploit page-table
+//! locality (no spatial flag): it fetches exactly one PTE per miss.
+
+use morrigan_types::{MissContext, PrefetchDecision, TlbPrefetcher};
+
+/// The sequential prefetcher.
+///
+/// # Examples
+///
+/// ```
+/// use morrigan_baselines::SequentialPrefetcher;
+/// use morrigan_types::{MissContext, ThreadId, TlbPrefetcher, VirtAddr, VirtPage};
+///
+/// let mut sp = SequentialPrefetcher::new();
+/// let mut out = Vec::new();
+/// let ctx = MissContext {
+///     vpn: VirtPage::new(7),
+///     pc: VirtAddr::new(0x7000),
+///     thread: ThreadId::ZERO,
+///     pb_hit: false,
+///     cycle: 0,
+/// };
+/// sp.on_stlb_miss(&ctx, &mut out);
+/// assert_eq!(out[0].vpn, VirtPage::new(8));
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SequentialPrefetcher;
+
+impl SequentialPrefetcher {
+    /// A fresh SP.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl TlbPrefetcher for SequentialPrefetcher {
+    fn name(&self) -> &'static str {
+        "sp"
+    }
+
+    fn on_stlb_miss(&mut self, ctx: &MissContext, out: &mut Vec<PrefetchDecision>) {
+        out.push(PrefetchDecision::plain(ctx.vpn.offset(1)));
+    }
+
+    fn storage_bits(&self) -> u64 {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use morrigan_types::{ThreadId, VirtAddr, VirtPage};
+
+    fn ctx(page: u64) -> MissContext {
+        MissContext {
+            vpn: VirtPage::new(page),
+            pc: VirtAddr::new(page << 12),
+            thread: ThreadId::ZERO,
+            pb_hit: false,
+            cycle: 0,
+        }
+    }
+
+    #[test]
+    fn prefetches_exactly_next_page() {
+        let mut sp = SequentialPrefetcher::new();
+        let mut out = Vec::new();
+        sp.on_stlb_miss(&ctx(100), &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].vpn, VirtPage::new(101));
+        assert!(!out[0].spatial, "prior-art SP fetches a single PTE");
+        assert!(out[0].origin.is_none());
+    }
+
+    #[test]
+    fn stateless() {
+        let mut sp = SequentialPrefetcher::new();
+        assert_eq!(sp.storage_bits(), 0);
+        sp.flush(); // must be a no-op
+        let mut out = Vec::new();
+        sp.on_stlb_miss(&ctx(5), &mut out);
+        assert_eq!(out[0].vpn, VirtPage::new(6));
+    }
+}

@@ -1,0 +1,183 @@
+//! The idealized unbounded Markov prefetchers of §3.4.
+//!
+//! To explain MP's poor practical performance, the paper evaluates two
+//! idealizations with an **unbounded** prediction table (every page that
+//! ever missed keeps an entry): one capped at two successors per entry and
+//! one storing *any* number of successors. Their speedups (7.9 % and
+//! 10.3 %) bracket the opportunity and motivate IRIP's variable-length
+//! chains + better replacement (Finding 4).
+
+use std::collections::HashMap;
+
+use morrigan_types::{MissContext, PrefetchDecision, TlbPrefetcher, VirtPage};
+
+/// An unbounded Markov prefetcher (idealized; not a hardware proposal).
+///
+/// Successors are ranked by observed frequency; with a cap, only the most
+/// frequent `cap` successors are prefetched.
+#[derive(Debug, Clone)]
+pub struct UnboundedMarkov {
+    /// Maximum successors prefetched per entry; `None` = unlimited.
+    cap: Option<usize>,
+    table: HashMap<VirtPage, HashMap<VirtPage, u64>>,
+    prev: Option<VirtPage>,
+}
+
+impl UnboundedMarkov {
+    /// Unbounded table with at most `cap` successors prefetched per page.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap` is `Some(0)`.
+    pub fn with_cap(cap: Option<usize>) -> Self {
+        if let Some(c) = cap {
+            assert!(c > 0, "a zero successor cap would never prefetch");
+        }
+        Self {
+            cap,
+            table: HashMap::new(),
+            prev: None,
+        }
+    }
+
+    /// The §3.4 variant with up to two successors per entry.
+    pub fn two_successors() -> Self {
+        Self::with_cap(Some(2))
+    }
+
+    /// The §3.4 variant with unlimited successors per entry.
+    pub fn infinite_successors() -> Self {
+        Self::with_cap(None)
+    }
+
+    /// Number of pages tracked.
+    pub fn tracked_pages(&self) -> usize {
+        self.table.len()
+    }
+}
+
+impl TlbPrefetcher for UnboundedMarkov {
+    fn name(&self) -> &'static str {
+        match self.cap {
+            Some(_) => "mp-unbounded-2",
+            None => "mp-unbounded-inf",
+        }
+    }
+
+    fn on_stlb_miss(&mut self, ctx: &MissContext, out: &mut Vec<PrefetchDecision>) {
+        if let Some(successors) = self.table.get(&ctx.vpn) {
+            let mut ranked: Vec<(&VirtPage, &u64)> = successors.iter().collect();
+            ranked.sort_by(|a, b| b.1.cmp(a.1).then(a.0.cmp(b.0)));
+            let take = self.cap.unwrap_or(usize::MAX);
+            for (&succ, _) in ranked.into_iter().take(take) {
+                if succ != ctx.vpn {
+                    out.push(PrefetchDecision::plain(succ));
+                }
+            }
+        }
+        if let Some(prev) = self.prev {
+            if prev != ctx.vpn {
+                *self
+                    .table
+                    .entry(prev)
+                    .or_default()
+                    .entry(ctx.vpn)
+                    .or_insert(0) += 1;
+            }
+        }
+        self.prev = Some(ctx.vpn);
+    }
+
+    fn flush(&mut self) {
+        self.table.clear();
+        self.prev = None;
+    }
+
+    fn storage_bits(&self) -> u64 {
+        // Idealized hardware: report the actual (unbounded) footprint so
+        // ISO-storage comparisons can flag it as not realizable.
+        self.table.values().map(|s| 36 + s.len() as u64 * 36).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use morrigan_types::{ThreadId, VirtAddr};
+
+    fn ctx(page: u64) -> MissContext {
+        MissContext {
+            vpn: VirtPage::new(page),
+            pc: VirtAddr::new(page << 12),
+            thread: ThreadId::ZERO,
+            pb_hit: false,
+            cycle: 0,
+        }
+    }
+
+    fn drive(m: &mut UnboundedMarkov, pages: &[u64]) -> Vec<PrefetchDecision> {
+        let mut out = Vec::new();
+        for &p in pages {
+            out.clear();
+            m.on_stlb_miss(&ctx(p), &mut out);
+        }
+        out
+    }
+
+    #[test]
+    fn never_evicts_entries() {
+        let mut m = UnboundedMarkov::two_successors();
+        for i in 0..10_000u64 {
+            drive(&mut m, &[i]);
+        }
+        assert!(m.tracked_pages() >= 9_999);
+    }
+
+    #[test]
+    fn cap_limits_prefetches_to_most_frequent() {
+        let mut m = UnboundedMarkov::two_successors();
+        // 100's successors: 1 (×3), 2 (×2), 3 (×1).
+        for (succ, times) in [(1u64, 3), (2, 2), (3, 1)] {
+            for _ in 0..times {
+                drive(&mut m, &[100, succ, 9999]);
+            }
+        }
+        let out = drive(&mut m, &[100]);
+        let targets: Vec<u64> = out.iter().map(|d| d.vpn.raw()).collect();
+        assert_eq!(targets, vec![1, 2], "top-2 by frequency: {targets:?}");
+    }
+
+    #[test]
+    fn infinite_variant_prefetches_everything() {
+        let mut m = UnboundedMarkov::infinite_successors();
+        for succ in 1..=5u64 {
+            drive(&mut m, &[100, succ, 9999]);
+        }
+        let out = drive(&mut m, &[100]);
+        assert_eq!(out.len(), 5);
+    }
+
+    #[test]
+    fn names_distinguish_variants() {
+        assert_eq!(UnboundedMarkov::two_successors().name(), "mp-unbounded-2");
+        assert_eq!(
+            UnboundedMarkov::infinite_successors().name(),
+            "mp-unbounded-inf"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "zero successor cap")]
+    fn zero_cap_rejected() {
+        let _ = UnboundedMarkov::with_cap(Some(0));
+    }
+
+    #[test]
+    fn flush_resets() {
+        let mut m = UnboundedMarkov::two_successors();
+        drive(&mut m, &[1, 2]);
+        m.flush();
+        assert_eq!(m.tracked_pages(), 0);
+        assert!(drive(&mut m, &[1]).is_empty());
+    }
+}

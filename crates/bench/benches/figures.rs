@@ -1,0 +1,57 @@
+//! One Criterion bench per paper table/figure: each sample regenerates the
+//! figure's data end-to-end (workload generation, simulation, aggregation).
+//!
+//! The printed figure content itself comes from the `figures` binary
+//! (`cargo run -p morrigan-experiments --bin figures --release`); these
+//! benches track the cost of regenerating each one and double as smoke
+//! tests that every experiment runs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use morrigan_bench::bench_scale;
+use morrigan_experiments as exp;
+
+macro_rules! fig_bench {
+    ($fn_name:ident, $id:literal, $module:ident) => {
+        fn $fn_name(c: &mut Criterion) {
+            let scale = bench_scale();
+            c.bench_function($id, |b| {
+                b.iter(|| std::hint::black_box(exp::$module::run(&scale)))
+            });
+        }
+    };
+}
+
+fig_bench!(fig02, "fig02_java_mpki", fig02_java_mpki);
+fig_bench!(fig03, "fig03_frontend_mpki", fig03_frontend_mpki);
+fig_bench!(fig04, "fig04_translation_cycles", fig04_translation_cycles);
+fig_bench!(fig05, "fig05_delta_cdf", fig05_delta_cdf);
+fig_bench!(fig06, "fig06_page_skew", fig06_page_skew);
+fig_bench!(fig07, "fig07_successors", fig07_successors);
+fig_bench!(fig08, "fig08_successor_prob", fig08_successor_prob);
+fig_bench!(fig09, "fig09_dstlb_on_istlb", fig09_dstlb_on_istlb);
+fig_bench!(fig10, "fig10_fnlmma_tlb", fig10_fnlmma_tlb);
+fig_bench!(fig13, "fig13_coverage_budget", fig13_coverage_budget);
+fig_bench!(fig14, "fig14_replacement", fig14_replacement);
+fig_bench!(fig15, "fig15_iso_speedup", fig15_iso_speedup);
+fig_bench!(fig16, "fig16_walk_refs", fig16_walk_refs);
+fig_bench!(fig17, "fig17_mono", fig17_mono);
+fig_bench!(fig18, "fig18_other_approaches", fig18_other_approaches);
+fig_bench!(fig19, "fig19_icache_synergy", fig19_icache_synergy);
+fig_bench!(fig20, "fig20_smt", fig20_smt);
+fig_bench!(tuning, "table_irip_tuning", tuning);
+
+fn config(c: &mut Criterion) -> &mut Criterion {
+    c
+}
+
+criterion_group! {
+    name = figures;
+    config = {
+        let mut c = Criterion::default().sample_size(10).without_plots();
+        config(&mut c);
+        c
+    };
+    targets = fig02, fig03, fig04, fig05, fig06, fig07, fig08, fig09, fig10,
+              fig13, fig14, fig15, fig16, fig17, fig18, fig19, fig20, tuning
+}
+criterion_main!(figures);

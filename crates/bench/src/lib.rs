@@ -1,0 +1,18 @@
+//! Criterion benches live in `benches/figures.rs`; this library only hosts
+//! the shared bench-scale helper.
+
+use morrigan_experiments::Scale;
+
+/// The scale benches run at: small enough that one figure regeneration is
+/// a sensible criterion sample, large enough to exercise every code path.
+/// `MORRIGAN_INSTR`/`MORRIGAN_WORKLOADS` still override.
+pub fn bench_scale() -> Scale {
+    let mut scale = Scale::from_env();
+    if std::env::var("MORRIGAN_INSTR").is_err() && std::env::var("MORRIGAN_FULL").is_err() {
+        scale.warmup = 100_000;
+        scale.measure = 250_000;
+        scale.workloads = 2;
+        scale.smt_pairs = 1;
+    }
+    scale
+}

@@ -1,0 +1,89 @@
+//! SDP — the Small Delta Prefetcher (§4.1.2).
+//!
+//! A stateless, enhanced sequential prefetcher: on an iSTLB miss for page
+//! *v* it prefetches the PTE of *v + 1* and, exploiting page-table
+//! locality, all the PTEs sharing the target PTE's 64-byte cache line.
+//! This captures the small-delta component of the miss stream (Finding 1:
+//! deltas 1–10 account for ~19 % of consecutive-miss deltas).
+//!
+//! In Morrigan, SDP is engaged **only** when the IRIP ensemble has no
+//! prediction for the missing page, so the composite prefetcher emits
+//! prefetches on *every* miss without double-spending walker bandwidth.
+
+use morrigan_types::{PrefetchDecision, VirtPage};
+
+/// The Small Delta Prefetcher. Stateless: requires no flush on context
+/// switches (§4.3) and contributes zero bits of prediction storage.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Sdp {
+    /// Prefetches emitted so far.
+    pub issued: u64,
+}
+
+impl Sdp {
+    /// A fresh SDP.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Emits the sequential prefetch for a miss on `vpn`: the next page,
+    /// flagged `spatial` so the MMU stages its whole PTE line.
+    ///
+    /// ```
+    /// use morrigan::Sdp;
+    /// use morrigan_types::VirtPage;
+    ///
+    /// let mut sdp = Sdp::new();
+    /// let mut out = Vec::new();
+    /// sdp.prefetch(VirtPage::new(0xa7), &mut out);
+    /// assert_eq!(out[0].vpn, VirtPage::new(0xa8));
+    /// assert!(out[0].spatial);
+    /// ```
+    pub fn prefetch(&mut self, vpn: VirtPage, out: &mut Vec<PrefetchDecision>) {
+        out.push(PrefetchDecision::spatial(vpn.offset(1)));
+        self.issued += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefetches_next_page_spatially() {
+        let mut sdp = Sdp::new();
+        let mut out = Vec::new();
+        sdp.prefetch(VirtPage::new(100), &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].vpn, VirtPage::new(101));
+        assert!(out[0].spatial);
+        assert!(
+            out[0].origin.is_none(),
+            "SDP has no trained state to credit"
+        );
+        assert_eq!(sdp.issued, 1);
+    }
+
+    #[test]
+    fn paper_example_0xa7() {
+        // §4.1.2: a miss on 0xA7 prefetches 0xA8; the spatial flag makes
+        // the MMU stage 0xA8's whole PTE line (a *different* line from
+        // 0xA7's, hence the second walk).
+        let mut sdp = Sdp::new();
+        let mut out = Vec::new();
+        sdp.prefetch(VirtPage::new(0xa7), &mut out);
+        assert_eq!(out[0].vpn, VirtPage::new(0xa8));
+        assert_eq!(out[0].vpn.pte_slot_in_line(), 0);
+    }
+
+    #[test]
+    fn issue_counter_accumulates() {
+        let mut sdp = Sdp::new();
+        let mut out = Vec::new();
+        for i in 0..5 {
+            sdp.prefetch(VirtPage::new(i), &mut out);
+        }
+        assert_eq!(sdp.issued, 5);
+        assert_eq!(out.len(), 5);
+    }
+}

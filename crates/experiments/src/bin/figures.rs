@@ -1,0 +1,50 @@
+//! Regenerates the paper's figures as text tables.
+//!
+//! Usage:
+//!
+//! ```text
+//! figures                 # run everything at the default scale
+//! figures fig15 fig16     # run a subset
+//! MORRIGAN_FULL=1 figures # paper-scale run lengths (slow)
+//! ```
+
+use morrigan_experiments as exp;
+use morrigan_experiments::Scale;
+
+fn main() {
+    let scale = Scale::from_env();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let want = |name: &str| args.is_empty() || args.iter().any(|a| a == name);
+    eprintln!(
+        "scale: {} warmup + {} measured instructions, {} workloads, {} SMT pairs",
+        scale.warmup, scale.measure, scale.workloads, scale.smt_pairs
+    );
+
+    macro_rules! figure {
+        ($name:literal, $module:ident) => {
+            if want($name) {
+                eprintln!("running {}...", $name);
+                println!("{}\n", exp::$module::run(&scale));
+            }
+        };
+    }
+
+    figure!("fig02", fig02_java_mpki);
+    figure!("fig03", fig03_frontend_mpki);
+    figure!("fig04", fig04_translation_cycles);
+    figure!("fig05", fig05_delta_cdf);
+    figure!("fig06", fig06_page_skew);
+    figure!("fig07", fig07_successors);
+    figure!("fig08", fig08_successor_prob);
+    figure!("fig09", fig09_dstlb_on_istlb);
+    figure!("fig10", fig10_fnlmma_tlb);
+    figure!("fig13", fig13_coverage_budget);
+    figure!("fig14", fig14_replacement);
+    figure!("fig15", fig15_iso_speedup);
+    figure!("fig16", fig16_walk_refs);
+    figure!("fig17", fig17_mono);
+    figure!("fig18", fig18_other_approaches);
+    figure!("fig19", fig19_icache_synergy);
+    figure!("fig20", fig20_smt);
+    figure!("tuning", tuning);
+}

@@ -1,0 +1,337 @@
+//! Shared infrastructure for the figure runners: run-length scaling, the
+//! prefetcher factory, and simulation helpers.
+
+use morrigan::{Morrigan, MorriganConfig};
+use morrigan_baselines::{
+    ArbitraryStridePrefetcher, AspConfig, DistancePrefetcher, DpConfig, MarkovPrefetcher,
+    MorriganMono, MpConfig, SequentialPrefetcher, UnboundedMarkov,
+};
+use morrigan_sim::{Metrics, SimConfig, Simulator, SystemConfig};
+use morrigan_types::prefetcher::NullPrefetcher;
+use morrigan_types::TlbPrefetcher;
+use morrigan_workloads::{ServerWorkload, ServerWorkloadConfig};
+use serde::{Deserialize, Serialize};
+
+/// Morrigan's prediction-state budget in bits (§6.1.3's 3.76 KB point),
+/// used to size the ISO-storage baselines of Fig 15.
+pub fn morrigan_budget_bits() -> u64 {
+    morrigan::IripConfig::default().storage_bits()
+}
+
+/// How much to simulate. See the crate docs for the environment knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Scale {
+    /// Warmup instructions per run.
+    pub warmup: u64,
+    /// Measured instructions per run.
+    pub measure: u64,
+    /// Number of QMM-like workloads (≤ 45).
+    pub workloads: usize,
+    /// Number of SMT pairs for Fig 20.
+    pub smt_pairs: usize,
+}
+
+impl Scale {
+    /// The default profile: fast but shape-faithful.
+    pub fn quick() -> Self {
+        Self {
+            warmup: 1_000_000,
+            measure: 3_000_000,
+            workloads: 10,
+            smt_pairs: 5,
+        }
+    }
+
+    /// The paper's full profile: 50 M + 100 M × 45 workloads, 50 pairs.
+    pub fn paper() -> Self {
+        Self {
+            warmup: 50_000_000,
+            measure: 100_000_000,
+            workloads: 45,
+            smt_pairs: 50,
+        }
+    }
+
+    /// A tiny profile for unit tests.
+    pub fn test() -> Self {
+        Self {
+            warmup: 150_000,
+            measure: 400_000,
+            workloads: 2,
+            smt_pairs: 1,
+        }
+    }
+
+    /// A longer test profile for assertions that need the prediction
+    /// tables trained (speedup orderings, budget sweeps). Tests using it
+    /// are `#[ignore]`d in debug builds; run them with
+    /// `cargo test --release`.
+    pub fn test_long() -> Self {
+        Self {
+            warmup: 1_000_000,
+            measure: 4_000_000,
+            workloads: 3,
+            smt_pairs: 1,
+        }
+    }
+
+    /// Reads the profile from the environment: `MORRIGAN_FULL=1` selects
+    /// [`Scale::paper`]; `MORRIGAN_INSTR` (measured instructions) and
+    /// `MORRIGAN_WORKLOADS` override individual fields.
+    pub fn from_env() -> Self {
+        let mut scale = if std::env::var("MORRIGAN_FULL").is_ok_and(|v| v == "1") {
+            Self::paper()
+        } else {
+            Self::quick()
+        };
+        if let Ok(n) = std::env::var("MORRIGAN_INSTR") {
+            if let Ok(n) = n.parse::<u64>() {
+                scale.measure = n.max(1);
+                scale.warmup = (n / 3).max(1);
+            }
+        }
+        if let Ok(n) = std::env::var("MORRIGAN_WORKLOADS") {
+            if let Ok(n) = n.parse::<usize>() {
+                scale.workloads = n.clamp(1, 45);
+            }
+        }
+        scale
+    }
+
+    /// The corresponding simulator run configuration.
+    pub fn sim(&self) -> SimConfig {
+        SimConfig {
+            warmup_instructions: self.warmup,
+            measure_instructions: self.measure,
+        }
+    }
+
+    /// The QMM-like suite at this scale.
+    pub fn suite(&self) -> Vec<ServerWorkloadConfig> {
+        morrigan_workloads::suites::qmm_suite_subset(self.workloads)
+    }
+}
+
+/// Every STLB prefetcher the experiments instantiate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PrefetcherKind {
+    /// No prefetching (the baseline).
+    None,
+    /// Sequential prefetcher, original configuration.
+    Sp,
+    /// Arbitrary-stride prefetcher, original configuration.
+    Asp,
+    /// Distance prefetcher, original configuration.
+    Dp,
+    /// Markov prefetcher, original configuration (128 × 2, LRU).
+    Mp,
+    /// ASP sized to Morrigan's 3.76 KB budget (Fig 15).
+    AspIso,
+    /// DP sized to Morrigan's budget.
+    DpIso,
+    /// MP sized to Morrigan's budget.
+    MpIso,
+    /// Idealized unbounded MP, two successors per entry (§3.4).
+    MpUnbounded2,
+    /// Idealized unbounded MP, unlimited successors (§3.4).
+    MpUnboundedInf,
+    /// Morrigan at the paper's default configuration.
+    Morrigan,
+    /// Morrigan-mono (§6.3).
+    MorriganMono,
+    /// Morrigan with doubled tables for SMT (§6.6).
+    MorriganSmt,
+}
+
+impl PrefetcherKind {
+    /// Short name for report rows.
+    pub fn name(self) -> &'static str {
+        match self {
+            PrefetcherKind::None => "baseline",
+            PrefetcherKind::Sp => "sp",
+            PrefetcherKind::Asp => "asp",
+            PrefetcherKind::Dp => "dp",
+            PrefetcherKind::Mp => "mp",
+            PrefetcherKind::AspIso => "asp-iso",
+            PrefetcherKind::DpIso => "dp-iso",
+            PrefetcherKind::MpIso => "mp-iso",
+            PrefetcherKind::MpUnbounded2 => "mp-unbounded-2",
+            PrefetcherKind::MpUnboundedInf => "mp-unbounded-inf",
+            PrefetcherKind::Morrigan => "morrigan",
+            PrefetcherKind::MorriganMono => "morrigan-mono",
+            PrefetcherKind::MorriganSmt => "morrigan-smt",
+        }
+    }
+
+    /// Instantiates the prefetcher.
+    pub fn build(self) -> Box<dyn TlbPrefetcher> {
+        let budget = morrigan_budget_bits();
+        match self {
+            PrefetcherKind::None => Box::new(NullPrefetcher),
+            PrefetcherKind::Sp => Box::new(SequentialPrefetcher::new()),
+            PrefetcherKind::Asp => Box::new(ArbitraryStridePrefetcher::new(AspConfig::original())),
+            PrefetcherKind::Dp => Box::new(DistancePrefetcher::new(DpConfig::original())),
+            PrefetcherKind::Mp => Box::new(MarkovPrefetcher::new(MpConfig::original())),
+            PrefetcherKind::AspIso => Box::new(ArbitraryStridePrefetcher::new(
+                AspConfig::sized_to_bits(budget),
+            )),
+            PrefetcherKind::DpIso => {
+                Box::new(DistancePrefetcher::new(DpConfig::sized_to_bits(budget)))
+            }
+            PrefetcherKind::MpIso => {
+                Box::new(MarkovPrefetcher::new(MpConfig::sized_to_bits(budget)))
+            }
+            PrefetcherKind::MpUnbounded2 => Box::new(UnboundedMarkov::two_successors()),
+            PrefetcherKind::MpUnboundedInf => Box::new(UnboundedMarkov::infinite_successors()),
+            PrefetcherKind::Morrigan => Box::new(Morrigan::new(MorriganConfig::default())),
+            PrefetcherKind::MorriganMono => Box::new(MorriganMono::new()),
+            PrefetcherKind::MorriganSmt => Box::new(Morrigan::new(MorriganConfig::smt())),
+        }
+    }
+}
+
+/// Runs one server workload with the given system + prefetcher.
+pub fn run_server(
+    cfg: &ServerWorkloadConfig,
+    system: SystemConfig,
+    sim: SimConfig,
+    prefetcher: Box<dyn TlbPrefetcher>,
+) -> Metrics {
+    let mut simulator = Simulator::new(
+        system,
+        Box::new(ServerWorkload::new(cfg.clone())),
+        prefetcher,
+    );
+    simulator.run(sim)
+}
+
+/// Runs a workload and returns the finished simulator for structure
+/// inspection (miss-stream stats, PSC rates, ...).
+pub fn run_server_sim(
+    cfg: &ServerWorkloadConfig,
+    system: SystemConfig,
+    sim: SimConfig,
+    prefetcher: Box<dyn TlbPrefetcher>,
+) -> (Simulator, Metrics) {
+    let mut simulator = Simulator::new(
+        system,
+        Box::new(ServerWorkload::new(cfg.clone())),
+        prefetcher,
+    );
+    let metrics = simulator.run(sim);
+    (simulator, metrics)
+}
+
+/// Per-workload baseline metrics for the suite (no STLB prefetching),
+/// shared by several figures.
+pub fn suite_baselines(scale: &Scale) -> Vec<(ServerWorkloadConfig, Metrics)> {
+    scale
+        .suite()
+        .into_iter()
+        .map(|cfg| {
+            let m = run_server(
+                &cfg,
+                SystemConfig::default(),
+                scale.sim(),
+                Box::new(NullPrefetcher),
+            );
+            (cfg, m)
+        })
+        .collect()
+}
+
+/// Renders a two-column table of `(label, value)` rows.
+pub fn render_table(title: &str, header: (&str, &str), rows: &[(String, String)]) -> String {
+    let mut width = header.0.len();
+    for (label, _) in rows {
+        width = width.max(label.len());
+    }
+    let mut out = format!("{title}\n{:<width$}  {}\n", header.0, header.1);
+    for (label, value) in rows {
+        out.push_str(&format!("{label:<width$}  {value}\n"));
+    }
+    out
+}
+
+/// Runs the suite with miss-stream collection enabled and returns each
+/// workload's [`MissStreamStats`](morrigan_vm::MissStreamStats) (used by
+/// the Fig 5–8 characterization).
+pub fn suite_miss_streams(scale: &Scale) -> Vec<(String, morrigan_vm::MissStreamStats)> {
+    let mut system = SystemConfig::default();
+    system.mmu.collect_stream_stats = true;
+    scale
+        .suite()
+        .iter()
+        .map(|cfg| {
+            let (sim, _) = run_server_sim(cfg, system, scale.sim(), Box::new(NullPrefetcher));
+            (cfg.name.clone(), sim.mmu().miss_stream.clone())
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_profiles() {
+        assert_eq!(Scale::paper().measure, 100_000_000);
+        assert_eq!(Scale::paper().workloads, 45);
+        assert!(Scale::quick().measure < Scale::paper().measure);
+        let s = Scale::test();
+        assert!(s.workloads >= 1);
+        assert_eq!(s.sim().measure_instructions, s.measure);
+    }
+
+    #[test]
+    fn every_kind_builds() {
+        for kind in [
+            PrefetcherKind::None,
+            PrefetcherKind::Sp,
+            PrefetcherKind::Asp,
+            PrefetcherKind::Dp,
+            PrefetcherKind::Mp,
+            PrefetcherKind::AspIso,
+            PrefetcherKind::DpIso,
+            PrefetcherKind::MpIso,
+            PrefetcherKind::MpUnbounded2,
+            PrefetcherKind::MpUnboundedInf,
+            PrefetcherKind::Morrigan,
+            PrefetcherKind::MorriganMono,
+            PrefetcherKind::MorriganSmt,
+        ] {
+            let p = kind.build();
+            assert!(!kind.name().is_empty());
+            let _ = p.storage_bits();
+        }
+    }
+
+    #[test]
+    fn iso_variants_respect_budget() {
+        let budget = morrigan_budget_bits();
+        for kind in [
+            PrefetcherKind::AspIso,
+            PrefetcherKind::DpIso,
+            PrefetcherKind::MpIso,
+        ] {
+            let p = kind.build();
+            assert!(
+                p.storage_bits() <= budget,
+                "{} exceeds the ISO budget: {} > {budget}",
+                kind.name(),
+                p.storage_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn render_table_aligns() {
+        let t = render_table(
+            "T",
+            ("name", "value"),
+            &[("a".into(), "1".into()), ("longer".into(), "2".into())],
+        );
+        assert!(t.contains("longer  2"));
+        assert!(t.starts_with("T\n"));
+    }
+}

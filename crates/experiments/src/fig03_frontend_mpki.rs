@@ -1,0 +1,125 @@
+//! Fig 3: mean L1I / I-TLB / iSTLB MPKI, SPEC-like vs QMM-like suites.
+//!
+//! The claim: QMM server workloads suffer roughly an order of magnitude
+//! more instruction misses in all three front-end structures than SPEC CPU
+//! workloads, which is why the paper's evaluation excludes SPEC.
+
+use std::fmt;
+
+use morrigan_sim::{Simulator, SystemConfig};
+use morrigan_types::prefetcher::NullPrefetcher;
+use morrigan_types::stats::mean;
+use morrigan_workloads::SpecWorkload;
+use serde::{Deserialize, Serialize};
+
+use crate::common::{render_table, run_server, Scale};
+
+/// Mean front-end MPKI rates of one suite.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SuiteMpki {
+    /// Mean demand L1I misses per kilo-instruction.
+    pub l1i: f64,
+    /// Mean I-TLB MPKI.
+    pub itlb: f64,
+    /// Mean iSTLB MPKI.
+    pub istlb: f64,
+}
+
+/// The figure's data.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Fig03Result {
+    /// SPEC-CPU-like suite means.
+    pub spec: SuiteMpki,
+    /// QMM-like suite means.
+    pub qmm: SuiteMpki,
+}
+
+/// Runs the experiment.
+pub fn run(scale: &Scale) -> Fig03Result {
+    let mut spec = (Vec::new(), Vec::new(), Vec::new());
+    for cfg in morrigan_workloads::suites::spec_suite() {
+        let mut sim = Simulator::new(
+            SystemConfig::default(),
+            Box::new(SpecWorkload::new(cfg)),
+            Box::new(NullPrefetcher),
+        );
+        let m = sim.run(scale.sim());
+        spec.0.push(m.l1i_mpki());
+        spec.1.push(m.itlb_mpki());
+        spec.2.push(m.istlb_mpki());
+    }
+    let mut qmm = (Vec::new(), Vec::new(), Vec::new());
+    for cfg in scale.suite() {
+        let m = run_server(
+            &cfg,
+            SystemConfig::default(),
+            scale.sim(),
+            Box::new(NullPrefetcher),
+        );
+        qmm.0.push(m.l1i_mpki());
+        qmm.1.push(m.itlb_mpki());
+        qmm.2.push(m.istlb_mpki());
+    }
+    Fig03Result {
+        spec: SuiteMpki {
+            l1i: mean(&spec.0),
+            itlb: mean(&spec.1),
+            istlb: mean(&spec.2),
+        },
+        qmm: SuiteMpki {
+            l1i: mean(&qmm.0),
+            itlb: mean(&qmm.1),
+            istlb: mean(&qmm.2),
+        },
+    }
+}
+
+impl fmt::Display for Fig03Result {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let rows = vec![
+            (
+                "SPEC-like".to_string(),
+                format!(
+                    "{:>8.2} {:>8.2} {:>8.2}",
+                    self.spec.l1i, self.spec.itlb, self.spec.istlb
+                ),
+            ),
+            (
+                "QMM-like".to_string(),
+                format!(
+                    "{:>8.2} {:>8.2} {:>8.2}",
+                    self.qmm.l1i, self.qmm.itlb, self.qmm.istlb
+                ),
+            ),
+        ];
+        write!(
+            f,
+            "{}",
+            render_table(
+                "Fig 3: front-end MPKI",
+                ("suite", "     L1I    I-TLB    iSTLB"),
+                &rows
+            )
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qmm_dwarfs_spec_on_every_structure() {
+        let r = run(&Scale::test());
+        assert!(
+            r.qmm.istlb > 4.0 * r.spec.istlb,
+            "qmm {} vs spec {}",
+            r.qmm.istlb,
+            r.spec.istlb
+        );
+        assert!(r.qmm.itlb > 2.0 * r.spec.itlb);
+        assert!(r.qmm.l1i > r.spec.l1i);
+        // §5: SPEC workloads sit below the 0.5 iSTLB MPKI intensity bar.
+        assert!(r.spec.istlb < 0.5, "spec istlb {}", r.spec.istlb);
+    }
+}

@@ -1,0 +1,150 @@
+//! Fig 20 (§6.6): SMT colocation.
+//!
+//! Pairs of QMM workloads share one core (and all its TLBs, PSCs, caches,
+//! walker, and prediction tables). Colocation raises TLB pressure, so the
+//! absolute gains are larger than single-threaded; the IRIP tables are
+//! doubled (7.5 KB) per the paper. A secondary result reproduces the
+//! paper's note that *not* doubling the tables costs some of the gain.
+
+use std::fmt;
+
+use morrigan::{Morrigan, MorriganConfig};
+use morrigan_sim::{IcachePrefetcherKind, Metrics, SimConfig, Simulator, SystemConfig};
+use morrigan_types::prefetcher::NullPrefetcher;
+use morrigan_types::stats::geometric_mean;
+use morrigan_types::TlbPrefetcher;
+use morrigan_workloads::{ServerWorkload, ServerWorkloadConfig};
+use serde::{Deserialize, Serialize};
+
+use crate::common::Scale;
+
+/// The figure's data.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Fig20Result {
+    /// Morrigan with doubled tables (the paper's SMT configuration).
+    pub morrigan_speedup: f64,
+    /// FNL+MMA alone (translation modelled).
+    pub fnlmma_speedup: f64,
+    /// Morrigan (doubled) + FNL+MMA.
+    pub combined_speedup: f64,
+    /// Morrigan with single-thread-sized tables (the paper's secondary
+    /// observation: smaller gains).
+    pub morrigan_undoubled_speedup: f64,
+}
+
+fn run_pair(
+    pair: &(ServerWorkloadConfig, ServerWorkloadConfig),
+    system: SystemConfig,
+    sim: SimConfig,
+    prefetcher: Box<dyn TlbPrefetcher>,
+) -> Metrics {
+    let mut simulator = Simulator::new_smt(
+        system,
+        vec![
+            Box::new(ServerWorkload::new(pair.0.clone())),
+            Box::new(ServerWorkload::new(pair.1.clone())),
+        ],
+        prefetcher,
+    );
+    simulator.run(sim)
+}
+
+/// Runs the experiment.
+pub fn run(scale: &Scale) -> Fig20Result {
+    let pairs = morrigan_workloads::suites::smt_pairs(scale.smt_pairs);
+    let sim = scale.sim();
+
+    let mut fnl_system = SystemConfig::default();
+    fnl_system.icache_prefetcher = IcachePrefetcherKind::FnlMma {
+        translation_cost: true,
+    };
+
+    let mut morrigan = Vec::new();
+    let mut fnl = Vec::new();
+    let mut combined = Vec::new();
+    let mut undoubled = Vec::new();
+    for pair in &pairs {
+        let base = run_pair(pair, SystemConfig::default(), sim, Box::new(NullPrefetcher));
+
+        let m = run_pair(
+            pair,
+            SystemConfig::default(),
+            sim,
+            Box::new(Morrigan::new(MorriganConfig::smt())),
+        );
+        morrigan.push(m.speedup_over(&base));
+
+        let m = run_pair(pair, fnl_system, sim, Box::new(NullPrefetcher));
+        fnl.push(m.speedup_over(&base));
+
+        let m = run_pair(
+            pair,
+            fnl_system,
+            sim,
+            Box::new(Morrigan::new(MorriganConfig::smt())),
+        );
+        combined.push(m.speedup_over(&base));
+
+        let single_tables = MorriganConfig {
+            max_threads: 2,
+            ..MorriganConfig::default()
+        };
+        let m = run_pair(
+            pair,
+            SystemConfig::default(),
+            sim,
+            Box::new(Morrigan::new(single_tables)),
+        );
+        undoubled.push(m.speedup_over(&base));
+    }
+
+    Fig20Result {
+        morrigan_speedup: geometric_mean(&morrigan),
+        fnlmma_speedup: geometric_mean(&fnl),
+        combined_speedup: geometric_mean(&combined),
+        morrigan_undoubled_speedup: geometric_mean(&undoubled),
+    }
+}
+
+impl fmt::Display for Fig20Result {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Fig 20: SMT colocation")?;
+        writeln!(
+            f,
+            "morrigan (2x tables)    {:+.2}%",
+            (self.morrigan_speedup - 1.0) * 100.0
+        )?;
+        writeln!(
+            f,
+            "fnl+mma                 {:+.2}%",
+            (self.fnlmma_speedup - 1.0) * 100.0
+        )?;
+        writeln!(
+            f,
+            "morrigan+fnl+mma        {:+.2}%",
+            (self.combined_speedup - 1.0) * 100.0
+        )?;
+        writeln!(
+            f,
+            "morrigan (1x tables)    {:+.2}%",
+            (self.morrigan_undoubled_speedup - 1.0) * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[cfg_attr(debug_assertions, ignore = "needs trained tables; run with --release")]
+    fn smt_gains_and_orderings() {
+        let r = run(&Scale::test_long());
+        assert!(r.morrigan_speedup > 1.0, "{r:?}");
+        assert!(r.combined_speedup >= r.morrigan_speedup - 0.01, "{r:?}");
+        assert!(
+            r.morrigan_speedup >= r.morrigan_undoubled_speedup - 0.02,
+            "doubled tables should not lose: {r:?}"
+        );
+    }
+}

@@ -1,0 +1,187 @@
+//! Rendering tests for every figure's `Display` implementation: results
+//! are constructed directly (no simulation) so formatting regressions are
+//! caught instantly.
+
+use morrigan_experiments::*;
+
+#[test]
+fn fig02_renders() {
+    let r = fig02_java_mpki::Fig02Result {
+        rows: vec![fig02_java_mpki::JavaMpkiRow { workload: "cassandra".into(), istlb_mpki: 1.5 }],
+    };
+    let text = r.to_string();
+    assert!(text.contains("Fig 2"));
+    assert!(text.contains("cassandra"));
+    assert!(text.contains("1.50"));
+}
+
+#[test]
+fn fig03_renders() {
+    let mk = |v| fig03_frontend_mpki::SuiteMpki { l1i: v, itlb: v, istlb: v };
+    let r = fig03_frontend_mpki::Fig03Result { spec: mk(0.5), qmm: mk(10.0) };
+    let text = r.to_string();
+    assert!(text.contains("SPEC-like"));
+    assert!(text.contains("QMM-like"));
+    assert!(text.contains("10.00"));
+}
+
+#[test]
+fn fig04_renders_threshold_summary() {
+    let r = fig04_translation_cycles::Fig04Result {
+        rows: vec![
+            fig04_translation_cycles::TranslationCycleRow {
+                workload: "w0".into(),
+                cycle_fraction: 0.10,
+            },
+            fig04_translation_cycles::TranslationCycleRow {
+                workload: "w1".into(),
+                cycle_fraction: 0.02,
+            },
+        ],
+        threshold: 0.05,
+    };
+    assert_eq!(r.above_threshold(), 1);
+    let text = r.to_string();
+    assert!(text.contains("10.0%"));
+    assert!(text.contains("(1 of 2 above the 5% VTune threshold)"));
+}
+
+#[test]
+fn fig05_renders_and_indexes() {
+    let r = fig05_delta_cdf::Fig05Result { cdf: vec![0.1; fig05_delta_cdf::BOUNDS.len()] };
+    assert!((r.small_delta_fraction() - 0.1).abs() < 1e-12);
+    assert!(r.to_string().contains("delta <= 1"));
+}
+
+#[test]
+fn fig07_and_fig08_render() {
+    let f7 = fig07_successors::Fig07Result { fractions: [0.4, 0.2, 0.2, 0.15, 0.05] };
+    assert!(f7.to_string().contains(">8"));
+    let f8 = fig08_successor_prob::Fig08Result { first: 0.5, second: 0.2, third: 0.1, other: 0.2 };
+    let text = f8.to_string();
+    assert!(text.contains("50.0%"));
+    assert!(text.contains("top-50"));
+}
+
+#[test]
+fn fig09_lookup_and_render() {
+    let r = fig09_dstlb_on_istlb::Fig09Result {
+        rows: vec![fig09_dstlb_on_istlb::SpeedupRow {
+            prefetcher: "sp".into(),
+            geomean_speedup: 1.016,
+        }],
+    };
+    assert_eq!(r.speedup_of("sp"), Some(1.016));
+    assert_eq!(r.speedup_of("nope"), None);
+    assert!(r.to_string().contains("+1.60%"));
+}
+
+#[test]
+fn fig10_renders() {
+    let r = fig10_fnlmma_tlb::Fig10Result {
+        speedup_free_translation: 1.05,
+        speedup_with_translation: 1.01,
+        mean_walk_reduction: 0.296,
+        crossing_walks_pki: 0.4,
+    };
+    let text = r.to_string();
+    assert!(text.contains("+5.00%"));
+    assert!(text.contains("29.6%"));
+}
+
+#[test]
+fn fig13_renders() {
+    let r = fig13_coverage_budget::Fig13Result {
+        points: vec![fig13_coverage_budget::BudgetPoint { storage_kb: 3.76, coverage: 0.81 }],
+    };
+    let text = r.to_string();
+    assert!(text.contains("3.76 KB"));
+    assert!(text.contains("81.0%"));
+}
+
+#[test]
+fn fig15_lookup_and_render() {
+    let r = fig15_iso_speedup::Fig15Result {
+        rows: vec![fig15_iso_speedup::IsoRow {
+            prefetcher: "morrigan".into(),
+            geomean_speedup: 1.076,
+            mean_coverage: 0.76,
+        }],
+    };
+    assert!(r.row("morrigan").is_some());
+    let text = r.to_string();
+    assert!(text.contains("+7.60%"));
+    assert!(text.contains("76.0%"));
+}
+
+#[test]
+fn fig16_renders_served_by() {
+    let r = fig16_walk_refs::Fig16Result {
+        rows: vec![fig16_walk_refs::WalkRefRow {
+            prefetcher: "morrigan".into(),
+            demand_normalized: 0.31,
+            prefetch_normalized: 1.17,
+        }],
+        morrigan_served_by: [0.2, 0.25, 0.45, 0.1],
+    };
+    let text = r.to_string();
+    assert!(text.contains("31%"));
+    assert!(text.contains("117%"));
+    assert!(text.contains("LLC 45%"));
+}
+
+#[test]
+fn fig17_to_fig20_render() {
+    let f17 = fig17_mono::Fig17Result {
+        ensemble_speedup: 1.076,
+        mono_speedup: 1.057,
+        ensemble_coverage: 0.76,
+        mono_coverage: 0.7,
+    };
+    assert!(f17.to_string().contains("morrigan-mono"));
+
+    let f18 = fig18_other_approaches::Fig18Result {
+        rows: vec![fig18_other_approaches::ApproachRow {
+            approach: "p2tlb".into(),
+            geomean_speedup: 0.811,
+        }],
+    };
+    assert!(f18.to_string().contains("-18.90%"));
+    assert_eq!(f18.speedup_of("p2tlb"), Some(0.811));
+
+    let f19 = fig19_icache_synergy::Fig19Result {
+        fnlmma_speedup: 1.012,
+        morrigan_speedup: 1.076,
+        combined_speedup: 1.109,
+        crossing_translation_ready: 0.517,
+    };
+    let text = f19.to_string();
+    assert!(text.contains("+10.90%"));
+    assert!(text.contains("51.7%"));
+
+    let f20 = fig20_smt::Fig20Result {
+        morrigan_speedup: 1.089,
+        fnlmma_speedup: 1.034,
+        combined_speedup: 1.137,
+        morrigan_undoubled_speedup: 1.064,
+    };
+    let text = f20.to_string();
+    assert!(text.contains("+13.70%"));
+    assert!(text.contains("1x tables"));
+}
+
+#[test]
+fn tuning_renders_and_indexes() {
+    let r = tuning::TuningResult {
+        rows: vec![tuning::TuningRow {
+            config: "pb-64".into(),
+            coverage: 0.76,
+            prefetch_refs_pki: 2.0,
+        }],
+    };
+    assert!(r.row("pb-64").is_some());
+    assert!(r.row("missing").is_none());
+    let text = r.to_string();
+    assert!(text.contains("76.0%"));
+    assert!(text.contains("2.00"));
+}

@@ -1,0 +1,318 @@
+//! A generic set-associative cache over 64-byte line numbers.
+//!
+//! The same structure backs every level of the hierarchy; TLBs use their own
+//! generic buffer in `morrigan-vm` because they key on pages, not lines.
+
+use morrigan_types::CacheLine;
+use serde::{Deserialize, Serialize};
+
+/// Geometry and latency of one cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheConfig {
+    /// Number of sets; must be a power of two.
+    pub sets: usize,
+    /// Associativity (ways per set).
+    pub ways: usize,
+    /// Lookup latency in cycles charged when this level is probed.
+    pub latency: u64,
+}
+
+impl CacheConfig {
+    /// A configuration from total capacity in bytes and associativity,
+    /// assuming 64-byte lines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the implied set count is not a positive power of two or if
+    /// `ways` is zero.
+    pub fn from_capacity(bytes: usize, ways: usize, latency: u64) -> Self {
+        assert!(ways > 0, "cache must have at least one way");
+        let lines = bytes / 64;
+        assert!(
+            lines.is_multiple_of(ways),
+            "capacity must be divisible by ways*64"
+        );
+        let sets = lines / ways;
+        assert!(
+            sets.is_power_of_two(),
+            "set count must be a power of two, got {sets}"
+        );
+        Self {
+            sets,
+            ways,
+            latency,
+        }
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity_bytes(&self) -> usize {
+        self.sets * self.ways * 64
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Way {
+    line: CacheLine,
+    /// Monotonic timestamp for LRU ordering; smaller is older.
+    stamp: u64,
+    valid: bool,
+}
+
+/// A set-associative, LRU-replacement cache of line numbers.
+///
+/// # Examples
+///
+/// ```
+/// use morrigan_mem::{Cache, CacheConfig};
+/// use morrigan_types::CacheLine;
+///
+/// let mut cache = Cache::new(CacheConfig { sets: 2, ways: 2, latency: 4 });
+/// let line = CacheLine::new(8);
+/// assert!(!cache.probe(line));
+/// cache.fill(line);
+/// assert!(cache.probe(line));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cache {
+    cfg: CacheConfig,
+    ways: Vec<Way>,
+    tick: u64,
+}
+
+impl Cache {
+    /// Creates an empty cache with the given geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` is not a positive power of two or `ways` is zero.
+    pub fn new(cfg: CacheConfig) -> Self {
+        assert!(
+            cfg.sets.is_power_of_two() && cfg.sets > 0,
+            "sets must be a power of two"
+        );
+        assert!(cfg.ways > 0, "ways must be positive");
+        Self {
+            cfg,
+            ways: vec![
+                Way {
+                    line: CacheLine::new(0),
+                    stamp: 0,
+                    valid: false
+                };
+                cfg.sets * cfg.ways
+            ],
+            tick: 0,
+        }
+    }
+
+    /// This cache's configuration.
+    pub fn config(&self) -> &CacheConfig {
+        &self.cfg
+    }
+
+    #[inline]
+    fn set_range(&self, line: CacheLine) -> std::ops::Range<usize> {
+        let set = (line.raw() as usize) & (self.cfg.sets - 1);
+        let start = set * self.cfg.ways;
+        start..start + self.cfg.ways
+    }
+
+    /// Looks up `line`, promoting it to MRU on a hit. Returns whether it hit.
+    pub fn probe(&mut self, line: CacheLine) -> bool {
+        self.tick += 1;
+        let tick = self.tick;
+        let range = self.set_range(line);
+        for way in &mut self.ways[range] {
+            if way.valid && way.line == line {
+                way.stamp = tick;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Whether `line` is resident, without disturbing LRU state.
+    pub fn contains(&self, line: CacheLine) -> bool {
+        self.ways[self.set_range(line)]
+            .iter()
+            .any(|w| w.valid && w.line == line)
+    }
+
+    /// Installs `line` as MRU, returning the evicted victim line, if any.
+    ///
+    /// Filling a line that is already resident only refreshes its LRU
+    /// position (no duplicate is created).
+    pub fn fill(&mut self, line: CacheLine) -> Option<CacheLine> {
+        self.tick += 1;
+        let tick = self.tick;
+        let range = self.set_range(line);
+        // Already present: refresh.
+        for way in &mut self.ways[range.clone()] {
+            if way.valid && way.line == line {
+                way.stamp = tick;
+                return None;
+            }
+        }
+        // Free way if any.
+        for way in &mut self.ways[range.clone()] {
+            if !way.valid {
+                *way = Way {
+                    line,
+                    stamp: tick,
+                    valid: true,
+                };
+                return None;
+            }
+        }
+        // Evict LRU.
+        let victim_idx = {
+            let set = &self.ways[range.clone()];
+            let (i, _) = set
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, w)| w.stamp)
+                .expect("set has at least one way");
+            range.start + i
+        };
+        let victim = self.ways[victim_idx].line;
+        self.ways[victim_idx] = Way {
+            line,
+            stamp: tick,
+            valid: true,
+        };
+        Some(victim)
+    }
+
+    /// Removes `line` if resident; returns whether it was present.
+    pub fn invalidate(&mut self, line: CacheLine) -> bool {
+        let range = self.set_range(line);
+        for way in &mut self.ways[range] {
+            if way.valid && way.line == line {
+                way.valid = false;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Empties the cache.
+    pub fn clear(&mut self) {
+        for way in &mut self.ways {
+            way.valid = false;
+        }
+    }
+
+    /// Number of currently valid lines.
+    pub fn occupancy(&self) -> usize {
+        self.ways.iter().filter(|w| w.valid).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Cache {
+        Cache::new(CacheConfig {
+            sets: 2,
+            ways: 2,
+            latency: 1,
+        })
+    }
+
+    /// Lines mapping to set 0 of a 2-set cache: even line numbers.
+    fn set0_line(i: u64) -> CacheLine {
+        CacheLine::new(i * 2)
+    }
+
+    #[test]
+    fn miss_then_fill_then_hit() {
+        let mut c = tiny();
+        let line = CacheLine::new(5);
+        assert!(!c.probe(line));
+        assert_eq!(c.fill(line), None);
+        assert!(c.probe(line));
+        assert!(c.contains(line));
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        let mut c = tiny();
+        c.fill(set0_line(1));
+        c.fill(set0_line(2));
+        // Touch line 1 so line 2 becomes LRU.
+        assert!(c.probe(set0_line(1)));
+        let victim = c.fill(set0_line(3));
+        assert_eq!(victim, Some(set0_line(2)));
+        assert!(c.contains(set0_line(1)));
+        assert!(c.contains(set0_line(3)));
+        assert!(!c.contains(set0_line(2)));
+    }
+
+    #[test]
+    fn refill_does_not_duplicate() {
+        let mut c = tiny();
+        c.fill(set0_line(1));
+        c.fill(set0_line(1));
+        assert_eq!(c.occupancy(), 1);
+        // A second distinct fill must not evict: the set still has room.
+        assert_eq!(c.fill(set0_line(2)), None);
+    }
+
+    #[test]
+    fn refill_refreshes_lru() {
+        let mut c = tiny();
+        c.fill(set0_line(1));
+        c.fill(set0_line(2));
+        c.fill(set0_line(1)); // refresh 1 → 2 is LRU
+        assert_eq!(c.fill(set0_line(3)), Some(set0_line(2)));
+    }
+
+    #[test]
+    fn contains_does_not_promote() {
+        let mut c = tiny();
+        c.fill(set0_line(1));
+        c.fill(set0_line(2));
+        // `contains` must not refresh line 1's recency.
+        assert!(c.contains(set0_line(1)));
+        assert_eq!(c.fill(set0_line(3)), Some(set0_line(1)));
+    }
+
+    #[test]
+    fn invalidate_and_clear() {
+        let mut c = tiny();
+        c.fill(set0_line(1));
+        assert!(c.invalidate(set0_line(1)));
+        assert!(!c.invalidate(set0_line(1)));
+        c.fill(set0_line(1));
+        c.fill(CacheLine::new(3));
+        c.clear();
+        assert_eq!(c.occupancy(), 0);
+    }
+
+    #[test]
+    fn sets_are_independent() {
+        let mut c = tiny();
+        // Fill set 0 to capacity, then fill set 1; set 0 must be untouched.
+        c.fill(set0_line(1));
+        c.fill(set0_line(2));
+        assert_eq!(c.fill(CacheLine::new(1)), None);
+        assert_eq!(c.fill(CacheLine::new(3)), None);
+        assert!(c.contains(set0_line(1)));
+        assert!(c.contains(set0_line(2)));
+    }
+
+    #[test]
+    fn from_capacity_math() {
+        let cfg = CacheConfig::from_capacity(32 * 1024, 8, 4);
+        assert_eq!(cfg.sets, 64);
+        assert_eq!(cfg.ways, 8);
+        assert_eq!(cfg.capacity_bytes(), 32 * 1024);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn from_capacity_rejects_non_pow2() {
+        let _ = CacheConfig::from_capacity(24 * 1024, 8, 4);
+    }
+}

@@ -1,0 +1,418 @@
+//! The three-level cache hierarchy plus DRAM, with per-class statistics.
+
+use morrigan_types::CacheLine;
+use serde::{Deserialize, Serialize};
+
+use crate::cache::{Cache, CacheConfig};
+use crate::l2_prefetch::{L2Prefetcher, L2PrefetcherConfig};
+
+/// The level of the memory hierarchy that served a reference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum MemLevel {
+    /// L1 instruction cache.
+    L1I,
+    /// L1 data cache (also the entry point for page-walk references).
+    L1D,
+    /// Unified L2.
+    L2,
+    /// Last-level cache.
+    Llc,
+    /// Main memory.
+    Dram,
+}
+
+impl MemLevel {
+    /// All levels, ordered nearest to farthest.
+    pub const ALL: [MemLevel; 5] = [
+        MemLevel::L1I,
+        MemLevel::L1D,
+        MemLevel::L2,
+        MemLevel::Llc,
+        MemLevel::Dram,
+    ];
+}
+
+/// The kind of reference, which selects the entry point into the hierarchy.
+///
+/// Instruction fetches enter at the L1I; data references and page-walk
+/// references enter at the L1D (x86 page-table walkers read through the data
+/// cache path, which is what gives PTEs the cache locality the paper's
+/// walker model exploits).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AccessClass {
+    /// Demand instruction fetch.
+    IFetch,
+    /// Demand load/store.
+    Data,
+    /// Page-table-walker reference for a demand walk.
+    PageWalk,
+    /// Page-table-walker reference for a prefetch walk.
+    PrefetchWalk,
+    /// Instruction-cache prefetch.
+    IPrefetch,
+}
+
+impl AccessClass {
+    fn is_instruction_side(self) -> bool {
+        matches!(self, AccessClass::IFetch | AccessClass::IPrefetch)
+    }
+}
+
+/// Result of one hierarchy access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessOutcome {
+    /// Total lookup latency in cycles, accumulated over every level probed.
+    pub latency: u64,
+    /// The level that finally supplied the line.
+    pub served_by: MemLevel,
+}
+
+/// Geometry of the whole hierarchy (defaults reproduce Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HierarchyConfig {
+    /// L1 instruction cache.
+    pub l1i: CacheConfig,
+    /// L1 data cache.
+    pub l1d: CacheConfig,
+    /// Unified L2.
+    pub l2: CacheConfig,
+    /// Last-level cache.
+    pub llc: CacheConfig,
+    /// Flat DRAM access latency in cycles.
+    pub dram_latency: u64,
+    /// SPP-style L2 prefetcher configuration.
+    pub l2_prefetch: L2PrefetcherConfig,
+}
+
+impl Default for HierarchyConfig {
+    /// Table 1 of the paper: 32 KB/8w 4-cycle L1s, 512 KB/8w 8-cycle L2,
+    /// 2 MB/16w 10-cycle LLC. The paper gives DRAM timing parameters
+    /// (tRP=tRCD=tCAS=12); we fold them into a flat 120-cycle access,
+    /// ChampSim's effective round-trip at core frequency.
+    fn default() -> Self {
+        Self {
+            l1i: CacheConfig::from_capacity(32 * 1024, 8, 4),
+            l1d: CacheConfig::from_capacity(32 * 1024, 8, 4),
+            l2: CacheConfig::from_capacity(512 * 1024, 8, 8),
+            llc: CacheConfig::from_capacity(2 * 1024 * 1024, 16, 10),
+            dram_latency: 120,
+            l2_prefetch: L2PrefetcherConfig::default(),
+        }
+    }
+}
+
+/// Hit/served counters for one hierarchy level, per access class.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LevelStats {
+    /// References served by this level on the instruction-fetch path.
+    pub ifetch: u64,
+    /// References served by this level on the data path.
+    pub data: u64,
+    /// Demand page-walk references served by this level.
+    pub demand_walk: u64,
+    /// Prefetch page-walk references served by this level.
+    pub prefetch_walk: u64,
+    /// I-cache prefetch references served by this level.
+    pub iprefetch: u64,
+}
+
+impl std::ops::Sub for LevelStats {
+    type Output = LevelStats;
+
+    /// Field-wise difference, used to isolate the measurement window from
+    /// warmup (`end_snapshot - start_snapshot`).
+    fn sub(self, rhs: LevelStats) -> LevelStats {
+        LevelStats {
+            ifetch: self.ifetch - rhs.ifetch,
+            data: self.data - rhs.data,
+            demand_walk: self.demand_walk - rhs.demand_walk,
+            prefetch_walk: self.prefetch_walk - rhs.prefetch_walk,
+            iprefetch: self.iprefetch - rhs.iprefetch,
+        }
+    }
+}
+
+impl LevelStats {
+    fn bump(&mut self, class: AccessClass) {
+        match class {
+            AccessClass::IFetch => self.ifetch += 1,
+            AccessClass::Data => self.data += 1,
+            AccessClass::PageWalk => self.demand_walk += 1,
+            AccessClass::PrefetchWalk => self.prefetch_walk += 1,
+            AccessClass::IPrefetch => self.iprefetch += 1,
+        }
+    }
+
+    /// Total references served by this level across all classes.
+    pub fn total(&self) -> u64 {
+        self.ifetch + self.data + self.demand_walk + self.prefetch_walk + self.iprefetch
+    }
+}
+
+/// The full cache hierarchy + DRAM.
+#[derive(Debug, Clone)]
+pub struct MemoryHierarchy {
+    l1i: Cache,
+    l1d: Cache,
+    l2: Cache,
+    llc: Cache,
+    cfg: HierarchyConfig,
+    l2_prefetcher: L2Prefetcher,
+    served: [LevelStats; 5],
+    /// Demand I-fetch lookups that missed the L1I (for MPKI accounting).
+    pub l1i_demand_misses: u64,
+    /// Demand I-fetch lookups (for MPKI accounting).
+    pub l1i_demand_accesses: u64,
+}
+
+impl MemoryHierarchy {
+    /// Builds an empty hierarchy.
+    pub fn new(cfg: HierarchyConfig) -> Self {
+        Self {
+            l1i: Cache::new(cfg.l1i),
+            l1d: Cache::new(cfg.l1d),
+            l2: Cache::new(cfg.l2),
+            llc: Cache::new(cfg.llc),
+            l2_prefetcher: L2Prefetcher::new(cfg.l2_prefetch),
+            cfg,
+            served: [LevelStats::default(); 5],
+            l1i_demand_misses: 0,
+            l1i_demand_accesses: 0,
+        }
+    }
+
+    /// This hierarchy's configuration.
+    pub fn config(&self) -> &HierarchyConfig {
+        &self.cfg
+    }
+
+    /// Performs one reference of class `class` for physical line `line`.
+    ///
+    /// Probes level by level starting at the class's entry point, charges
+    /// each probed level's latency, and fills the line into every probed
+    /// level on the way back (inclusive allocation).
+    pub fn access(&mut self, line: CacheLine, class: AccessClass) -> AccessOutcome {
+        let mut latency = 0;
+        let instruction_side = class.is_instruction_side();
+
+        // L1.
+        if instruction_side {
+            latency += self.cfg.l1i.latency;
+            if class == AccessClass::IFetch {
+                self.l1i_demand_accesses += 1;
+            }
+            if self.l1i.probe(line) {
+                self.record(MemLevel::L1I, class);
+                return AccessOutcome {
+                    latency,
+                    served_by: MemLevel::L1I,
+                };
+            }
+            if class == AccessClass::IFetch {
+                self.l1i_demand_misses += 1;
+            }
+        } else {
+            latency += self.cfg.l1d.latency;
+            if self.l1d.probe(line) {
+                self.record(MemLevel::L1D, class);
+                return AccessOutcome {
+                    latency,
+                    served_by: MemLevel::L1D,
+                };
+            }
+        }
+
+        // L2 (shared). Data-side L2 traffic trains the SPP-style prefetcher.
+        latency += self.cfg.l2.latency;
+        let l2_hit = self.l2.probe(line);
+        if matches!(class, AccessClass::Data) {
+            for pf in self.l2_prefetcher.train(line) {
+                // L2 prefetches fill L2 (and LLC for inclusion) silently.
+                self.l2.fill(pf);
+                self.llc.fill(pf);
+            }
+        }
+        if l2_hit {
+            self.fill_l1(line, instruction_side);
+            self.record(MemLevel::L2, class);
+            return AccessOutcome {
+                latency,
+                served_by: MemLevel::L2,
+            };
+        }
+
+        // LLC.
+        latency += self.cfg.llc.latency;
+        if self.llc.probe(line) {
+            self.l2.fill(line);
+            self.fill_l1(line, instruction_side);
+            self.record(MemLevel::Llc, class);
+            return AccessOutcome {
+                latency,
+                served_by: MemLevel::Llc,
+            };
+        }
+
+        // DRAM.
+        latency += self.cfg.dram_latency;
+        self.llc.fill(line);
+        self.l2.fill(line);
+        self.fill_l1(line, instruction_side);
+        self.record(MemLevel::Dram, class);
+        AccessOutcome {
+            latency,
+            served_by: MemLevel::Dram,
+        }
+    }
+
+    fn fill_l1(&mut self, line: CacheLine, instruction_side: bool) {
+        if instruction_side {
+            self.l1i.fill(line);
+        } else {
+            self.l1d.fill(line);
+        }
+    }
+
+    fn record(&mut self, level: MemLevel, class: AccessClass) {
+        self.served[level as usize].bump(class);
+    }
+
+    /// Whether `line` is resident in the L1I (used by the front end to skip
+    /// redundant I-prefetches).
+    pub fn l1i_contains(&self, line: CacheLine) -> bool {
+        self.l1i.contains(line)
+    }
+
+    /// References served by `level`, broken down by class.
+    pub fn served_by(&self, level: MemLevel) -> LevelStats {
+        self.served[level as usize]
+    }
+
+    /// Sum of page-walk references (demand + prefetch) served by each level,
+    /// ordered `[L1D-or-L1I, L2, LLC, DRAM]` as Fig 16's analysis reports.
+    pub fn walk_refs_by_level(&self) -> [u64; 4] {
+        let s = |l: MemLevel| {
+            let st = self.served_by(l);
+            st.demand_walk + st.prefetch_walk
+        };
+        [
+            s(MemLevel::L1I) + s(MemLevel::L1D),
+            s(MemLevel::L2),
+            s(MemLevel::Llc),
+            s(MemLevel::Dram),
+        ]
+    }
+
+    /// Lines the L2 prefetcher has issued so far.
+    pub fn l2_prefetches_issued(&self) -> u64 {
+        self.l2_prefetcher.issued()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> MemoryHierarchy {
+        MemoryHierarchy::new(HierarchyConfig {
+            l1i: CacheConfig {
+                sets: 4,
+                ways: 2,
+                latency: 4,
+            },
+            l1d: CacheConfig {
+                sets: 4,
+                ways: 2,
+                latency: 4,
+            },
+            l2: CacheConfig {
+                sets: 16,
+                ways: 4,
+                latency: 8,
+            },
+            llc: CacheConfig {
+                sets: 64,
+                ways: 4,
+                latency: 10,
+            },
+            dram_latency: 120,
+            l2_prefetch: L2PrefetcherConfig::disabled(),
+        })
+    }
+
+    #[test]
+    fn cold_miss_goes_to_dram_and_fills_everything() {
+        let mut m = small();
+        let line = CacheLine::new(0x1000);
+        let out = m.access(line, AccessClass::Data);
+        assert_eq!(out.served_by, MemLevel::Dram);
+        assert_eq!(out.latency, 4 + 8 + 10 + 120);
+        let again = m.access(line, AccessClass::Data);
+        assert_eq!(again.served_by, MemLevel::L1D);
+        assert_eq!(again.latency, 4);
+    }
+
+    #[test]
+    fn instruction_and_data_paths_are_split_at_l1() {
+        let mut m = small();
+        let line = CacheLine::new(0x2000);
+        m.access(line, AccessClass::Data);
+        // Data fill does not populate L1I; an I-fetch hits at L2.
+        let out = m.access(line, AccessClass::IFetch);
+        assert_eq!(out.served_by, MemLevel::L2);
+        // ...and fills the L1I on the way back.
+        let out = m.access(line, AccessClass::IFetch);
+        assert_eq!(out.served_by, MemLevel::L1I);
+    }
+
+    #[test]
+    fn page_walks_enter_at_l1d() {
+        let mut m = small();
+        let line = CacheLine::new(0x3000);
+        m.access(line, AccessClass::PageWalk);
+        let out = m.access(line, AccessClass::Data);
+        assert_eq!(
+            out.served_by,
+            MemLevel::L1D,
+            "walk fills should be visible to loads"
+        );
+    }
+
+    #[test]
+    fn stats_attribute_by_class_and_level() {
+        let mut m = small();
+        let line = CacheLine::new(0x4000);
+        m.access(line, AccessClass::PrefetchWalk); // DRAM
+        m.access(line, AccessClass::PageWalk); // L1D
+        assert_eq!(m.served_by(MemLevel::Dram).prefetch_walk, 1);
+        assert_eq!(m.served_by(MemLevel::L1D).demand_walk, 1);
+        assert_eq!(m.walk_refs_by_level(), [1, 0, 0, 1]);
+    }
+
+    #[test]
+    fn l1i_demand_miss_accounting_ignores_prefetches() {
+        let mut m = small();
+        let line = CacheLine::new(0x5000);
+        m.access(line, AccessClass::IPrefetch);
+        assert_eq!(m.l1i_demand_accesses, 0);
+        let out = m.access(line, AccessClass::IFetch);
+        assert_eq!(
+            out.served_by,
+            MemLevel::L1I,
+            "prefetch should have filled L1I"
+        );
+        assert_eq!(m.l1i_demand_accesses, 1);
+        assert_eq!(m.l1i_demand_misses, 0);
+    }
+
+    #[test]
+    fn default_config_matches_table1() {
+        let cfg = HierarchyConfig::default();
+        assert_eq!(cfg.l1i.capacity_bytes(), 32 * 1024);
+        assert_eq!(cfg.l1d.capacity_bytes(), 32 * 1024);
+        assert_eq!(cfg.l2.capacity_bytes(), 512 * 1024);
+        assert_eq!(cfg.llc.capacity_bytes(), 2 * 1024 * 1024);
+        assert_eq!(cfg.l1i.ways, 8);
+        assert_eq!(cfg.llc.ways, 16);
+    }
+}

@@ -1,0 +1,122 @@
+//! Property-based tests for the cache hierarchy.
+
+use morrigan_mem::{AccessClass, Cache, CacheConfig, HierarchyConfig, MemLevel, MemoryHierarchy};
+use morrigan_types::CacheLine;
+use proptest::prelude::*;
+
+fn small_hierarchy() -> MemoryHierarchy {
+    MemoryHierarchy::new(HierarchyConfig {
+        l1i: CacheConfig {
+            sets: 4,
+            ways: 2,
+            latency: 4,
+        },
+        l1d: CacheConfig {
+            sets: 4,
+            ways: 2,
+            latency: 4,
+        },
+        l2: CacheConfig {
+            sets: 16,
+            ways: 4,
+            latency: 8,
+        },
+        llc: CacheConfig {
+            sets: 64,
+            ways: 4,
+            latency: 10,
+        },
+        dram_latency: 120,
+        l2_prefetch: morrigan_mem::L2PrefetcherConfig::disabled(),
+    })
+}
+
+proptest! {
+    /// Latency is exactly determined by the serving level.
+    #[test]
+    fn latency_matches_served_level(
+        lines in prop::collection::vec(0u64..512, 1..200),
+        classes in prop::collection::vec(0u8..3, 1..200)
+    ) {
+        let mut mem = small_hierarchy();
+        for (line, class) in lines.iter().zip(classes.iter().cycle()) {
+            let class = match class {
+                0 => AccessClass::IFetch,
+                1 => AccessClass::Data,
+                _ => AccessClass::PageWalk,
+            };
+            let out = mem.access(CacheLine::new(*line), class);
+            let l1 = 4;
+            let expected = match out.served_by {
+                MemLevel::L1I | MemLevel::L1D => l1,
+                MemLevel::L2 => l1 + 8,
+                MemLevel::Llc => l1 + 8 + 10,
+                MemLevel::Dram => l1 + 8 + 10 + 120,
+            };
+            prop_assert_eq!(out.latency, expected);
+        }
+    }
+
+    /// Repeating an access immediately always hits L1 (temporal locality
+    /// is never lost by the bookkeeping).
+    #[test]
+    fn immediate_rereference_hits_l1(lines in prop::collection::vec(0u64..4096, 1..100)) {
+        let mut mem = small_hierarchy();
+        for &line in &lines {
+            let line = CacheLine::new(line);
+            let _ = mem.access(line, AccessClass::Data);
+            let again = mem.access(line, AccessClass::Data);
+            prop_assert_eq!(again.served_by, MemLevel::L1D);
+        }
+    }
+
+    /// Served-by counters account for every access exactly once.
+    #[test]
+    fn served_counters_are_conserved(lines in prop::collection::vec(0u64..1024, 1..300)) {
+        let mut mem = small_hierarchy();
+        for &line in &lines {
+            let _ = mem.access(CacheLine::new(line), AccessClass::PageWalk);
+        }
+        let total: u64 = MemLevel::ALL
+            .iter()
+            .map(|&l| mem.served_by(l).demand_walk)
+            .sum();
+        prop_assert_eq!(total, lines.len() as u64);
+        prop_assert_eq!(mem.walk_refs_by_level().iter().sum::<u64>(), lines.len() as u64);
+    }
+
+    /// The standalone cache respects per-set associativity bounds under
+    /// arbitrary fill/invalidate interleavings.
+    #[test]
+    fn cache_set_bounds(ops in prop::collection::vec((0u64..256, any::<bool>()), 1..400)) {
+        let cfg = CacheConfig { sets: 8, ways: 2, latency: 1 };
+        let mut cache = Cache::new(cfg);
+        for &(line, invalidate) in &ops {
+            let line = CacheLine::new(line);
+            if invalidate {
+                cache.invalidate(line);
+                prop_assert!(!cache.contains(line));
+            } else {
+                cache.fill(line);
+                prop_assert!(cache.contains(line));
+            }
+            prop_assert!(cache.occupancy() <= 16);
+        }
+    }
+
+    /// A fill's victim is never the line just filled, and after eviction
+    /// the victim is gone.
+    #[test]
+    fn eviction_reports_are_accurate(lines in prop::collection::vec(0u64..64, 1..200)) {
+        let cfg = CacheConfig { sets: 2, ways: 2, latency: 1 };
+        let mut cache = Cache::new(cfg);
+        for &line in &lines {
+            let line = CacheLine::new(line);
+            if let Some(victim) = cache.fill(line) {
+                prop_assert_ne!(victim, line);
+                prop_assert!(!cache.contains(victim));
+            }
+            prop_assert!(cache.contains(line));
+        }
+    }
+}

@@ -1,0 +1,233 @@
+//! `stlbsim` — command-line driver for the simulator.
+//!
+//! ```text
+//! stlbsim [OPTIONS]
+//!
+//! --workload <seed|name>   QMM-like workload seed, or a trace file path
+//!                          ending in .mtrace (default: seed 1)
+//! --prefetcher <name>      none|sp|asp|dp|mp|morrigan|morrigan-mono
+//!                          (default: morrigan)
+//! --instructions <n>       measured instructions (default: 4000000)
+//! --warmup <n>             warmup instructions (default: instructions/3)
+//! --smt <seed>             colocate a second workload (different seed)
+//! --perfect-istlb          idealized instruction STLB
+//! --asap                   accelerate page walks (ASAP, §6.4)
+//! --fnl-mma                replace the next-line I-prefetcher by FNL+MMA
+//! --context-switch <n>     flush translation state every n instructions
+//! --record <path>          record the workload to a trace file and exit
+//! --baseline               also run the no-prefetching baseline and
+//!                          report the speedup
+//! ```
+
+use std::process::ExitCode;
+
+use morrigan::{Morrigan, MorriganConfig};
+use morrigan_baselines::{
+    ArbitraryStridePrefetcher, AspConfig, DistancePrefetcher, DpConfig, MarkovPrefetcher,
+    MorriganMono, MpConfig, SequentialPrefetcher,
+};
+use morrigan_sim::{IcachePrefetcherKind, Metrics, SimConfig, Simulator, SystemConfig};
+use morrigan_types::prefetcher::NullPrefetcher;
+use morrigan_types::TlbPrefetcher;
+use morrigan_workloads::{
+    InstructionStream, ServerWorkload, ServerWorkloadConfig, TraceReader, TraceWriter,
+};
+
+#[derive(Debug)]
+struct Options {
+    workload: String,
+    prefetcher: String,
+    instructions: u64,
+    warmup: Option<u64>,
+    smt: Option<u64>,
+    perfect_istlb: bool,
+    asap: bool,
+    fnl_mma: bool,
+    context_switch: Option<u64>,
+    record: Option<String>,
+    baseline: bool,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Self {
+            workload: "1".to_string(),
+            prefetcher: "morrigan".to_string(),
+            instructions: 4_000_000,
+            warmup: None,
+            smt: None,
+            perfect_istlb: false,
+            asap: false,
+            fnl_mma: false,
+            context_switch: None,
+            record: None,
+            baseline: false,
+        }
+    }
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match arg.as_str() {
+            "--workload" => opts.workload = value("--workload")?,
+            "--prefetcher" => opts.prefetcher = value("--prefetcher")?,
+            "--instructions" => {
+                opts.instructions = value("--instructions")?
+                    .parse()
+                    .map_err(|e| format!("--instructions: {e}"))?
+            }
+            "--warmup" => {
+                opts.warmup = Some(
+                    value("--warmup")?
+                        .parse()
+                        .map_err(|e| format!("--warmup: {e}"))?,
+                )
+            }
+            "--smt" => opts.smt = Some(value("--smt")?.parse().map_err(|e| format!("--smt: {e}"))?),
+            "--perfect-istlb" => opts.perfect_istlb = true,
+            "--asap" => opts.asap = true,
+            "--fnl-mma" => opts.fnl_mma = true,
+            "--context-switch" => {
+                opts.context_switch = Some(
+                    value("--context-switch")?
+                        .parse()
+                        .map_err(|e| format!("--context-switch: {e}"))?,
+                )
+            }
+            "--record" => opts.record = Some(value("--record")?),
+            "--baseline" => opts.baseline = true,
+            "--help" | "-h" => {
+                return Err("usage: see module docs (stlbsim --workload <seed> ...)".to_string())
+            }
+            other => return Err(format!("unknown option: {other}")),
+        }
+    }
+    Ok(opts)
+}
+
+fn build_prefetcher(name: &str) -> Result<Box<dyn TlbPrefetcher>, String> {
+    Ok(match name {
+        "none" => Box::new(NullPrefetcher),
+        "sp" => Box::new(SequentialPrefetcher::new()),
+        "asp" => Box::new(ArbitraryStridePrefetcher::new(AspConfig::original())),
+        "dp" => Box::new(DistancePrefetcher::new(DpConfig::original())),
+        "mp" => Box::new(MarkovPrefetcher::new(MpConfig::original())),
+        "morrigan" => Box::new(Morrigan::new(MorriganConfig::default())),
+        "morrigan-mono" => Box::new(MorriganMono::new()),
+        other => return Err(format!("unknown prefetcher: {other}")),
+    })
+}
+
+fn build_workload(spec: &str) -> Result<Box<dyn InstructionStream>, String> {
+    if spec.ends_with(".mtrace") {
+        let reader = TraceReader::open(spec).map_err(|e| format!("opening trace {spec}: {e}"))?;
+        return Ok(Box::new(reader));
+    }
+    let seed: u64 = spec
+        .parse()
+        .map_err(|_| format!("workload must be a seed or .mtrace path, got {spec}"))?;
+    Ok(Box::new(ServerWorkload::new(
+        ServerWorkloadConfig::qmm_like(format!("cli-{seed}"), seed),
+    )))
+}
+
+fn report(tag: &str, m: &Metrics) {
+    println!("--- {tag} ---");
+    println!("instructions        {}", m.instructions);
+    println!("cycles              {}", m.cycles);
+    println!("IPC                 {:.4}", m.ipc());
+    println!("iSTLB MPKI          {:.3}", m.istlb_mpki());
+    println!("I-TLB MPKI          {:.3}", m.itlb_mpki());
+    println!("dSTLB MPKI          {:.3}", m.dstlb_mpki());
+    println!("L1I MPKI            {:.3}", m.l1i_mpki());
+    println!(
+        "translation stalls  {:.2}% of cycles",
+        m.istlb_cycle_fraction() * 100.0
+    );
+    println!("miss coverage       {:.1}%", m.coverage() * 100.0);
+    println!("demand iwalk refs   {}", m.demand_instr_walk_refs());
+    println!("prefetch walk refs  {}", m.prefetch_walk_refs());
+    println!(
+        "mean iwalk latency  {:.1} cycles",
+        m.walker.mean_instr_walk_latency()
+    );
+}
+
+fn run() -> Result<(), String> {
+    let opts = parse_args()?;
+    let sim_cfg = SimConfig {
+        warmup_instructions: opts.warmup.unwrap_or(opts.instructions / 3),
+        measure_instructions: opts.instructions,
+    };
+
+    if let Some(path) = &opts.record {
+        let mut stream = build_workload(&opts.workload)?;
+        let mut writer = TraceWriter::create(path, stream.code_region(), stream.data_region())
+            .map_err(|e| format!("creating {path}: {e}"))?;
+        let total = sim_cfg.warmup_instructions + sim_cfg.measure_instructions;
+        writer
+            .record_from(stream.as_mut(), total)
+            .map_err(|e| format!("recording: {e}"))?;
+        writer.finish().map_err(|e| format!("flushing: {e}"))?;
+        println!("recorded {total} instructions to {path}");
+        return Ok(());
+    }
+
+    let mut system = SystemConfig::default();
+    system.mmu.perfect_istlb = opts.perfect_istlb;
+    system.mmu.walker.asap = opts.asap;
+    system.context_switch_interval = opts.context_switch;
+    if opts.fnl_mma {
+        system.icache_prefetcher = IcachePrefetcherKind::FnlMma {
+            translation_cost: true,
+        };
+    }
+
+    let build_sim = |prefetcher: Box<dyn TlbPrefetcher>| -> Result<Simulator, String> {
+        let first = build_workload(&opts.workload)?;
+        Ok(match opts.smt {
+            None => Simulator::new(system, first, prefetcher),
+            Some(seed) => {
+                let mut second = ServerWorkloadConfig::qmm_like(format!("cli-smt-{seed}"), seed);
+                second.code_base = morrigan_types::VirtPage::new(second.code_base.raw() | 1 << 30);
+                second.data_base = morrigan_types::VirtPage::new(second.data_base.raw() | 1 << 30);
+                Simulator::new_smt(
+                    system,
+                    vec![first, Box::new(ServerWorkload::new(second))],
+                    prefetcher,
+                )
+            }
+        })
+    };
+
+    let mut sim = build_sim(build_prefetcher(&opts.prefetcher)?)?;
+    let metrics = sim.run(sim_cfg);
+    report(&opts.prefetcher, &metrics);
+
+    if opts.baseline && opts.prefetcher != "none" {
+        let mut base_sim = build_sim(Box::new(NullPrefetcher))?;
+        let base = base_sim.run(sim_cfg);
+        report("baseline", &base);
+        println!(
+            "\nspeedup over baseline: {:+.2}%",
+            (metrics.speedup_over(&base) - 1.0) * 100.0
+        );
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("stlbsim: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

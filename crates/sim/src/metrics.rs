@@ -1,0 +1,158 @@
+//! Measurement-window metrics reported by the simulator.
+
+use morrigan_mem::LevelStats;
+use morrigan_types::stats::mpki;
+use morrigan_vm::{MmuStats, WalkerStats};
+use serde::{Deserialize, Serialize};
+
+/// Everything measured over the measurement window of one run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct Metrics {
+    /// Instructions retired in the window.
+    pub instructions: u64,
+    /// Cycles elapsed in the window.
+    pub cycles: u64,
+    /// Cycles the front end spent stalled on instruction address
+    /// translation beyond the 1-cycle I-TLB hit path (the Fig 4 metric).
+    pub istlb_stall_cycles: u64,
+    /// Cycles the front end spent stalled on instruction cache misses.
+    pub icache_stall_cycles: u64,
+    /// MMU counters over the window.
+    pub mmu: MmuStats,
+    /// Walker counters over the window.
+    pub walker: WalkerStats,
+    /// Demand L1I misses over the window.
+    pub l1i_misses: u64,
+    /// Page-walk references served by `[L1, L2, LLC, DRAM]`.
+    pub walk_refs_by_level: [u64; 4],
+    /// Hierarchy references served per level (instruction side), for MPKI
+    /// contrasts.
+    pub l1i_served: LevelStats,
+    /// I-cache prefetch lines issued by the front-end prefetcher.
+    pub iprefetch_lines: u64,
+    /// I-cache prefetch page-crossings that found their translation ready
+    /// (TLB or PB) — the §6.5 synergy metric.
+    pub iprefetch_translation_ready: u64,
+    /// I-cache prefetch page-crossings that required a prefetch page walk.
+    pub iprefetch_translation_walks: u64,
+}
+
+impl Metrics {
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cycles as f64
+        }
+    }
+
+    /// Speedup of `self` over `baseline` (same workload, same window
+    /// length): ratio of IPCs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the baseline has zero IPC.
+    pub fn speedup_over(&self, baseline: &Metrics) -> f64 {
+        let base = baseline.ipc();
+        assert!(base > 0.0, "baseline IPC must be positive");
+        self.ipc() / base
+    }
+
+    /// Demand iSTLB misses per kilo-instruction.
+    pub fn istlb_mpki(&self) -> f64 {
+        mpki(self.mmu.istlb_misses, self.instructions)
+    }
+
+    /// I-TLB misses per kilo-instruction.
+    pub fn itlb_mpki(&self) -> f64 {
+        mpki(self.mmu.itlb_misses, self.instructions)
+    }
+
+    /// dSTLB misses per kilo-instruction.
+    pub fn dstlb_mpki(&self) -> f64 {
+        mpki(self.mmu.dstlb_misses, self.instructions)
+    }
+
+    /// Demand L1I misses per kilo-instruction.
+    pub fn l1i_mpki(&self) -> f64 {
+        mpki(self.l1i_misses, self.instructions)
+    }
+
+    /// Fraction of iSTLB misses covered by the prefetch buffer.
+    pub fn coverage(&self) -> f64 {
+        self.mmu.coverage()
+    }
+
+    /// Fraction of execution cycles spent on instruction address
+    /// translation (Fig 4; VTune's bottleneck threshold is 5 %).
+    pub fn istlb_cycle_fraction(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.istlb_stall_cycles as f64 / self.cycles as f64
+        }
+    }
+
+    /// Memory references of demand page walks for instructions (the
+    /// Fig 16 numerator).
+    pub fn demand_instr_walk_refs(&self) -> u64 {
+        self.walker.demand_instr_refs
+    }
+
+    /// Memory references of prefetch page walks.
+    pub fn prefetch_walk_refs(&self) -> u64 {
+        self.walker.prefetch_refs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ipc_and_speedup() {
+        let a = Metrics {
+            instructions: 1000,
+            cycles: 500,
+            ..Metrics::default()
+        };
+        let b = Metrics {
+            instructions: 1000,
+            cycles: 1000,
+            ..Metrics::default()
+        };
+        assert!((a.ipc() - 2.0).abs() < 1e-12);
+        assert!((a.speedup_over(&b) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_cycles_is_zero_ipc() {
+        assert_eq!(Metrics::default().ipc(), 0.0);
+        assert_eq!(Metrics::default().istlb_cycle_fraction(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "baseline IPC")]
+    fn speedup_over_dead_baseline_panics() {
+        let a = Metrics {
+            instructions: 10,
+            cycles: 10,
+            ..Metrics::default()
+        };
+        let _ = a.speedup_over(&Metrics::default());
+    }
+
+    #[test]
+    fn mpki_wiring() {
+        let mut m = Metrics {
+            instructions: 1_000_000,
+            cycles: 1,
+            ..Metrics::default()
+        };
+        m.mmu.istlb_misses = 1500;
+        m.l1i_misses = 12_000;
+        assert!((m.istlb_mpki() - 1.5).abs() < 1e-12);
+        assert!((m.l1i_mpki() - 12.0).abs() < 1e-12);
+    }
+}

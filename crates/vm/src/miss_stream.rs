@@ -1,0 +1,265 @@
+//! Instruction-STLB miss-stream characterization (the probes behind
+//! Figures 5–8 of the paper).
+//!
+//! The MMU feeds every iSTLB miss into this collector when
+//! `collect_stream_stats` is enabled; the experiment harness then extracts
+//! the delta CDF (Fig 5), the per-page miss skew (Fig 6), the successor
+//! count breakdown (Fig 7), and the successor reference probabilities of
+//! the hottest pages (Fig 8).
+
+use std::collections::HashMap;
+
+use morrigan_types::VirtPage;
+
+/// Collects the raw iSTLB miss stream statistics.
+#[derive(Debug, Clone, Default)]
+pub struct MissStreamStats {
+    /// Total iSTLB misses observed.
+    pub total_misses: u64,
+    /// Histogram of absolute deltas between consecutive miss pages.
+    pub delta_hist: HashMap<u64, u64>,
+    /// Misses per page.
+    pub page_hist: HashMap<VirtPage, u64>,
+    /// Successor frequencies per page (page Y follows page X in the miss
+    /// stream; footnote 2 of the paper).
+    pub successors: HashMap<VirtPage, HashMap<VirtPage, u64>>,
+    prev: Option<VirtPage>,
+}
+
+impl MissStreamStats {
+    /// An empty collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one iSTLB miss for `vpn`.
+    pub fn record(&mut self, vpn: VirtPage) {
+        self.total_misses += 1;
+        *self.page_hist.entry(vpn).or_insert(0) += 1;
+        if let Some(prev) = self.prev {
+            let delta = vpn.distance_from(prev).unsigned_abs();
+            *self.delta_hist.entry(delta).or_insert(0) += 1;
+            *self
+                .successors
+                .entry(prev)
+                .or_default()
+                .entry(vpn)
+                .or_insert(0) += 1;
+        }
+        self.prev = Some(vpn);
+    }
+
+    /// Cumulative fraction of deltas with absolute value `<= bound`, for
+    /// each bound in `bounds` (Fig 5's accumulative distribution).
+    pub fn delta_cdf(&self, bounds: &[u64]) -> Vec<f64> {
+        let total: u64 = self.delta_hist.values().sum();
+        if total == 0 {
+            return vec![0.0; bounds.len()];
+        }
+        bounds
+            .iter()
+            .map(|&b| {
+                let below: u64 = self
+                    .delta_hist
+                    .iter()
+                    .filter(|(&d, _)| d <= b)
+                    .map(|(_, &c)| c)
+                    .sum();
+                below as f64 / total as f64
+            })
+            .collect()
+    }
+
+    /// Pages sorted by miss count, descending (Fig 6's x-axis order).
+    pub fn pages_by_miss_count(&self) -> Vec<(VirtPage, u64)> {
+        let mut v: Vec<_> = self.page_hist.iter().map(|(&p, &c)| (p, c)).collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        v
+    }
+
+    /// Number of hottest pages that together account for `fraction` of all
+    /// misses (the paper: 400–800 pages cause 90 % of iSTLB misses).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fraction` is outside `(0, 1]`.
+    pub fn pages_covering(&self, fraction: f64) -> usize {
+        assert!(
+            fraction > 0.0 && fraction <= 1.0,
+            "fraction must be in (0, 1]"
+        );
+        let target = (self.total_misses as f64 * fraction).ceil() as u64;
+        let mut acc = 0;
+        for (i, (_, count)) in self.pages_by_miss_count().iter().enumerate() {
+            acc += count;
+            if acc >= target {
+                return i + 1;
+            }
+        }
+        self.page_hist.len()
+    }
+
+    /// Breakdown of pages by successor count into the paper's Fig 7
+    /// buckets: exactly 1, exactly 2, 3–4, 5–8, and more than 8 successors.
+    /// Returns fractions of all pages that have at least one successor.
+    pub fn successor_breakdown(&self) -> [f64; 5] {
+        let mut buckets = [0u64; 5];
+        for succ in self.successors.values() {
+            let n = succ.len();
+            let idx = match n {
+                0 => continue,
+                1 => 0,
+                2 => 1,
+                3..=4 => 2,
+                5..=8 => 3,
+                _ => 4,
+            };
+            buckets[idx] += 1;
+        }
+        let total: u64 = buckets.iter().sum();
+        if total == 0 {
+            return [0.0; 5];
+        }
+        buckets.map(|b| b as f64 / total as f64)
+    }
+
+    /// For the `top_n` pages with the most misses, the average probability
+    /// that the next miss goes to the page's most frequent successor, the
+    /// second most frequent, the third, and anything else (Fig 8's
+    /// 51/21/11/17 split).
+    pub fn successor_probabilities(&self, top_n: usize) -> [f64; 4] {
+        let hot: Vec<VirtPage> = self
+            .pages_by_miss_count()
+            .into_iter()
+            .take(top_n)
+            .map(|(p, _)| p)
+            .collect();
+        let mut sums = [0.0f64; 4];
+        let mut counted = 0usize;
+        for page in hot {
+            let Some(succ) = self.successors.get(&page) else {
+                continue;
+            };
+            let total: u64 = succ.values().sum();
+            if total == 0 {
+                continue;
+            }
+            let mut counts: Vec<u64> = succ.values().copied().collect();
+            counts.sort_unstable_by(|a, b| b.cmp(a));
+            let first = counts.first().copied().unwrap_or(0);
+            let second = counts.get(1).copied().unwrap_or(0);
+            let third = counts.get(2).copied().unwrap_or(0);
+            let rest = total - first - second - third;
+            sums[0] += first as f64 / total as f64;
+            sums[1] += second as f64 / total as f64;
+            sums[2] += third as f64 / total as f64;
+            sums[3] += rest as f64 / total as f64;
+            counted += 1;
+        }
+        if counted == 0 {
+            return [0.0; 4];
+        }
+        sums.map(|s| s / counted as f64)
+    }
+
+    /// Resets the "previous miss" link without clearing histograms (used at
+    /// the warmup/measurement boundary so a stale link does not create a
+    /// bogus delta).
+    pub fn break_chain(&mut self) {
+        self.prev = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(v: u64) -> VirtPage {
+        VirtPage::new(v)
+    }
+
+    #[test]
+    fn records_deltas_and_pages() {
+        let mut s = MissStreamStats::new();
+        s.record(p(10));
+        s.record(p(11)); // delta 1
+        s.record(p(5)); // delta 6
+        assert_eq!(s.total_misses, 3);
+        assert_eq!(s.delta_hist[&1], 1);
+        assert_eq!(s.delta_hist[&6], 1);
+        assert_eq!(s.page_hist[&p(10)], 1);
+    }
+
+    #[test]
+    fn delta_cdf_is_monotonic() {
+        let mut s = MissStreamStats::new();
+        for (a, b) in [(0, 1), (1, 3), (3, 100), (100, 101)] {
+            s.record(p(a));
+            s.record(p(b));
+        }
+        let cdf = s.delta_cdf(&[1, 10, 1000]);
+        assert!(cdf.windows(2).all(|w| w[0] <= w[1]));
+        assert!((cdf[2] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pages_covering_counts_hot_pages() {
+        let mut s = MissStreamStats::new();
+        // Page 1 gets 9 misses, page 2 gets 1.
+        for _ in 0..9 {
+            s.record(p(1));
+        }
+        s.record(p(2));
+        assert_eq!(s.pages_covering(0.9), 1);
+        assert_eq!(s.pages_covering(1.0), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction")]
+    fn pages_covering_rejects_zero() {
+        MissStreamStats::new().pages_covering(0.0);
+    }
+
+    #[test]
+    fn successor_breakdown_buckets() {
+        let mut s = MissStreamStats::new();
+        // Page 1 → one successor (2). Page 3 → successors {4, 5}.
+        for seq in [[1u64, 2], [3, 4], [3, 5]] {
+            s.break_chain();
+            s.record(p(seq[0]));
+            s.record(p(seq[1]));
+        }
+        let b = s.successor_breakdown();
+        // Pages with successors: 1 (1 succ), 3 (2 succ), 2→3? chain broken.
+        assert!((b[0] - 0.5).abs() < 1e-12, "{b:?}");
+        assert!((b[1] - 0.5).abs() < 1e-12, "{b:?}");
+    }
+
+    #[test]
+    fn successor_probabilities_ranks_by_frequency() {
+        let mut s = MissStreamStats::new();
+        // From page 1: go to 2 six times, to 3 three times, to 4 once.
+        for (succ, times) in [(2u64, 6), (3, 3), (4, 1)] {
+            for _ in 0..times {
+                s.break_chain();
+                s.record(p(1));
+                s.record(p(succ));
+            }
+        }
+        let probs = s.successor_probabilities(1);
+        assert!((probs[0] - 0.6).abs() < 1e-12);
+        assert!((probs[1] - 0.3).abs() < 1e-12);
+        assert!((probs[2] - 0.1).abs() < 1e-12);
+        assert!(probs[3].abs() < 1e-12);
+    }
+
+    #[test]
+    fn break_chain_prevents_cross_boundary_delta() {
+        let mut s = MissStreamStats::new();
+        s.record(p(1));
+        s.break_chain();
+        s.record(p(1000));
+        assert!(s.delta_hist.is_empty());
+        assert!(s.successors.is_empty());
+    }
+}

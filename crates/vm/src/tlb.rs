@@ -1,0 +1,333 @@
+//! A generic set-associative TLB keyed by virtual page number.
+
+use morrigan_types::{PhysPage, VirtPage};
+use serde::{Deserialize, Serialize};
+
+/// Geometry and latency of one TLB level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TlbConfig {
+    /// Total entries; must be divisible by `ways` into a power-of-two set
+    /// count.
+    pub entries: usize,
+    /// Associativity.
+    pub ways: usize,
+    /// Lookup latency in cycles.
+    pub latency: u64,
+}
+
+impl TlbConfig {
+    /// L1 I-TLB per Table 1: 128-entry, 8-way, 1-cycle.
+    pub fn itlb() -> Self {
+        Self {
+            entries: 128,
+            ways: 8,
+            latency: 1,
+        }
+    }
+
+    /// L1 D-TLB per Table 1: 64-entry, 4-way, 1-cycle.
+    pub fn dtlb() -> Self {
+        Self {
+            entries: 64,
+            ways: 4,
+            latency: 1,
+        }
+    }
+
+    /// Shared STLB per Table 1: 1536-entry, 6-way, 8-cycle.
+    pub fn stlb() -> Self {
+        Self {
+            entries: 1536,
+            ways: 6,
+            latency: 8,
+        }
+    }
+
+    fn sets(&self) -> usize {
+        self.entries / self.ways
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct TlbWay {
+    vpn: VirtPage,
+    pfn: PhysPage,
+    /// Whether the entry translates an instruction page (for contention
+    /// accounting: instruction entries evicting data entries and vice
+    /// versa, §1).
+    instruction: bool,
+    stamp: u64,
+    valid: bool,
+}
+
+/// A set-associative, LRU TLB.
+///
+/// # Examples
+///
+/// ```
+/// use morrigan_types::{PhysPage, VirtPage};
+/// use morrigan_vm::{Tlb, TlbConfig};
+///
+/// let mut stlb = Tlb::new(TlbConfig::stlb());
+/// let (vpn, pfn) = (VirtPage::new(0x400), PhysPage::new(0x900));
+/// assert!(stlb.lookup(vpn).is_none());
+/// stlb.insert(vpn, pfn, true);
+/// assert_eq!(stlb.lookup(vpn), Some(pfn));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Tlb {
+    cfg: TlbConfig,
+    ways: Vec<TlbWay>,
+    tick: u64,
+    /// Valid instruction entries evicted by data fills (contention metric).
+    pub instr_evicted_by_data: u64,
+    /// Valid data entries evicted by instruction fills (contention metric).
+    pub data_evicted_by_instr: u64,
+}
+
+impl Tlb {
+    /// Creates an empty TLB.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not divisible by `ways` or the set count is
+    /// not a power of two.
+    pub fn new(cfg: TlbConfig) -> Self {
+        assert!(
+            cfg.ways > 0 && cfg.entries.is_multiple_of(cfg.ways),
+            "entries must divide into ways"
+        );
+        assert!(
+            cfg.sets().is_power_of_two(),
+            "set count must be a power of two"
+        );
+        Self {
+            cfg,
+            ways: vec![
+                TlbWay {
+                    vpn: VirtPage::new(0),
+                    pfn: PhysPage::new(0),
+                    instruction: false,
+                    stamp: 0,
+                    valid: false,
+                };
+                cfg.entries
+            ],
+            tick: 0,
+            instr_evicted_by_data: 0,
+            data_evicted_by_instr: 0,
+        }
+    }
+
+    /// This TLB's configuration.
+    pub fn config(&self) -> &TlbConfig {
+        &self.cfg
+    }
+
+    #[inline]
+    fn set_range(&self, vpn: VirtPage) -> std::ops::Range<usize> {
+        let set = (vpn.raw() as usize) & (self.cfg.sets() - 1);
+        let start = set * self.cfg.ways;
+        start..start + self.cfg.ways
+    }
+
+    /// Looks up `vpn`, promoting on hit; returns the translation.
+    pub fn lookup(&mut self, vpn: VirtPage) -> Option<PhysPage> {
+        self.tick += 1;
+        let tick = self.tick;
+        let range = self.set_range(vpn);
+        for way in &mut self.ways[range] {
+            if way.valid && way.vpn == vpn {
+                way.stamp = tick;
+                return Some(way.pfn);
+            }
+        }
+        None
+    }
+
+    /// Whether `vpn` is resident, without disturbing LRU state.
+    pub fn contains(&self, vpn: VirtPage) -> bool {
+        self.ways[self.set_range(vpn)]
+            .iter()
+            .any(|w| w.valid && w.vpn == vpn)
+    }
+
+    /// Installs a translation as MRU; returns the evicted VPN, if any.
+    ///
+    /// `instruction` tags the entry for cross-class contention accounting.
+    pub fn insert(&mut self, vpn: VirtPage, pfn: PhysPage, instruction: bool) -> Option<VirtPage> {
+        self.tick += 1;
+        let tick = self.tick;
+        let range = self.set_range(vpn);
+        for way in &mut self.ways[range.clone()] {
+            if way.valid && way.vpn == vpn {
+                way.stamp = tick;
+                way.pfn = pfn;
+                way.instruction = instruction;
+                return None;
+            }
+        }
+        for way in &mut self.ways[range.clone()] {
+            if !way.valid {
+                *way = TlbWay {
+                    vpn,
+                    pfn,
+                    instruction,
+                    stamp: tick,
+                    valid: true,
+                };
+                return None;
+            }
+        }
+        let victim_idx = {
+            let set = &self.ways[range.clone()];
+            let (i, _) = set
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, w)| w.stamp)
+                .expect("non-empty set");
+            range.start + i
+        };
+        let victim = self.ways[victim_idx];
+        if victim.instruction && !instruction {
+            self.instr_evicted_by_data += 1;
+        } else if !victim.instruction && instruction {
+            self.data_evicted_by_instr += 1;
+        }
+        self.ways[victim_idx] = TlbWay {
+            vpn,
+            pfn,
+            instruction,
+            stamp: tick,
+            valid: true,
+        };
+        Some(victim.vpn)
+    }
+
+    /// Removes a translation (TLB shootdown); returns whether it was present.
+    pub fn invalidate(&mut self, vpn: VirtPage) -> bool {
+        let range = self.set_range(vpn);
+        for way in &mut self.ways[range] {
+            if way.valid && way.vpn == vpn {
+                way.valid = false;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Empties the TLB (context switch).
+    pub fn flush(&mut self) {
+        for way in &mut self.ways {
+            way.valid = false;
+        }
+    }
+
+    /// Number of valid entries.
+    pub fn occupancy(&self) -> usize {
+        self.ways.iter().filter(|w| w.valid).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Tlb {
+        Tlb::new(TlbConfig {
+            entries: 4,
+            ways: 2,
+            latency: 1,
+        })
+    }
+
+    fn pfn(i: u64) -> PhysPage {
+        PhysPage::new(0x1000 + i)
+    }
+
+    /// VPNs mapping to set 0 of a 2-set TLB.
+    fn set0(i: u64) -> VirtPage {
+        VirtPage::new(i * 2)
+    }
+
+    #[test]
+    fn insert_then_lookup() {
+        let mut tlb = tiny();
+        tlb.insert(set0(1), pfn(1), true);
+        assert_eq!(tlb.lookup(set0(1)), Some(pfn(1)));
+        assert_eq!(tlb.lookup(set0(2)), None);
+    }
+
+    #[test]
+    fn lru_within_set() {
+        let mut tlb = tiny();
+        tlb.insert(set0(1), pfn(1), true);
+        tlb.insert(set0(2), pfn(2), true);
+        tlb.lookup(set0(1));
+        let evicted = tlb.insert(set0(3), pfn(3), true);
+        assert_eq!(evicted, Some(set0(2)));
+        assert!(tlb.contains(set0(1)));
+    }
+
+    #[test]
+    fn cross_class_eviction_counters() {
+        let mut tlb = tiny();
+        tlb.insert(set0(1), pfn(1), true); // instruction
+        tlb.insert(set0(2), pfn(2), true);
+        tlb.insert(set0(3), pfn(3), false); // data evicts instruction
+        assert_eq!(tlb.instr_evicted_by_data, 1);
+        assert_eq!(tlb.data_evicted_by_instr, 0);
+        tlb.insert(set0(4), pfn(4), true); // instruction evicts... set0(2)(instr) or set0(3)(data)?
+                                           // set0(2) was older than set0(3), but set0(2) was evicted already? No:
+                                           // set 0 holds {2,3} now; LRU is 2 (instr), same class, no counter.
+        assert_eq!(tlb.data_evicted_by_instr, 0);
+        tlb.insert(set0(5), pfn(5), true); // evicts set0(3) (data) with instr
+        assert_eq!(tlb.data_evicted_by_instr, 1);
+    }
+
+    #[test]
+    fn reinsert_updates_translation() {
+        let mut tlb = tiny();
+        tlb.insert(set0(1), pfn(1), true);
+        tlb.insert(set0(1), pfn(9), false);
+        assert_eq!(tlb.lookup(set0(1)), Some(pfn(9)));
+        assert_eq!(tlb.occupancy(), 1);
+    }
+
+    #[test]
+    fn invalidate_and_flush() {
+        let mut tlb = tiny();
+        tlb.insert(set0(1), pfn(1), true);
+        assert!(tlb.invalidate(set0(1)));
+        assert!(!tlb.invalidate(set0(1)));
+        tlb.insert(set0(1), pfn(1), true);
+        tlb.insert(VirtPage::new(1), pfn(2), true);
+        tlb.flush();
+        assert_eq!(tlb.occupancy(), 0);
+    }
+
+    #[test]
+    fn table1_presets() {
+        assert_eq!(TlbConfig::itlb().entries, 128);
+        assert_eq!(TlbConfig::itlb().ways, 8);
+        assert_eq!(TlbConfig::dtlb().entries, 64);
+        assert_eq!(TlbConfig::dtlb().ways, 4);
+        assert_eq!(TlbConfig::stlb().entries, 1536);
+        assert_eq!(TlbConfig::stlb().ways, 6);
+        assert_eq!(TlbConfig::stlb().latency, 8);
+        // All presets must construct.
+        let _ = Tlb::new(TlbConfig::itlb());
+        let _ = Tlb::new(TlbConfig::dtlb());
+        let _ = Tlb::new(TlbConfig::stlb());
+    }
+
+    #[test]
+    fn contains_does_not_promote() {
+        let mut tlb = tiny();
+        tlb.insert(set0(1), pfn(1), true);
+        tlb.insert(set0(2), pfn(2), true);
+        assert!(tlb.contains(set0(1)));
+        let evicted = tlb.insert(set0(3), pfn(3), true);
+        assert_eq!(evicted, Some(set0(1)), "contains() must not refresh LRU");
+    }
+}

@@ -1,0 +1,504 @@
+//! The x86 page-table walker: variable-latency, variable-reference-count
+//! walks through the cache hierarchy, with PSC filtering and a shared pool
+//! of walk slots that demand and prefetch walks contend for.
+//!
+//! The port model is what makes prefetching *cost* something: a prefetch
+//! walk occupies a walk slot until it completes, so a burst of prefetch
+//! walks delays subsequent demand walks (the effect behind Fig 10's
+//! FNL+MMA degradation). Per Table 1 there are 4 concurrent walks (the
+//! STLB's MSHR depth) and one walk can be initiated per cycle.
+
+use morrigan_mem::{AccessClass, MemoryHierarchy};
+use morrigan_types::{PhysPage, VirtPage};
+use serde::{Deserialize, Serialize};
+
+use crate::page_table::PageTable;
+use crate::psc::{PagingStructureCaches, PscConfig};
+
+/// Who requested a walk; selects accounting buckets and access class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum WalkKind {
+    /// A demand walk triggered by an instruction STLB miss (critical path).
+    DemandInstruction,
+    /// A demand walk triggered by a data STLB miss.
+    DemandData,
+    /// A background prefetch walk.
+    Prefetch,
+}
+
+impl WalkKind {
+    fn access_class(self) -> AccessClass {
+        match self {
+            WalkKind::DemandInstruction | WalkKind::DemandData => AccessClass::PageWalk,
+            WalkKind::Prefetch => AccessClass::PrefetchWalk,
+        }
+    }
+}
+
+/// Walker configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WalkerConfig {
+    /// Concurrent walks in flight (Table 1: 4-entry TLB MSHR).
+    pub concurrent_walks: usize,
+    /// Paging-structure cache geometry.
+    pub psc: PscConfig,
+    /// ASAP mode (§6.4): deeper page-table levels are prefetched so the
+    /// remaining references overlap — walk memory time becomes the *max*
+    /// of the reference latencies instead of their sum.
+    pub asap: bool,
+}
+
+impl Default for WalkerConfig {
+    fn default() -> Self {
+        Self {
+            concurrent_walks: 4,
+            psc: PscConfig::default(),
+            asap: false,
+        }
+    }
+}
+
+/// A completed walk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WalkResult {
+    /// Cycles from the request (`now`) to completion, including time spent
+    /// queueing for a free walk slot.
+    pub latency: u64,
+    /// Page-table memory references performed (1–4 depending on PSC hits).
+    pub memory_refs: u32,
+    /// The fetched translation.
+    pub pfn: PhysPage,
+    /// Absolute completion cycle.
+    pub completed_at: u64,
+}
+
+/// Walk and reference counters, split by [`WalkKind`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WalkerStats {
+    /// Demand walks for instruction misses.
+    pub demand_instr_walks: u64,
+    /// Memory references of demand instruction walks.
+    pub demand_instr_refs: u64,
+    /// Summed latency of demand instruction walks (for mean latency).
+    pub demand_instr_latency: u64,
+    /// Demand walks for data misses.
+    pub demand_data_walks: u64,
+    /// Memory references of demand data walks.
+    pub demand_data_refs: u64,
+    /// Summed latency of demand data walks.
+    pub demand_data_latency: u64,
+    /// Prefetch walks performed.
+    pub prefetch_walks: u64,
+    /// Memory references of prefetch walks.
+    pub prefetch_refs: u64,
+    /// Prefetch walks suppressed because the target page was unmapped
+    /// (faulting prefetches are not permitted, §2.1).
+    pub faults_suppressed: u64,
+}
+
+impl std::ops::Sub for WalkerStats {
+    type Output = WalkerStats;
+
+    /// Field-wise difference, used to isolate the measurement window from
+    /// warmup (`end_snapshot - start_snapshot`).
+    fn sub(self, rhs: WalkerStats) -> WalkerStats {
+        WalkerStats {
+            demand_instr_walks: self.demand_instr_walks - rhs.demand_instr_walks,
+            demand_instr_refs: self.demand_instr_refs - rhs.demand_instr_refs,
+            demand_instr_latency: self.demand_instr_latency - rhs.demand_instr_latency,
+            demand_data_walks: self.demand_data_walks - rhs.demand_data_walks,
+            demand_data_refs: self.demand_data_refs - rhs.demand_data_refs,
+            demand_data_latency: self.demand_data_latency - rhs.demand_data_latency,
+            prefetch_walks: self.prefetch_walks - rhs.prefetch_walks,
+            prefetch_refs: self.prefetch_refs - rhs.prefetch_refs,
+            faults_suppressed: self.faults_suppressed - rhs.faults_suppressed,
+        }
+    }
+}
+
+impl WalkerStats {
+    /// Mean latency of demand instruction walks (the paper's 69-cycle
+    /// iSTLB walk figure, §3.2).
+    pub fn mean_instr_walk_latency(&self) -> f64 {
+        if self.demand_instr_walks == 0 {
+            0.0
+        } else {
+            self.demand_instr_latency as f64 / self.demand_instr_walks as f64
+        }
+    }
+
+    /// Mean latency of demand data walks.
+    pub fn mean_data_walk_latency(&self) -> f64 {
+        if self.demand_data_walks == 0 {
+            0.0
+        } else {
+            self.demand_data_latency as f64 / self.demand_data_walks as f64
+        }
+    }
+}
+
+/// The page-table walker.
+#[derive(Debug, Clone)]
+pub struct Walker {
+    cfg: WalkerConfig,
+    psc: PagingStructureCaches,
+    /// Busy-until cycle per walk slot.
+    slots: Vec<u64>,
+    /// Cycle of the most recent walk initiation (1 initiation per cycle).
+    last_start: u64,
+    /// Counters.
+    pub stats: WalkerStats,
+}
+
+impl Walker {
+    /// Creates an idle walker.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `concurrent_walks` is zero.
+    pub fn new(cfg: WalkerConfig) -> Self {
+        assert!(cfg.concurrent_walks > 0, "walker needs at least one slot");
+        Self {
+            psc: PagingStructureCaches::new(cfg.psc),
+            slots: vec![0; cfg.concurrent_walks],
+            last_start: 0,
+            cfg,
+            stats: WalkerStats::default(),
+        }
+    }
+
+    /// This walker's configuration.
+    pub fn config(&self) -> &WalkerConfig {
+        &self.cfg
+    }
+
+    /// Read access to the PSCs (hit-rate reporting).
+    pub fn psc(&self) -> &PagingStructureCaches {
+        &self.psc
+    }
+
+    /// Enables or disables ASAP walk acceleration at run time.
+    pub fn set_asap(&mut self, asap: bool) {
+        self.cfg.asap = asap;
+    }
+
+    /// Performs a walk for `vpn` requested at cycle `now`.
+    ///
+    /// Returns `None` when `vpn` is unmapped: for a prefetch the request is
+    /// suppressed (non-faulting prefetches only); a demand walk of an
+    /// unmapped page would be a page fault, which the workloads never
+    /// trigger — it is reported as `None` and the caller treats it as a
+    /// simulator bug.
+    pub fn walk(
+        &mut self,
+        pt: &PageTable,
+        mem: &mut MemoryHierarchy,
+        vpn: VirtPage,
+        kind: WalkKind,
+        now: u64,
+    ) -> Option<WalkResult> {
+        let Some(pfn) = pt.translate(vpn) else {
+            if kind == WalkKind::Prefetch {
+                self.stats.faults_suppressed += 1;
+            }
+            return None;
+        };
+
+        // Acquire the earliest-free walk slot; initiation rate 1/cycle.
+        // Demand walks are prioritized: slot 0 is reserved for them, so a
+        // burst of background prefetch walks can never stall a demand walk
+        // behind the whole pool (prefetches contend only for the
+        // remaining slots).
+        let first_slot = if kind == WalkKind::Prefetch && self.slots.len() > 1 {
+            1
+        } else {
+            0
+        };
+        let (slot_idx, slot_free) = self
+            .slots
+            .iter()
+            .copied()
+            .enumerate()
+            .skip(first_slot)
+            .min_by_key(|&(_, busy)| busy)
+            .expect("walker has at least one slot");
+        let start = now.max(slot_free).max(self.last_start + 1);
+        self.last_start = start;
+
+        // PSC lookup decides how many references remain.
+        let hit = self.psc.lookup(vpn);
+        let steps = pt.walk_steps(vpn);
+        let remaining = &steps[hit.first_step()..];
+
+        let mut serial = 0u64;
+        let mut parallel_max = 0u64;
+        for step in remaining {
+            let out = mem.access(step.pte_addr.cache_line(), kind.access_class());
+            serial += out.latency;
+            parallel_max = parallel_max.max(out.latency);
+        }
+        // ASAP overlaps the serialized references (it prefetched the deeper
+        // levels), so the memory time collapses to the slowest reference.
+        let memory_time = if self.cfg.asap { parallel_max } else { serial };
+        let walk_time = self.cfg.psc.latency + memory_time;
+        let completed_at = start + walk_time;
+        self.slots[slot_idx] = completed_at;
+        self.psc.fill(vpn);
+
+        let latency = completed_at - now;
+        let refs = remaining.len() as u64;
+        match kind {
+            WalkKind::DemandInstruction => {
+                self.stats.demand_instr_walks += 1;
+                self.stats.demand_instr_refs += refs;
+                self.stats.demand_instr_latency += latency;
+            }
+            WalkKind::DemandData => {
+                self.stats.demand_data_walks += 1;
+                self.stats.demand_data_refs += refs;
+                self.stats.demand_data_latency += latency;
+            }
+            WalkKind::Prefetch => {
+                self.stats.prefetch_walks += 1;
+                self.stats.prefetch_refs += refs;
+            }
+        }
+
+        Some(WalkResult {
+            latency,
+            memory_refs: refs as u32,
+            pfn,
+            completed_at,
+        })
+    }
+
+    /// Flushes the PSCs (context switch).
+    pub fn flush_psc(&mut self) {
+        self.psc.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use morrigan_mem::HierarchyConfig;
+
+    fn setup() -> (PageTable, MemoryHierarchy, Walker) {
+        let mut pt = PageTable::new(1);
+        pt.map_range(VirtPage::new(0x1000), 64);
+        let mem = MemoryHierarchy::new(HierarchyConfig::default());
+        let walker = Walker::new(WalkerConfig::default());
+        (pt, mem, walker)
+    }
+
+    #[test]
+    fn cold_walk_takes_four_refs() {
+        let (pt, mut mem, mut w) = setup();
+        let r = w
+            .walk(
+                &pt,
+                &mut mem,
+                VirtPage::new(0x1000),
+                WalkKind::DemandInstruction,
+                0,
+            )
+            .expect("mapped page");
+        assert_eq!(r.memory_refs, 4);
+        assert!(
+            r.latency > 4 * 100,
+            "cold walk goes to DRAM 4 times: {}",
+            r.latency
+        );
+        assert_eq!(w.stats.demand_instr_walks, 1);
+        assert_eq!(w.stats.demand_instr_refs, 4);
+    }
+
+    #[test]
+    fn psc_cuts_second_walk_to_one_ref() {
+        let (pt, mut mem, mut w) = setup();
+        w.walk(
+            &pt,
+            &mut mem,
+            VirtPage::new(0x1000),
+            WalkKind::DemandInstruction,
+            0,
+        )
+        .unwrap();
+        // Same 2 MB region → PD-cache hit → only the leaf reference.
+        let r = w
+            .walk(
+                &pt,
+                &mut mem,
+                VirtPage::new(0x1010),
+                WalkKind::DemandInstruction,
+                1000,
+            )
+            .expect("mapped page");
+        assert_eq!(r.memory_refs, 1);
+    }
+
+    #[test]
+    fn adjacent_page_pte_hits_in_cache() {
+        let (pt, mut mem, mut w) = setup();
+        w.walk(
+            &pt,
+            &mut mem,
+            VirtPage::new(0x1000),
+            WalkKind::DemandInstruction,
+            0,
+        )
+        .unwrap();
+        // 0x1001's leaf PTE shares a cache line with 0x1000's → L1D hit.
+        let r = w
+            .walk(
+                &pt,
+                &mut mem,
+                VirtPage::new(0x1001),
+                WalkKind::DemandInstruction,
+                1000,
+            )
+            .expect("mapped page");
+        assert_eq!(r.memory_refs, 1);
+        // PSC latency (2) + L1D latency (4) = 6 cycles.
+        assert_eq!(r.latency, 6);
+    }
+
+    #[test]
+    fn prefetch_of_unmapped_page_is_suppressed() {
+        let (pt, mut mem, mut w) = setup();
+        let r = w.walk(&pt, &mut mem, VirtPage::new(0x9999), WalkKind::Prefetch, 0);
+        assert!(r.is_none());
+        assert_eq!(w.stats.faults_suppressed, 1);
+        assert_eq!(w.stats.prefetch_walks, 0);
+    }
+
+    #[test]
+    fn prefetch_walks_occupy_slots_and_delay_demand() {
+        let (pt, mut mem, mut w) = setup();
+        // Saturate all 4 slots with cold prefetch walks at cycle 0.
+        for i in 0..4 {
+            w.walk(
+                &pt,
+                &mut mem,
+                VirtPage::new(0x1000 + i * 8),
+                WalkKind::Prefetch,
+                0,
+            )
+            .unwrap();
+        }
+        let demand = w
+            .walk(
+                &pt,
+                &mut mem,
+                VirtPage::new(0x1030),
+                WalkKind::DemandInstruction,
+                0,
+            )
+            .expect("mapped page");
+        // The demand walk had to wait for a slot: its latency exceeds the
+        // pure walk time (PSC hit + one cached ref would be ~6 cycles).
+        assert!(
+            demand.latency > 50,
+            "demand should queue behind prefetches: {}",
+            demand.latency
+        );
+    }
+
+    #[test]
+    fn asap_overlaps_references() {
+        let (pt, mut mem_serial, mut w_serial) = setup();
+        let mut mem_asap = MemoryHierarchy::new(HierarchyConfig::default());
+        let mut w_asap = Walker::new(WalkerConfig {
+            asap: true,
+            ..WalkerConfig::default()
+        });
+
+        let serial = w_serial
+            .walk(
+                &pt,
+                &mut mem_serial,
+                VirtPage::new(0x1000),
+                WalkKind::DemandInstruction,
+                0,
+            )
+            .unwrap();
+        let asap = w_asap
+            .walk(
+                &pt,
+                &mut mem_asap,
+                VirtPage::new(0x1000),
+                WalkKind::DemandInstruction,
+                0,
+            )
+            .unwrap();
+        assert!(
+            asap.latency < serial.latency,
+            "{} !< {}",
+            asap.latency,
+            serial.latency
+        );
+        assert_eq!(
+            asap.memory_refs, serial.memory_refs,
+            "ASAP changes time, not refs"
+        );
+    }
+
+    #[test]
+    fn asap_gains_nothing_on_psc_hit_single_ref() {
+        // §6.4's explanation for ASAP's limited benefit: with a PD-cache
+        // hit only one reference remains, so max == sum.
+        let (pt, mut mem, mut w) = setup();
+        w.walk(
+            &pt,
+            &mut mem,
+            VirtPage::new(0x1000),
+            WalkKind::DemandInstruction,
+            0,
+        )
+        .unwrap();
+        let before = w
+            .walk(
+                &pt,
+                &mut mem,
+                VirtPage::new(0x1002),
+                WalkKind::DemandInstruction,
+                1_000,
+            )
+            .unwrap();
+        w.set_asap(true);
+        let after = w
+            .walk(
+                &pt,
+                &mut mem,
+                VirtPage::new(0x1003),
+                WalkKind::DemandInstruction,
+                2_000,
+            )
+            .unwrap();
+        assert_eq!(before.latency, after.latency);
+    }
+
+    #[test]
+    fn mean_latency_accounting() {
+        let (pt, mut mem, mut w) = setup();
+        w.walk(
+            &pt,
+            &mut mem,
+            VirtPage::new(0x1000),
+            WalkKind::DemandInstruction,
+            0,
+        )
+        .unwrap();
+        w.walk(
+            &pt,
+            &mut mem,
+            VirtPage::new(0x1001),
+            WalkKind::DemandInstruction,
+            1000,
+        )
+        .unwrap();
+        let mean = w.stats.mean_instr_walk_latency();
+        assert!(mean > 0.0);
+        assert_eq!(w.stats.mean_data_walk_latency(), 0.0);
+    }
+}

@@ -1,0 +1,136 @@
+//! Property-based tests for the virtual-memory substrate.
+
+use morrigan_mem::{HierarchyConfig, MemoryHierarchy};
+use morrigan_types::prefetcher::NullPrefetcher;
+use morrigan_types::{ThreadId, VirtPage};
+use morrigan_vm::{
+    Mmu, MmuConfig, PageTable, PagingStructureCaches, PscConfig, PscHit, WalkKind, Walker,
+    WalkerConfig,
+};
+use proptest::prelude::*;
+
+proptest! {
+    /// PSC lookups always report 1–4 remaining references, and a fill for
+    /// a page guarantees a PD hit for its whole 2 MB region.
+    #[test]
+    fn psc_remaining_refs_bounds(vpns in prop::collection::vec(0u64..(1 << 30), 1..200)) {
+        let mut psc = PagingStructureCaches::new(PscConfig::default());
+        for &v in &vpns {
+            let hit = psc.lookup(VirtPage::new(v));
+            prop_assert!((1..=4).contains(&hit.remaining_refs()));
+            psc.fill(VirtPage::new(v));
+            // Any page in the same 2 MB region must now PD-hit.
+            let same_region = (v & !0x1ff) | (v.wrapping_add(1) & 0x1ff);
+            prop_assert_eq!(psc.lookup(VirtPage::new(same_region)), PscHit::Pd);
+        }
+    }
+
+    /// Walks of mapped pages always succeed with 1–4 references and a
+    /// latency at least the PSC lookup cost; unmapped prefetches always
+    /// fail without polluting statistics as walks.
+    #[test]
+    fn walker_bounds(
+        pages in prop::collection::vec(0u64..5000, 1..100),
+        probe in 5000u64..10_000
+    ) {
+        let mut pt = PageTable::new(1);
+        for &p in &pages {
+            pt.map(VirtPage::new(p));
+        }
+        let mut mem = MemoryHierarchy::new(HierarchyConfig::default());
+        let mut walker = Walker::new(WalkerConfig::default());
+        let mut now = 0;
+        for &p in &pages {
+            let r = walker
+                .walk(&pt, &mut mem, VirtPage::new(p), WalkKind::DemandInstruction, now)
+                .expect("mapped");
+            prop_assert!((1..=4).contains(&r.memory_refs));
+            prop_assert!(r.latency >= 2, "PSC latency is the floor");
+            prop_assert!(r.completed_at >= now);
+            now = r.completed_at + 10;
+        }
+        // An unmapped page: prefetch suppressed, never a result.
+        prop_assert!(walker
+            .walk(&pt, &mut mem, VirtPage::new(probe), WalkKind::Prefetch, now)
+            .is_none());
+        prop_assert_eq!(walker.stats.faults_suppressed, 1);
+    }
+
+    /// MMU translation invariants under arbitrary instruction/data access
+    /// interleavings: misses split exactly into covered + walked, and the
+    /// same page re-translated immediately is an L1 hit.
+    #[test]
+    fn mmu_conservation(
+        accesses in prop::collection::vec((0u64..64, any::<bool>()), 1..300)
+    ) {
+        let mut pt = PageTable::new(1);
+        pt.map_range(VirtPage::new(0x4000), 64);
+        let mut mmu = Mmu::new(MmuConfig::default(), pt, Box::new(NullPrefetcher));
+        let mut mem = MemoryHierarchy::new(HierarchyConfig::default());
+        let mut now = 0u64;
+        for &(page, is_instr) in &accesses {
+            let addr = VirtPage::new(0x4000 + page).base_addr();
+            let out = if is_instr {
+                mmu.translate_instr(addr, ThreadId::ZERO, now, &mut mem)
+            } else {
+                mmu.translate_data(addr, ThreadId::ZERO, now, &mut mem)
+            };
+            prop_assert!(out.latency >= 1);
+            now += out.latency + 1;
+            // Immediate re-translation of the same kind is an L1 hit.
+            let again = if is_instr {
+                mmu.translate_instr(addr, ThreadId::ZERO, now, &mut mem)
+            } else {
+                mmu.translate_data(addr, ThreadId::ZERO, now, &mut mem)
+            };
+            prop_assert!(!again.l1_miss, "just-translated page must hit its L1 TLB");
+            now += again.latency + 1;
+        }
+        let s = mmu.stats;
+        prop_assert_eq!(
+            s.istlb_misses,
+            s.istlb_covered + mmu.walker_stats().demand_instr_walks
+        );
+        prop_assert_eq!(s.dstlb_misses, mmu.walker_stats().demand_data_walks);
+        prop_assert!(s.itlb_misses <= s.instr_translations);
+        prop_assert!(s.istlb_misses <= s.itlb_misses);
+    }
+
+    /// Page-table frames never collide with page-table *node* frames for
+    /// the same VPN (the tree and the data live in different memory).
+    #[test]
+    fn page_table_nodes_distinct_from_frames(v in 0u64..(1 << 36)) {
+        let mut pt = PageTable::new(3);
+        pt.map(VirtPage::new(v));
+        let frame = pt.translate(VirtPage::new(v)).expect("mapped");
+        for step in pt.walk_steps(VirtPage::new(v)) {
+            prop_assert_ne!(step.pte_addr.phys_page(), frame);
+        }
+    }
+
+    /// A context switch clears all translation state: every page faults
+    /// back through the full path.
+    #[test]
+    fn context_switch_resets(pages in prop::collection::vec(0u64..32, 1..50)) {
+        let mut pt = PageTable::new(1);
+        pt.map_range(VirtPage::new(0x4000), 32);
+        let mut mmu = Mmu::new(MmuConfig::default(), pt, Box::new(NullPrefetcher));
+        let mut mem = MemoryHierarchy::new(HierarchyConfig::default());
+        for &p in &pages {
+            let _ = mmu.translate_instr(
+                VirtPage::new(0x4000 + p).base_addr(),
+                ThreadId::ZERO,
+                0,
+                &mut mem,
+            );
+        }
+        mmu.context_switch();
+        let out = mmu.translate_instr(
+            VirtPage::new(0x4000 + pages[0]).base_addr(),
+            ThreadId::ZERO,
+            10_000,
+            &mut mem,
+        );
+        prop_assert!(out.stlb_miss && !out.pb_hit);
+    }
+}

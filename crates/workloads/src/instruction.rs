@@ -1,0 +1,62 @@
+//! The trace-instruction format and the stream interface the simulator
+//! consumes.
+
+use morrigan_types::{VirtAddr, VirtPage};
+use serde::{Deserialize, Serialize};
+
+/// One data memory access attached to an instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemAccess {
+    /// Virtual address of the access.
+    pub addr: VirtAddr,
+    /// Whether it is a store (the latency model treats loads and stores
+    /// alike; the flag exists for trace realism and future extensions).
+    pub write: bool,
+}
+
+/// One traced instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceInstruction {
+    /// Fetch address.
+    pub pc: VirtAddr,
+    /// Optional data access.
+    pub mem: Option<MemAccess>,
+}
+
+/// An endless, deterministic instruction stream.
+///
+/// Streams are infinite: the simulator decides how many instructions to
+/// warm up and measure (the paper runs 50 M + 100 M).
+pub trait InstructionStream {
+    /// Workload name (e.g. `"qmm-srv-07"`).
+    fn name(&self) -> &str;
+
+    /// Produces the next instruction.
+    fn next_instruction(&mut self) -> TraceInstruction;
+
+    /// The contiguous virtual code region `(first page, page count)` this
+    /// stream fetches from; the simulator maps it before running.
+    fn code_region(&self) -> (VirtPage, u64);
+
+    /// The contiguous virtual data region `(first page, page count)`.
+    fn data_region(&self) -> (VirtPage, u64);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_instruction_is_plain_data() {
+        let i = TraceInstruction {
+            pc: VirtAddr::new(0x400000),
+            mem: Some(MemAccess {
+                addr: VirtAddr::new(0x7000_0000),
+                write: false,
+            }),
+        };
+        let j = i;
+        assert_eq!(i, j);
+        assert_eq!(format!("{:?}", i.pc), "VirtAddr(0x400000)");
+    }
+}

