@@ -9,13 +9,17 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use morrigan_bench::bench_scale;
 use morrigan_experiments as exp;
+use morrigan_experiments::Runner;
 
 macro_rules! fig_bench {
     ($fn_name:ident, $id:literal, $module:ident) => {
         fn $fn_name(c: &mut Criterion) {
             let scale = bench_scale();
             c.bench_function($id, |b| {
-                b.iter(|| std::hint::black_box(exp::$module::run(&scale)))
+                // A fresh single-threaded Runner per sample: the benches
+                // track full regeneration cost, so neither the result
+                // cache nor the pool may skew the measurement.
+                b.iter(|| std::hint::black_box(exp::$module::run(&Runner::new(1), &scale)))
             });
         }
     };

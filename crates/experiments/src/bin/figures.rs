@@ -3,28 +3,137 @@
 //! Usage:
 //!
 //! ```text
-//! figures                 # run everything at the default scale
-//! figures fig15 fig16     # run a subset
-//! MORRIGAN_FULL=1 figures # paper-scale run lengths (slow)
+//! figures                         # run everything at the default scale
+//! figures fig15 fig16             # run a subset
+//! figures --json out.json fig15   # also write machine-readable records
+//! MORRIGAN_FULL=1 figures         # paper-scale run lengths (slow)
+//! MORRIGAN_THREADS=4 figures      # worker-pool size override
+//! MORRIGAN_VERBOSE=1 figures      # per-simulation progress on stderr
 //! ```
+//!
+//! All figures share one [`Runner`], so simulations they have in common
+//! (notably the no-prefetch baselines and the Fig 5–8 miss-stream runs)
+//! are executed once and served from the result cache afterwards.
+
+use std::process::ExitCode;
+use std::sync::Arc;
 
 use morrigan_experiments as exp;
-use morrigan_experiments::Scale;
+use morrigan_experiments::{RunRecord, Runner, Scale};
 
-fn main() {
+/// Every figure name the binary accepts, in run order.
+const FIGURES: [&str; 18] = [
+    "fig02", "fig03", "fig04", "fig05", "fig06", "fig07", "fig08", "fig09", "fig10", "fig13",
+    "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "fig20", "tuning",
+];
+
+/// Levenshtein edit distance, for the "did you mean" hint.
+fn edit_distance(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+fn closest_figure(name: &str) -> &'static str {
+    FIGURES
+        .iter()
+        .min_by_key(|candidate| edit_distance(name, candidate))
+        .expect("FIGURES is non-empty")
+}
+
+struct Args {
+    /// Figure names to run (empty = all).
+    selected: Vec<String>,
+    /// Where to write the per-figure JSON document, if requested.
+    json_path: Option<String>,
+    /// `--help` was requested: print usage and exit successfully.
+    help: bool,
+}
+
+fn usage() -> String {
+    format!("usage: figures [--json <path>] [{}]...", FIGURES.join("|"))
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut selected = Vec::new();
+    let mut json_path = None;
+    let mut help = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => {
+                json_path = Some(
+                    args.next()
+                        .ok_or_else(|| "--json requires a file path".to_string())?,
+                );
+            }
+            "--help" | "-h" => help = true,
+            name if FIGURES.contains(&name) => selected.push(arg),
+            unknown => {
+                return Err(format!(
+                    "unknown figure '{unknown}' — did you mean '{}'?\nknown figures: {}",
+                    closest_figure(unknown),
+                    FIGURES.join(" ")
+                ));
+            }
+        }
+    }
+    Ok(Args {
+        selected,
+        json_path,
+        help,
+    })
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if args.help {
+        println!("{}", usage());
+        return ExitCode::SUCCESS;
+    }
+
     let scale = Scale::from_env();
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let want = |name: &str| args.is_empty() || args.iter().any(|a| a == name);
+    let runner = Runner::from_env();
+    let want = |name: &str| args.selected.is_empty() || args.selected.iter().any(|a| a == name);
     eprintln!(
-        "scale: {} warmup + {} measured instructions, {} workloads, {} SMT pairs",
-        scale.warmup, scale.measure, scale.workloads, scale.smt_pairs
+        "scale: {} warmup + {} measured instructions, {} workloads, {} SMT pairs ({} worker threads)",
+        scale.warmup,
+        scale.measure,
+        scale.workloads,
+        scale.smt_pairs,
+        runner.threads()
     );
+
+    // Per-figure journal slices for the JSON document: the runner
+    // journals every record in batch order, so the records a figure
+    // caused (fresh or cached) are exactly those past its watermark.
+    let mut json_figures: Vec<(String, Vec<Arc<RunRecord>>)> = Vec::new();
 
     macro_rules! figure {
         ($name:literal, $module:ident) => {
             if want($name) {
                 eprintln!("running {}...", $name);
-                println!("{}\n", exp::$module::run(&scale));
+                let watermark = runner.journal_len();
+                println!("{}\n", exp::$module::run(&runner, &scale));
+                if args.json_path.is_some() {
+                    json_figures.push(($name.to_string(), runner.journal_since(watermark)));
+                }
             }
         };
     }
@@ -47,4 +156,21 @@ fn main() {
     figure!("fig19", fig19_icache_synergy);
     figure!("fig20", fig20_smt);
     figure!("tuning", tuning);
+
+    eprintln!(
+        "{} simulations executed, {} served from cache",
+        runner.sims_executed(),
+        runner.cache_hits()
+    );
+
+    if let Some(path) = &args.json_path {
+        let document = morrigan_runner::json::figures_document(&json_figures);
+        if let Err(error) = std::fs::write(path, document) {
+            eprintln!("failed to write {path}: {error}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {path}");
+    }
+
+    ExitCode::SUCCESS
 }

@@ -1,22 +1,21 @@
-//! Shared infrastructure for the figure runners: run-length scaling, the
-//! prefetcher factory, and simulation helpers.
+//! Shared infrastructure for the figure runners: run-length scaling,
+//! spec builders for the shapes every figure declares, and table
+//! rendering.
+//!
+//! Every figure module has the same contract: build a batch of
+//! [`RunSpec`]s, hand it to the shared [`Runner`], and fold the returned
+//! [`RunRecord`]s into its result struct. The spec builders here are the
+//! reason figures share cache entries — two figures that need the same
+//! baseline produce byte-identical specs and the runner simulates them
+//! once.
 
-use morrigan::{Morrigan, MorriganConfig};
-use morrigan_baselines::{
-    ArbitraryStridePrefetcher, AspConfig, DistancePrefetcher, DpConfig, MarkovPrefetcher,
-    MorriganMono, MpConfig, SequentialPrefetcher, UnboundedMarkov,
-};
-use morrigan_sim::{Metrics, SimConfig, Simulator, SystemConfig};
-use morrigan_types::prefetcher::NullPrefetcher;
-use morrigan_types::TlbPrefetcher;
-use morrigan_workloads::{ServerWorkload, ServerWorkloadConfig};
+use morrigan_sim::{SimConfig, SystemConfig};
+use morrigan_workloads::ServerWorkloadConfig;
 use serde::{Deserialize, Serialize};
 
-/// Morrigan's prediction-state budget in bits (§6.1.3's 3.76 KB point),
-/// used to size the ISO-storage baselines of Fig 15.
-pub fn morrigan_budget_bits() -> u64 {
-    morrigan::IripConfig::default().storage_bits()
-}
+pub use morrigan_runner::{
+    morrigan_budget_bits, PrefetcherKind, PrefetcherSpec, RunRecord, RunSpec, Runner, WorkloadSpec,
+};
 
 /// How much to simulate. See the crate docs for the environment knobs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -112,130 +111,57 @@ impl Scale {
     }
 }
 
-/// Every STLB prefetcher the experiments instantiate.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-pub enum PrefetcherKind {
-    /// No prefetching (the baseline).
-    None,
-    /// Sequential prefetcher, original configuration.
-    Sp,
-    /// Arbitrary-stride prefetcher, original configuration.
-    Asp,
-    /// Distance prefetcher, original configuration.
-    Dp,
-    /// Markov prefetcher, original configuration (128 × 2, LRU).
-    Mp,
-    /// ASP sized to Morrigan's 3.76 KB budget (Fig 15).
-    AspIso,
-    /// DP sized to Morrigan's budget.
-    DpIso,
-    /// MP sized to Morrigan's budget.
-    MpIso,
-    /// Idealized unbounded MP, two successors per entry (§3.4).
-    MpUnbounded2,
-    /// Idealized unbounded MP, unlimited successors (§3.4).
-    MpUnboundedInf,
-    /// Morrigan at the paper's default configuration.
-    Morrigan,
-    /// Morrigan-mono (§6.3).
-    MorriganMono,
-    /// Morrigan with doubled tables for SMT (§6.6).
-    MorriganSmt,
-}
-
-impl PrefetcherKind {
-    /// Short name for report rows.
-    pub fn name(self) -> &'static str {
-        match self {
-            PrefetcherKind::None => "baseline",
-            PrefetcherKind::Sp => "sp",
-            PrefetcherKind::Asp => "asp",
-            PrefetcherKind::Dp => "dp",
-            PrefetcherKind::Mp => "mp",
-            PrefetcherKind::AspIso => "asp-iso",
-            PrefetcherKind::DpIso => "dp-iso",
-            PrefetcherKind::MpIso => "mp-iso",
-            PrefetcherKind::MpUnbounded2 => "mp-unbounded-2",
-            PrefetcherKind::MpUnboundedInf => "mp-unbounded-inf",
-            PrefetcherKind::Morrigan => "morrigan",
-            PrefetcherKind::MorriganMono => "morrigan-mono",
-            PrefetcherKind::MorriganSmt => "morrigan-smt",
-        }
-    }
-
-    /// Instantiates the prefetcher.
-    pub fn build(self) -> Box<dyn TlbPrefetcher> {
-        let budget = morrigan_budget_bits();
-        match self {
-            PrefetcherKind::None => Box::new(NullPrefetcher),
-            PrefetcherKind::Sp => Box::new(SequentialPrefetcher::new()),
-            PrefetcherKind::Asp => Box::new(ArbitraryStridePrefetcher::new(AspConfig::original())),
-            PrefetcherKind::Dp => Box::new(DistancePrefetcher::new(DpConfig::original())),
-            PrefetcherKind::Mp => Box::new(MarkovPrefetcher::new(MpConfig::original())),
-            PrefetcherKind::AspIso => Box::new(ArbitraryStridePrefetcher::new(
-                AspConfig::sized_to_bits(budget),
-            )),
-            PrefetcherKind::DpIso => {
-                Box::new(DistancePrefetcher::new(DpConfig::sized_to_bits(budget)))
-            }
-            PrefetcherKind::MpIso => {
-                Box::new(MarkovPrefetcher::new(MpConfig::sized_to_bits(budget)))
-            }
-            PrefetcherKind::MpUnbounded2 => Box::new(UnboundedMarkov::two_successors()),
-            PrefetcherKind::MpUnboundedInf => Box::new(UnboundedMarkov::infinite_successors()),
-            PrefetcherKind::Morrigan => Box::new(Morrigan::new(MorriganConfig::default())),
-            PrefetcherKind::MorriganMono => Box::new(MorriganMono::new()),
-            PrefetcherKind::MorriganSmt => Box::new(Morrigan::new(MorriganConfig::smt())),
-        }
-    }
-}
-
-/// Runs one server workload with the given system + prefetcher.
-pub fn run_server(
+/// A server-workload spec on the default system — the shape most
+/// figures build batches from.
+pub fn server_spec(
     cfg: &ServerWorkloadConfig,
-    system: SystemConfig,
-    sim: SimConfig,
-    prefetcher: Box<dyn TlbPrefetcher>,
-) -> Metrics {
-    let mut simulator = Simulator::new(
-        system,
-        Box::new(ServerWorkload::new(cfg.clone())),
-        prefetcher,
-    );
-    simulator.run(sim)
+    scale: &Scale,
+    prefetcher: impl Into<PrefetcherSpec>,
+) -> RunSpec {
+    RunSpec::server(cfg, SystemConfig::default(), scale.sim(), prefetcher)
 }
 
-/// Runs a workload and returns the finished simulator for structure
-/// inspection (miss-stream stats, PSC rates, ...).
-pub fn run_server_sim(
-    cfg: &ServerWorkloadConfig,
-    system: SystemConfig,
-    sim: SimConfig,
-    prefetcher: Box<dyn TlbPrefetcher>,
-) -> (Simulator, Metrics) {
-    let mut simulator = Simulator::new(
-        system,
-        Box::new(ServerWorkload::new(cfg.clone())),
-        prefetcher,
-    );
-    let metrics = simulator.run(sim);
-    (simulator, metrics)
+/// The canonical no-prefetch baseline spec for a workload.
+///
+/// Every figure that normalizes against the baseline calls this, so the
+/// specs are identical across figures and the runner's cache collapses
+/// them into one simulation per workload.
+pub fn baseline_spec(cfg: &ServerWorkloadConfig, scale: &Scale) -> RunSpec {
+    server_spec(cfg, scale, PrefetcherKind::None)
 }
 
-/// Per-workload baseline metrics for the suite (no STLB prefetching),
-/// shared by several figures.
-pub fn suite_baselines(scale: &Scale) -> Vec<(ServerWorkloadConfig, Metrics)> {
-    scale
-        .suite()
-        .into_iter()
-        .map(|cfg| {
-            let m = run_server(
-                &cfg,
-                SystemConfig::default(),
-                scale.sim(),
-                Box::new(NullPrefetcher),
-            );
-            (cfg, m)
+/// The miss-stream characterization spec for a workload: no prefetching,
+/// `collect_stream_stats` on. Shared by Figures 5–8, which therefore
+/// cost one simulation per workload between the four of them.
+pub fn miss_stream_spec(cfg: &ServerWorkloadConfig, scale: &Scale) -> RunSpec {
+    let mut system = SystemConfig::default();
+    system.mmu.collect_stream_stats = true;
+    RunSpec::server(cfg, system, scale.sim(), PrefetcherKind::None)
+}
+
+/// Per-workload iSTLB miss streams for the suite (no prefetching,
+/// collection enabled), shared by the Fig 5–8 characterization: the four
+/// figures declare identical specs, so the suite is simulated once for
+/// all of them.
+pub fn suite_miss_streams(
+    runner: &Runner,
+    scale: &Scale,
+) -> Vec<(String, morrigan_vm::MissStreamStats)> {
+    let suite = scale.suite();
+    let specs: Vec<RunSpec> = suite
+        .iter()
+        .map(|cfg| miss_stream_spec(cfg, scale))
+        .collect();
+    runner
+        .run_batch(&specs)
+        .iter()
+        .zip(&suite)
+        .map(|(record, cfg)| {
+            let stream = record
+                .miss_stream
+                .clone()
+                .expect("miss_stream_spec sets collect_stream_stats");
+            (cfg.name.clone(), stream)
         })
         .collect()
 }
@@ -253,22 +179,6 @@ pub fn render_table(title: &str, header: (&str, &str), rows: &[(String, String)]
     out
 }
 
-/// Runs the suite with miss-stream collection enabled and returns each
-/// workload's [`MissStreamStats`](morrigan_vm::MissStreamStats) (used by
-/// the Fig 5–8 characterization).
-pub fn suite_miss_streams(scale: &Scale) -> Vec<(String, morrigan_vm::MissStreamStats)> {
-    let mut system = SystemConfig::default();
-    system.mmu.collect_stream_stats = true;
-    scale
-        .suite()
-        .iter()
-        .map(|cfg| {
-            let (sim, _) = run_server_sim(cfg, system, scale.sim(), Box::new(NullPrefetcher));
-            (cfg.name.clone(), sim.mmu().miss_stream.clone())
-        })
-        .collect()
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -284,44 +194,19 @@ mod tests {
     }
 
     #[test]
-    fn every_kind_builds() {
-        for kind in [
-            PrefetcherKind::None,
-            PrefetcherKind::Sp,
-            PrefetcherKind::Asp,
-            PrefetcherKind::Dp,
-            PrefetcherKind::Mp,
-            PrefetcherKind::AspIso,
-            PrefetcherKind::DpIso,
-            PrefetcherKind::MpIso,
-            PrefetcherKind::MpUnbounded2,
-            PrefetcherKind::MpUnboundedInf,
-            PrefetcherKind::Morrigan,
-            PrefetcherKind::MorriganMono,
-            PrefetcherKind::MorriganSmt,
-        ] {
-            let p = kind.build();
-            assert!(!kind.name().is_empty());
-            let _ = p.storage_bits();
-        }
-    }
-
-    #[test]
-    fn iso_variants_respect_budget() {
-        let budget = morrigan_budget_bits();
-        for kind in [
-            PrefetcherKind::AspIso,
-            PrefetcherKind::DpIso,
-            PrefetcherKind::MpIso,
-        ] {
-            let p = kind.build();
-            assert!(
-                p.storage_bits() <= budget,
-                "{} exceeds the ISO budget: {} > {budget}",
-                kind.name(),
-                p.storage_bits()
-            );
-        }
+    fn shared_specs_are_identical_across_call_sites() {
+        let scale = Scale::test();
+        let cfg = &scale.suite()[0];
+        assert_eq!(baseline_spec(cfg, &scale), baseline_spec(cfg, &scale));
+        assert_eq!(
+            baseline_spec(cfg, &scale).content_key(),
+            server_spec(cfg, &scale, PrefetcherKind::None).content_key()
+        );
+        assert_ne!(
+            baseline_spec(cfg, &scale).content_key(),
+            miss_stream_spec(cfg, &scale).content_key(),
+            "stream-collection runs are distinct jobs"
+        );
     }
 
     #[test]

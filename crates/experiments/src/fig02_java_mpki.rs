@@ -10,10 +10,9 @@
 use std::fmt;
 
 use morrigan_sim::SystemConfig;
-use morrigan_types::prefetcher::NullPrefetcher;
 use serde::{Deserialize, Serialize};
 
-use crate::common::{render_table, run_server, Scale};
+use crate::common::{render_table, PrefetcherKind, RunSpec, Runner, Scale};
 
 /// One workload's measurement.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -32,20 +31,26 @@ pub struct Fig02Result {
 }
 
 /// Runs the experiment.
-pub fn run(scale: &Scale) -> Fig02Result {
-    let rows = morrigan_workloads::suites::java_server_suite()
+pub fn run(runner: &Runner, scale: &Scale) -> Fig02Result {
+    let suite = morrigan_workloads::suites::java_server_suite();
+    let specs: Vec<RunSpec> = suite
         .iter()
         .map(|cfg| {
-            let m = run_server(
+            RunSpec::server(
                 cfg,
                 SystemConfig::default(),
                 scale.sim(),
-                Box::new(NullPrefetcher),
-            );
-            JavaMpkiRow {
-                workload: cfg.name.clone(),
-                istlb_mpki: m.istlb_mpki(),
-            }
+                PrefetcherKind::None,
+            )
+        })
+        .collect();
+    let rows = runner
+        .run_batch(&specs)
+        .iter()
+        .zip(&suite)
+        .map(|(record, cfg)| JavaMpkiRow {
+            workload: cfg.name.clone(),
+            istlb_mpki: record.metrics.istlb_mpki(),
         })
         .collect();
     Fig02Result { rows }
@@ -76,7 +81,7 @@ mod tests {
 
     #[test]
     fn java_workloads_are_istlb_intensive() {
-        let result = run(&Scale::test());
+        let result = run(&Runner::new(2), &Scale::test());
         assert_eq!(result.rows.len(), 7);
         // The paper's band is 0.6–2.1; at test scale we only require the
         // workloads to be clearly translation-intensive.

@@ -6,13 +6,11 @@
 
 use std::fmt;
 
-use morrigan_sim::{Simulator, SystemConfig};
-use morrigan_types::prefetcher::NullPrefetcher;
+use morrigan_sim::SystemConfig;
 use morrigan_types::stats::mean;
-use morrigan_workloads::SpecWorkload;
 use serde::{Deserialize, Serialize};
 
-use crate::common::{render_table, run_server, Scale};
+use crate::common::{baseline_spec, render_table, PrefetcherKind, RunSpec, Runner, Scale};
 
 /// Mean front-end MPKI rates of one suite.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -35,42 +33,47 @@ pub struct Fig03Result {
 }
 
 /// Runs the experiment.
-pub fn run(scale: &Scale) -> Fig03Result {
-    let mut spec = (Vec::new(), Vec::new(), Vec::new());
-    for cfg in morrigan_workloads::suites::spec_suite() {
-        let mut sim = Simulator::new(
-            SystemConfig::default(),
-            Box::new(SpecWorkload::new(cfg)),
-            Box::new(NullPrefetcher),
-        );
-        let m = sim.run(scale.sim());
-        spec.0.push(m.l1i_mpki());
-        spec.1.push(m.itlb_mpki());
-        spec.2.push(m.istlb_mpki());
-    }
-    let mut qmm = (Vec::new(), Vec::new(), Vec::new());
-    for cfg in scale.suite() {
-        let m = run_server(
-            &cfg,
-            SystemConfig::default(),
-            scale.sim(),
-            Box::new(NullPrefetcher),
-        );
-        qmm.0.push(m.l1i_mpki());
-        qmm.1.push(m.itlb_mpki());
-        qmm.2.push(m.istlb_mpki());
-    }
+pub fn run(runner: &Runner, scale: &Scale) -> Fig03Result {
+    let spec_suite = morrigan_workloads::suites::spec_suite();
+    let qmm_suite = scale.suite();
+    let mut specs: Vec<RunSpec> = spec_suite
+        .iter()
+        .map(|cfg| {
+            RunSpec::spec_cpu(
+                cfg,
+                SystemConfig::default(),
+                scale.sim(),
+                PrefetcherKind::None,
+            )
+        })
+        .collect();
+    specs.extend(qmm_suite.iter().map(|cfg| baseline_spec(cfg, scale)));
+    let records = runner.run_batch(&specs);
+    let (spec_records, qmm_records) = records.split_at(spec_suite.len());
+
+    let suite_mpki = |records: &[std::sync::Arc<crate::common::RunRecord>]| SuiteMpki {
+        l1i: mean(
+            &records
+                .iter()
+                .map(|r| r.metrics.l1i_mpki())
+                .collect::<Vec<_>>(),
+        ),
+        itlb: mean(
+            &records
+                .iter()
+                .map(|r| r.metrics.itlb_mpki())
+                .collect::<Vec<_>>(),
+        ),
+        istlb: mean(
+            &records
+                .iter()
+                .map(|r| r.metrics.istlb_mpki())
+                .collect::<Vec<_>>(),
+        ),
+    };
     Fig03Result {
-        spec: SuiteMpki {
-            l1i: mean(&spec.0),
-            itlb: mean(&spec.1),
-            istlb: mean(&spec.2),
-        },
-        qmm: SuiteMpki {
-            l1i: mean(&qmm.0),
-            itlb: mean(&qmm.1),
-            istlb: mean(&qmm.2),
-        },
+        spec: suite_mpki(spec_records),
+        qmm: suite_mpki(qmm_records),
     }
 }
 
@@ -110,7 +113,7 @@ mod tests {
 
     #[test]
     fn qmm_dwarfs_spec_on_every_structure() {
-        let r = run(&Scale::test());
+        let r = run(&Runner::new(2), &Scale::test());
         assert!(
             r.qmm.istlb > 4.0 * r.spec.istlb,
             "qmm {} vs spec {}",

@@ -6,11 +6,9 @@
 
 use std::fmt;
 
-use morrigan_sim::SystemConfig;
-use morrigan_types::prefetcher::NullPrefetcher;
 use serde::{Deserialize, Serialize};
 
-use crate::common::{render_table, run_server, Scale};
+use crate::common::{baseline_spec, render_table, Runner, Scale};
 
 /// One workload's measurement.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -31,21 +29,16 @@ pub struct Fig04Result {
 }
 
 /// Runs the experiment.
-pub fn run(scale: &Scale) -> Fig04Result {
-    let rows = scale
-        .suite()
+pub fn run(runner: &Runner, scale: &Scale) -> Fig04Result {
+    let suite = scale.suite();
+    let specs: Vec<_> = suite.iter().map(|cfg| baseline_spec(cfg, scale)).collect();
+    let rows = runner
+        .run_batch(&specs)
         .iter()
-        .map(|cfg| {
-            let m = run_server(
-                cfg,
-                SystemConfig::default(),
-                scale.sim(),
-                Box::new(NullPrefetcher),
-            );
-            TranslationCycleRow {
-                workload: cfg.name.clone(),
-                cycle_fraction: m.istlb_cycle_fraction(),
-            }
+        .zip(&suite)
+        .map(|(record, cfg)| TranslationCycleRow {
+            workload: cfg.name.clone(),
+            cycle_fraction: record.metrics.istlb_cycle_fraction(),
         })
         .collect();
     Fig04Result {
@@ -96,7 +89,7 @@ mod tests {
 
     #[test]
     fn translation_is_a_bottleneck() {
-        let r = run(&Scale::test());
+        let r = run(&Runner::new(2), &Scale::test());
         assert_eq!(r.rows.len(), Scale::test().workloads);
         assert_eq!(
             r.above_threshold(),

@@ -9,7 +9,7 @@ use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
-use crate::common::{suite_miss_streams, Scale};
+use crate::common::{suite_miss_streams, Runner, Scale};
 
 /// Delta bounds the CDF is evaluated at.
 pub const BOUNDS: [u64; 8] = [1, 2, 5, 10, 50, 100, 1000, 10000];
@@ -29,8 +29,8 @@ impl Fig05Result {
 }
 
 /// Runs the experiment.
-pub fn run(scale: &Scale) -> Fig05Result {
-    let streams = suite_miss_streams(scale);
+pub fn run(runner: &Runner, scale: &Scale) -> Fig05Result {
+    let streams = suite_miss_streams(runner, scale);
     let mut acc = vec![0.0; BOUNDS.len()];
     for (_, stream) in &streams {
         for (i, v) in stream.delta_cdf(&BOUNDS).into_iter().enumerate() {
@@ -59,7 +59,7 @@ mod tests {
 
     #[test]
     fn cdf_shape_matches_finding_1() {
-        let r = run(&Scale::test());
+        let r = run(&Runner::new(2), &Scale::test());
         assert!(
             r.cdf.windows(2).all(|w| w[0] <= w[1] + 1e-12),
             "CDF must be monotone: {r:?}"

@@ -8,7 +8,7 @@ use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
-use crate::common::{suite_miss_streams, Scale};
+use crate::common::{suite_miss_streams, Runner, Scale};
 
 /// One workload's skew measurements.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -35,8 +35,8 @@ pub struct Fig06Result {
 }
 
 /// Runs the experiment.
-pub fn run(scale: &Scale) -> Fig06Result {
-    let rows = suite_miss_streams(scale)
+pub fn run(runner: &Runner, scale: &Scale) -> Fig06Result {
+    let rows = suite_miss_streams(runner, scale)
         .into_iter()
         .map(|(workload, stream)| PageSkewRow {
             workload,
@@ -80,7 +80,7 @@ mod tests {
 
     #[test]
     fn misses_are_skewed_toward_few_pages() {
-        let r = run(&Scale::test());
+        let r = run(&Runner::new(2), &Scale::test());
         for row in &r.rows {
             assert!(row.total_misses > 0);
             assert!(

@@ -10,7 +10,7 @@ use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
-use crate::common::{suite_miss_streams, Scale};
+use crate::common::{suite_miss_streams, Runner, Scale};
 
 /// Bucket labels in figure order.
 pub const BUCKETS: [&str; 5] = ["1", "2", "3-4", "5-8", ">8"];
@@ -23,8 +23,8 @@ pub struct Fig07Result {
 }
 
 /// Runs the experiment.
-pub fn run(scale: &Scale) -> Fig07Result {
-    let streams = suite_miss_streams(scale);
+pub fn run(runner: &Runner, scale: &Scale) -> Fig07Result {
+    let streams = suite_miss_streams(runner, scale);
     let mut acc = [0.0f64; 5];
     for (_, stream) in &streams {
         let b = stream.successor_breakdown();
@@ -54,7 +54,7 @@ mod tests {
 
     #[test]
     fn successor_spread_matches_finding_3() {
-        let r = run(&Scale::test());
+        let r = run(&Runner::new(2), &Scale::test());
         let total: f64 = r.fractions.iter().sum();
         assert!(
             (total - 1.0).abs() < 1e-9,

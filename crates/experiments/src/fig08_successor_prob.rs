@@ -10,7 +10,7 @@ use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
-use crate::common::{suite_miss_streams, Scale};
+use crate::common::{suite_miss_streams, Runner, Scale};
 
 /// How many of the hottest pages the analysis considers (the paper: 50).
 pub const TOP_PAGES: usize = 50;
@@ -29,8 +29,8 @@ pub struct Fig08Result {
 }
 
 /// Runs the experiment.
-pub fn run(scale: &Scale) -> Fig08Result {
-    let streams = suite_miss_streams(scale);
+pub fn run(runner: &Runner, scale: &Scale) -> Fig08Result {
+    let streams = suite_miss_streams(runner, scale);
     let mut acc = [0.0f64; 4];
     for (_, stream) in &streams {
         let p = stream.successor_probabilities(TOP_PAGES);
@@ -68,7 +68,7 @@ mod tests {
 
     #[test]
     fn top_successor_dominates() {
-        let r = run(&Scale::test());
+        let r = run(&Runner::new(2), &Scale::test());
         let total = r.first + r.second + r.third + r.other;
         assert!(
             (total - 1.0).abs() < 1e-9,

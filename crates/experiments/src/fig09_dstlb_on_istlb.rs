@@ -11,11 +11,12 @@
 use std::fmt;
 
 use morrigan_sim::SystemConfig;
-use morrigan_types::prefetcher::NullPrefetcher;
 use morrigan_types::stats::geometric_mean;
 use serde::{Deserialize, Serialize};
 
-use crate::common::{render_table, run_server, suite_baselines, PrefetcherKind, Scale};
+use crate::common::{
+    baseline_spec, render_table, server_spec, PrefetcherKind, RunSpec, Runner, Scale,
+};
 
 /// One prefetcher's aggregate result.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -43,45 +44,55 @@ impl Fig09Result {
     }
 }
 
+/// The dSTLB prefetchers the figure replays on the instruction stream.
+const KINDS: [PrefetcherKind; 6] = [
+    PrefetcherKind::Sp,
+    PrefetcherKind::Asp,
+    PrefetcherKind::Dp,
+    PrefetcherKind::Mp,
+    PrefetcherKind::MpUnbounded2,
+    PrefetcherKind::MpUnboundedInf,
+];
+
 /// Runs the experiment.
-pub fn run(scale: &Scale) -> Fig09Result {
-    let baselines = suite_baselines(scale);
-    let mut rows = Vec::new();
-
-    for kind in [
-        PrefetcherKind::Sp,
-        PrefetcherKind::Asp,
-        PrefetcherKind::Dp,
-        PrefetcherKind::Mp,
-        PrefetcherKind::MpUnbounded2,
-        PrefetcherKind::MpUnboundedInf,
-    ] {
-        let speedups: Vec<f64> = baselines
-            .iter()
-            .map(|(cfg, base)| {
-                run_server(cfg, SystemConfig::default(), scale.sim(), kind.build())
-                    .speedup_over(base)
-            })
-            .collect();
-        rows.push(SpeedupRow {
-            prefetcher: kind.name().to_string(),
-            geomean_speedup: geometric_mean(&speedups),
-        });
-    }
-
-    // Perfect iSTLB.
+pub fn run(runner: &Runner, scale: &Scale) -> Fig09Result {
+    let suite = scale.suite();
+    let n = suite.len();
     let mut perfect_system = SystemConfig::default();
     perfect_system.mmu.perfect_istlb = true;
-    let speedups: Vec<f64> = baselines
-        .iter()
-        .map(|(cfg, base)| {
-            run_server(cfg, perfect_system, scale.sim(), Box::new(NullPrefetcher))
-                .speedup_over(base)
-        })
-        .collect();
+
+    // One batch: baselines, then each prefetcher's sweep, then perfect.
+    let mut specs: Vec<RunSpec> = suite.iter().map(|cfg| baseline_spec(cfg, scale)).collect();
+    for kind in KINDS {
+        specs.extend(suite.iter().map(|cfg| server_spec(cfg, scale, kind)));
+    }
+    specs.extend(
+        suite
+            .iter()
+            .map(|cfg| RunSpec::server(cfg, perfect_system, scale.sim(), PrefetcherKind::None)),
+    );
+    let records = runner.run_batch(&specs);
+    let baselines = &records[..n];
+
+    let geomean_vs_baseline = |chunk: &[std::sync::Arc<crate::common::RunRecord>]| {
+        let speedups: Vec<f64> = chunk
+            .iter()
+            .zip(baselines)
+            .map(|(record, base)| record.metrics.speedup_over(&base.metrics))
+            .collect();
+        geometric_mean(&speedups)
+    };
+
+    let mut rows = Vec::new();
+    for (k, kind) in KINDS.iter().enumerate() {
+        rows.push(SpeedupRow {
+            prefetcher: kind.name().to_string(),
+            geomean_speedup: geomean_vs_baseline(&records[n * (k + 1)..n * (k + 2)]),
+        });
+    }
     rows.push(SpeedupRow {
         prefetcher: "perfect-istlb".to_string(),
-        geomean_speedup: geometric_mean(&speedups),
+        geomean_speedup: geomean_vs_baseline(&records[n * (KINDS.len() + 1)..]),
     });
 
     Fig09Result { rows }
@@ -118,7 +129,7 @@ mod tests {
     #[test]
     #[cfg_attr(debug_assertions, ignore = "needs trained tables; run with --release")]
     fn ordering_matches_paper() {
-        let r = run(&Scale::test_long());
+        let r = run(&Runner::new(4), &Scale::test_long());
         let get = |n: &str| r.speedup_of(n).expect(n);
         let perfect = get("perfect-istlb");
         assert!(

@@ -10,11 +10,10 @@
 use std::fmt;
 
 use morrigan_sim::{IcachePrefetcherKind, SystemConfig};
-use morrigan_types::prefetcher::NullPrefetcher;
 use morrigan_types::stats::{geometric_mean, mean};
 use serde::{Deserialize, Serialize};
 
-use crate::common::{run_server, suite_baselines, Scale};
+use crate::common::{baseline_spec, PrefetcherKind, RunSpec, Runner, Scale};
 
 /// The figure's data.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -34,8 +33,9 @@ pub struct Fig10Result {
 }
 
 /// Runs the experiment.
-pub fn run(scale: &Scale) -> Fig10Result {
-    let baselines = suite_baselines(scale);
+pub fn run(runner: &Runner, scale: &Scale) -> Fig10Result {
+    let suite = scale.suite();
+    let n = suite.len();
 
     // The IPC-1 view: address translation does not exist. Both sides run
     // with a perfect iSTLB, so the measured gain is purely the I-cache
@@ -46,45 +46,57 @@ pub fn run(scale: &Scale) -> Fig10Result {
     perfect_fnl.icache_prefetcher = IcachePrefetcherKind::FnlMma {
         translation_cost: false,
     };
-    let free: Vec<f64> = baselines
-        .iter()
-        .map(|(cfg, _)| {
-            let base = run_server(cfg, perfect, scale.sim(), Box::new(NullPrefetcher));
-            let m = run_server(cfg, perfect_fnl, scale.sim(), Box::new(NullPrefetcher));
-            m.speedup_over(&base)
-        })
-        .collect();
-
     // The real view: translation modelled end to end.
-    let mut costly_system = SystemConfig::default();
-    costly_system.icache_prefetcher = IcachePrefetcherKind::FnlMma {
-        translation_cost: true,
+    let costly_system = SystemConfig {
+        icache_prefetcher: IcachePrefetcherKind::FnlMma {
+            translation_cost: true,
+        },
+        ..SystemConfig::default()
     };
-    let costly: Vec<_> = baselines
-        .iter()
-        .map(|(cfg, base)| {
-            let m = run_server(cfg, costly_system, scale.sim(), Box::new(NullPrefetcher));
-            (m.speedup_over(base), m)
-        })
-        .collect();
 
+    // One batch: baselines, perfect pairs, then the costly view.
+    let mut specs: Vec<RunSpec> = suite.iter().map(|cfg| baseline_spec(cfg, scale)).collect();
+    for system in [perfect, perfect_fnl, costly_system] {
+        specs.extend(
+            suite
+                .iter()
+                .map(|cfg| RunSpec::server(cfg, system, scale.sim(), PrefetcherKind::None)),
+        );
+    }
+    let records = runner.run_batch(&specs);
+    let (baselines, rest) = records.split_at(n);
+    let (perfect_base, rest) = rest.split_at(n);
+    let (perfect_with_fnl, costly) = rest.split_at(n);
+
+    let free: Vec<f64> = perfect_with_fnl
+        .iter()
+        .zip(perfect_base)
+        .map(|(fnl, base)| fnl.metrics.speedup_over(&base.metrics))
+        .collect();
+    let costly_speedups: Vec<f64> = costly
+        .iter()
+        .zip(baselines)
+        .map(|(record, base)| record.metrics.speedup_over(&base.metrics))
+        .collect();
     let walk_reductions: Vec<f64> = costly
         .iter()
-        .zip(&baselines)
-        .map(|((_, m), (_, base))| {
-            1.0 - m.walker.demand_instr_walks as f64 / base.walker.demand_instr_walks.max(1) as f64
+        .zip(baselines)
+        .map(|(record, base)| {
+            1.0 - record.metrics.walker.demand_instr_walks as f64
+                / base.metrics.walker.demand_instr_walks.max(1) as f64
         })
         .collect();
     let crossing: Vec<f64> = costly
         .iter()
-        .map(|(_, m)| m.iprefetch_translation_walks as f64 * 1000.0 / m.instructions as f64)
+        .map(|record| {
+            record.metrics.iprefetch_translation_walks as f64 * 1000.0
+                / record.metrics.instructions as f64
+        })
         .collect();
 
     Fig10Result {
         speedup_free_translation: geometric_mean(&free),
-        speedup_with_translation: geometric_mean(
-            &costly.iter().map(|(s, _)| *s).collect::<Vec<_>>(),
-        ),
+        speedup_with_translation: geometric_mean(&costly_speedups),
         mean_walk_reduction: mean(&walk_reductions),
         crossing_walks_pki: mean(&crossing),
     }
@@ -122,7 +134,7 @@ mod tests {
 
     #[test]
     fn translation_cost_erodes_the_gain() {
-        let r = run(&Scale::test());
+        let r = run(&Runner::new(2), &Scale::test());
         assert!(
             r.speedup_with_translation <= r.speedup_free_translation + 0.01,
             "the IPC-1 view must look at least as good as the real view: {r:?}"

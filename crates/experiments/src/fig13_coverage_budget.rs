@@ -7,12 +7,11 @@
 
 use std::fmt;
 
-use morrigan::{IripConfig, Morrigan, MorriganConfig};
-use morrigan_sim::SystemConfig;
+use morrigan::{IripConfig, MorriganConfig};
 use morrigan_types::stats::mean;
 use serde::{Deserialize, Serialize};
 
-use crate::common::{run_server, Scale};
+use crate::common::{server_spec, RunSpec, Runner, Scale};
 
 /// Budget scale factors applied to the default geometry.
 pub const SCALES: [f64; 6] = [0.25, 0.5, 1.0, 2.0, 4.0, 8.0];
@@ -34,28 +33,32 @@ pub struct Fig13Result {
 }
 
 /// Runs the experiment.
-pub fn run(scale: &Scale) -> Fig13Result {
+pub fn run(runner: &Runner, scale: &Scale) -> Fig13Result {
     let suite = scale.suite();
-    let points = SCALES
-        .iter()
-        .map(|&factor| {
-            let irip = IripConfig::fully_associative().scaled(factor);
-            let storage_kb = irip.storage_kb();
-            let coverages: Vec<f64> = suite
+    let n = suite.len();
+    let mut specs: Vec<RunSpec> = Vec::with_capacity(SCALES.len() * n);
+    let mut storage_kbs = Vec::with_capacity(SCALES.len());
+    for &factor in &SCALES {
+        let irip = IripConfig::fully_associative().scaled(factor);
+        storage_kbs.push(irip.storage_kb());
+        let mcfg = MorriganConfig {
+            irip,
+            ..MorriganConfig::default()
+        };
+        specs.extend(
+            suite
                 .iter()
-                .map(|cfg| {
-                    let mcfg = MorriganConfig {
-                        irip: irip.clone(),
-                        ..MorriganConfig::default()
-                    };
-                    run_server(
-                        cfg,
-                        SystemConfig::default(),
-                        scale.sim(),
-                        Box::new(Morrigan::new(mcfg)),
-                    )
-                    .coverage()
-                })
+                .map(|cfg| server_spec(cfg, scale, mcfg.clone())),
+        );
+    }
+    let records = runner.run_batch(&specs);
+    let points = storage_kbs
+        .into_iter()
+        .enumerate()
+        .map(|(i, storage_kb)| {
+            let coverages: Vec<f64> = records[i * n..(i + 1) * n]
+                .iter()
+                .map(|record| record.metrics.coverage())
                 .collect();
             BudgetPoint {
                 storage_kb,
@@ -83,7 +86,7 @@ mod tests {
     #[test]
     #[cfg_attr(debug_assertions, ignore = "needs trained tables; run with --release")]
     fn coverage_grows_then_plateaus() {
-        let r = run(&Scale::test_long());
+        let r = run(&Runner::new(4), &Scale::test_long());
         assert_eq!(r.points.len(), SCALES.len());
         // Monotone non-decreasing (small tolerance for run noise).
         for w in r.points.windows(2) {

@@ -7,12 +7,11 @@
 
 use std::fmt;
 
-use morrigan::{IripConfig, Morrigan, MorriganConfig, ReplacementPolicy};
-use morrigan_sim::SystemConfig;
+use morrigan::{IripConfig, MorriganConfig, ReplacementPolicy};
 use morrigan_types::stats::mean;
 use serde::{Deserialize, Serialize};
 
-use crate::common::{run_server, Scale};
+use crate::common::{server_spec, RunSpec, Runner, Scale};
 
 /// Budget scale factors (a subset of Fig 13's, for runtime).
 pub const SCALES: [f64; 3] = [0.5, 1.0, 4.0];
@@ -55,37 +54,43 @@ impl Fig14Result {
 }
 
 /// Runs the experiment.
-pub fn run(scale: &Scale) -> Fig14Result {
+pub fn run(runner: &Runner, scale: &Scale) -> Fig14Result {
     let suite = scale.suite();
-    let mut points = Vec::new();
+    let n = suite.len();
+    let mut specs: Vec<RunSpec> = Vec::new();
+    let mut labels = Vec::new();
     for &factor in &SCALES {
         for policy in ReplacementPolicy::ALL {
             let mut irip = IripConfig::fully_associative().scaled(factor);
             irip.policy = policy;
-            let storage_kb = irip.storage_kb();
-            let coverages: Vec<f64> = suite
+            labels.push((policy, irip.storage_kb()));
+            let mcfg = MorriganConfig {
+                irip,
+                ..MorriganConfig::default()
+            };
+            specs.extend(
+                suite
+                    .iter()
+                    .map(|cfg| server_spec(cfg, scale, mcfg.clone())),
+            );
+        }
+    }
+    let records = runner.run_batch(&specs);
+    let points = labels
+        .into_iter()
+        .enumerate()
+        .map(|(i, (policy, storage_kb))| {
+            let coverages: Vec<f64> = records[i * n..(i + 1) * n]
                 .iter()
-                .map(|cfg| {
-                    let mcfg = MorriganConfig {
-                        irip: irip.clone(),
-                        ..MorriganConfig::default()
-                    };
-                    run_server(
-                        cfg,
-                        SystemConfig::default(),
-                        scale.sim(),
-                        Box::new(Morrigan::new(mcfg)),
-                    )
-                    .coverage()
-                })
+                .map(|record| record.metrics.coverage())
                 .collect();
-            points.push(PolicyPoint {
+            PolicyPoint {
                 policy: policy.name().to_string(),
                 storage_kb,
                 coverage: mean(&coverages),
-            });
-        }
-    }
+            }
+        })
+        .collect();
     Fig14Result { points }
 }
 
@@ -113,7 +118,7 @@ mod tests {
     #[test]
     #[cfg_attr(debug_assertions, ignore = "needs trained tables; run with --release")]
     fn frequency_beats_recency_at_small_budgets() {
-        let r = run(&Scale::test_long());
+        let r = run(&Runner::new(4), &Scale::test_long());
         // At the smallest budget, RLFU should not lose to LRU or Random;
         // frequency-based policies should be at least competitive.
         let rlfu = r.coverage_of(ReplacementPolicy::Rlfu, 0);

@@ -7,11 +7,12 @@
 
 use std::fmt;
 
-use morrigan_sim::SystemConfig;
 use morrigan_types::stats::{geometric_mean, mean};
 use serde::{Deserialize, Serialize};
 
-use crate::common::{render_table, run_server, suite_baselines, PrefetcherKind, Scale};
+use crate::common::{
+    baseline_spec, render_table, server_spec, PrefetcherKind, RunSpec, Runner, Scale,
+};
 
 /// One prefetcher's aggregate result.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -48,18 +49,32 @@ pub const KINDS: [PrefetcherKind; 5] = [
 ];
 
 /// Runs the experiment.
-pub fn run(scale: &Scale) -> Fig15Result {
-    let baselines = suite_baselines(scale);
+pub fn run(runner: &Runner, scale: &Scale) -> Fig15Result {
+    let suite = scale.suite();
+    let n = suite.len();
+
+    // One batch: baselines, then each competitor's sweep.
+    let mut specs: Vec<RunSpec> = suite.iter().map(|cfg| baseline_spec(cfg, scale)).collect();
+    for kind in KINDS {
+        specs.extend(suite.iter().map(|cfg| server_spec(cfg, scale, kind)));
+    }
+    let records = runner.run_batch(&specs);
+    let baselines = &records[..n];
+
     let rows = KINDS
         .iter()
-        .map(|&kind| {
-            let mut speedups = Vec::new();
-            let mut coverages = Vec::new();
-            for (cfg, base) in &baselines {
-                let m = run_server(cfg, SystemConfig::default(), scale.sim(), kind.build());
-                speedups.push(m.speedup_over(base));
-                coverages.push(m.coverage());
-            }
+        .enumerate()
+        .map(|(k, kind)| {
+            let chunk = &records[n * (k + 1)..n * (k + 2)];
+            let speedups: Vec<f64> = chunk
+                .iter()
+                .zip(baselines)
+                .map(|(record, base)| record.metrics.speedup_over(&base.metrics))
+                .collect();
+            let coverages: Vec<f64> = chunk
+                .iter()
+                .map(|record| record.metrics.coverage())
+                .collect();
             IsoRow {
                 prefetcher: kind.name().to_string(),
                 geomean_speedup: geometric_mean(&speedups),
@@ -105,7 +120,7 @@ mod tests {
     #[test]
     #[cfg_attr(debug_assertions, ignore = "needs trained tables; run with --release")]
     fn morrigan_wins_the_iso_comparison() {
-        let r = run(&Scale::test_long());
+        let r = run(&Runner::new(4), &Scale::test_long());
         let morrigan = r.row("morrigan").expect("morrigan row");
         for row in &r.rows {
             if row.prefetcher != "morrigan" {

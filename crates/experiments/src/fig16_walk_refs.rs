@@ -9,10 +9,9 @@
 
 use std::fmt;
 
-use morrigan_sim::SystemConfig;
 use serde::{Deserialize, Serialize};
 
-use crate::common::{run_server, suite_baselines, PrefetcherKind, Scale};
+use crate::common::{baseline_spec, server_spec, PrefetcherKind, RunSpec, Runner, Scale};
 
 /// One prefetcher's normalized walk-reference counts.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -42,29 +41,44 @@ impl Fig16Result {
     }
 }
 
+/// The prefetchers compared, in figure order.
+const KINDS: [PrefetcherKind; 5] = [
+    PrefetcherKind::Sp,
+    PrefetcherKind::AspIso,
+    PrefetcherKind::DpIso,
+    PrefetcherKind::MpIso,
+    PrefetcherKind::Morrigan,
+];
+
 /// Runs the experiment.
-pub fn run(scale: &Scale) -> Fig16Result {
-    let baselines = suite_baselines(scale);
+pub fn run(runner: &Runner, scale: &Scale) -> Fig16Result {
+    let suite = scale.suite();
+    let n = suite.len();
+
+    let mut specs: Vec<RunSpec> = suite.iter().map(|cfg| baseline_spec(cfg, scale)).collect();
+    for kind in KINDS {
+        specs.extend(suite.iter().map(|cfg| server_spec(cfg, scale, kind)));
+    }
+    let records = runner.run_batch(&specs);
+    let base_demand: u64 = records[..n]
+        .iter()
+        .map(|record| record.metrics.demand_instr_walk_refs())
+        .sum();
+
     let mut rows = Vec::new();
     let mut morrigan_levels = [0u64; 4];
-
-    for kind in [
-        PrefetcherKind::Sp,
-        PrefetcherKind::AspIso,
-        PrefetcherKind::DpIso,
-        PrefetcherKind::MpIso,
-        PrefetcherKind::Morrigan,
-    ] {
+    for (k, kind) in KINDS.iter().enumerate() {
+        let chunk = &records[n * (k + 1)..n * (k + 2)];
         let mut demand = 0u64;
         let mut prefetch = 0u64;
-        let mut base_demand = 0u64;
-        for (cfg, base) in &baselines {
-            let m = run_server(cfg, SystemConfig::default(), scale.sim(), kind.build());
-            demand += m.demand_instr_walk_refs();
-            prefetch += m.prefetch_walk_refs();
-            base_demand += base.demand_instr_walk_refs();
-            if kind == PrefetcherKind::Morrigan {
-                for (level, refs) in morrigan_levels.iter_mut().zip(m.walk_refs_by_level) {
+        for record in chunk {
+            demand += record.metrics.demand_instr_walk_refs();
+            prefetch += record.metrics.prefetch_walk_refs();
+            if *kind == PrefetcherKind::Morrigan {
+                for (level, refs) in morrigan_levels
+                    .iter_mut()
+                    .zip(record.metrics.walk_refs_by_level)
+                {
                     *level += refs;
                 }
             }
@@ -120,7 +134,7 @@ mod tests {
     #[test]
     #[cfg_attr(debug_assertions, ignore = "needs trained tables; run with --release")]
     fn morrigan_trades_demand_refs_for_prefetch_refs() {
-        let r = run(&Scale::test_long());
+        let r = run(&Runner::new(4), &Scale::test_long());
         let morrigan = r.row("morrigan").expect("morrigan row");
         // Morrigan removes a large share of demand references...
         assert!(

@@ -7,11 +7,12 @@
 
 use std::fmt;
 
-use morrigan_sim::SystemConfig;
 use morrigan_types::stats::{geometric_mean, mean};
 use serde::{Deserialize, Serialize};
 
-use crate::common::{run_server, suite_baselines, PrefetcherKind, Scale};
+use crate::common::{
+    baseline_spec, server_spec, PrefetcherKind, RunRecord, RunSpec, Runner, Scale,
+};
 
 /// The figure's data.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -27,20 +28,31 @@ pub struct Fig17Result {
 }
 
 /// Runs the experiment.
-pub fn run(scale: &Scale) -> Fig17Result {
-    let baselines = suite_baselines(scale);
-    let measure = |kind: PrefetcherKind| {
-        let mut speedups = Vec::new();
-        let mut coverages = Vec::new();
-        for (cfg, base) in &baselines {
-            let m = run_server(cfg, SystemConfig::default(), scale.sim(), kind.build());
-            speedups.push(m.speedup_over(base));
-            coverages.push(m.coverage());
-        }
+pub fn run(runner: &Runner, scale: &Scale) -> Fig17Result {
+    let suite = scale.suite();
+    let n = suite.len();
+
+    let mut specs: Vec<RunSpec> = suite.iter().map(|cfg| baseline_spec(cfg, scale)).collect();
+    for kind in [PrefetcherKind::Morrigan, PrefetcherKind::MorriganMono] {
+        specs.extend(suite.iter().map(|cfg| server_spec(cfg, scale, kind)));
+    }
+    let records = runner.run_batch(&specs);
+    let baselines = &records[..n];
+
+    let measure = |chunk: &[std::sync::Arc<RunRecord>]| {
+        let speedups: Vec<f64> = chunk
+            .iter()
+            .zip(baselines)
+            .map(|(record, base)| record.metrics.speedup_over(&base.metrics))
+            .collect();
+        let coverages: Vec<f64> = chunk
+            .iter()
+            .map(|record| record.metrics.coverage())
+            .collect();
         (geometric_mean(&speedups), mean(&coverages))
     };
-    let (ensemble_speedup, ensemble_coverage) = measure(PrefetcherKind::Morrigan);
-    let (mono_speedup, mono_coverage) = measure(PrefetcherKind::MorriganMono);
+    let (ensemble_speedup, ensemble_coverage) = measure(&records[n..2 * n]);
+    let (mono_speedup, mono_coverage) = measure(&records[2 * n..]);
     Fig17Result {
         ensemble_speedup,
         mono_speedup,
@@ -74,7 +86,7 @@ mod tests {
     #[test]
     #[cfg_attr(debug_assertions, ignore = "needs trained tables; run with --release")]
     fn ensemble_beats_mono() {
-        let r = run(&Scale::test_long());
+        let r = run(&Runner::new(4), &Scale::test_long());
         assert!(
             r.ensemble_coverage >= r.mono_coverage - 0.01,
             "the ensemble tracks more pages for the same storage: {r:?}"

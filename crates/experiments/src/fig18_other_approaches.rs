@@ -16,12 +16,11 @@
 use std::fmt;
 
 use morrigan_sim::SystemConfig;
-use morrigan_types::prefetcher::NullPrefetcher;
 use morrigan_types::stats::geometric_mean;
 use morrigan_vm::{PrefetchPlacement, TlbConfig};
 use serde::{Deserialize, Serialize};
 
-use crate::common::{render_table, run_server, suite_baselines, PrefetcherKind, Scale};
+use crate::common::{baseline_spec, render_table, PrefetcherKind, RunSpec, Runner, Scale};
 
 /// One approach's aggregate speedup.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -50,26 +49,9 @@ impl Fig18Result {
 }
 
 /// Runs the experiment.
-pub fn run(scale: &Scale) -> Fig18Result {
-    let baselines = suite_baselines(scale);
-    let mut rows = Vec::new();
-
-    let mut measure = |name: &str, system: SystemConfig, kind: Option<PrefetcherKind>| {
-        let speedups: Vec<f64> = baselines
-            .iter()
-            .map(|(cfg, base)| {
-                let prefetcher = match kind {
-                    Some(k) => k.build(),
-                    None => Box::new(NullPrefetcher),
-                };
-                run_server(cfg, system, scale.sim(), prefetcher).speedup_over(base)
-            })
-            .collect();
-        rows.push(ApproachRow {
-            approach: name.to_string(),
-            geomean_speedup: geometric_mean(&speedups),
-        });
-    };
+pub fn run(runner: &Runner, scale: &Scale) -> Fig18Result {
+    let suite = scale.suite();
+    let n = suite.len();
 
     // Enlarged STLB, no prefetching.
     let mut big_stlb = SystemConfig::default();
@@ -78,32 +60,56 @@ pub fn run(scale: &Scale) -> Fig18Result {
         ways: 15,
         latency: 8,
     };
-    measure("enlarged-stlb", big_stlb, None);
-
-    // Morrigan.
-    measure(
-        "morrigan",
-        SystemConfig::default(),
-        Some(PrefetcherKind::Morrigan),
-    );
-
     // P2TLB: Morrigan prefetching straight into the STLB.
     let mut p2tlb = SystemConfig::default();
     p2tlb.mmu.placement = PrefetchPlacement::Stlb;
-    measure("p2tlb", p2tlb, Some(PrefetcherKind::Morrigan));
-
-    // ASAP without prefetching.
+    // ASAP: accelerated page walks.
     let mut asap = SystemConfig::default();
     asap.mmu.walker.asap = true;
-    measure("asap", asap, None);
-
-    // Morrigan + ASAP.
-    measure("morrigan+asap", asap, Some(PrefetcherKind::Morrigan));
-
     // Perfect iSTLB.
     let mut perfect = SystemConfig::default();
     perfect.mmu.perfect_istlb = true;
-    measure("perfect-istlb", perfect, None);
+
+    let approaches: Vec<(&str, SystemConfig, PrefetcherKind)> = vec![
+        ("enlarged-stlb", big_stlb, PrefetcherKind::None),
+        (
+            "morrigan",
+            SystemConfig::default(),
+            PrefetcherKind::Morrigan,
+        ),
+        ("p2tlb", p2tlb, PrefetcherKind::Morrigan),
+        ("asap", asap, PrefetcherKind::None),
+        ("morrigan+asap", asap, PrefetcherKind::Morrigan),
+        ("perfect-istlb", perfect, PrefetcherKind::None),
+    ];
+
+    // One batch: baselines, then each approach's sweep.
+    let mut specs: Vec<RunSpec> = suite.iter().map(|cfg| baseline_spec(cfg, scale)).collect();
+    for (_, system, kind) in &approaches {
+        specs.extend(
+            suite
+                .iter()
+                .map(|cfg| RunSpec::server(cfg, *system, scale.sim(), *kind)),
+        );
+    }
+    let records = runner.run_batch(&specs);
+    let baselines = &records[..n];
+
+    let rows = approaches
+        .iter()
+        .enumerate()
+        .map(|(k, (name, _, _))| {
+            let speedups: Vec<f64> = records[n * (k + 1)..n * (k + 2)]
+                .iter()
+                .zip(baselines)
+                .map(|(record, base)| record.metrics.speedup_over(&base.metrics))
+                .collect();
+            ApproachRow {
+                approach: name.to_string(),
+                geomean_speedup: geometric_mean(&speedups),
+            }
+        })
+        .collect();
 
     Fig18Result { rows }
 }
@@ -139,7 +145,7 @@ mod tests {
     #[test]
     #[cfg_attr(debug_assertions, ignore = "needs trained tables; run with --release")]
     fn orderings_match_paper() {
-        let r = run(&Scale::test_long());
+        let r = run(&Runner::new(4), &Scale::test_long());
         let get = |n: &str| r.speedup_of(n).expect(n);
         // Morrigan competes with spending the same storage on STLB
         // capacity. (In the paper Morrigan wins outright; on this

@@ -9,11 +9,10 @@
 use std::fmt;
 
 use morrigan_sim::{IcachePrefetcherKind, SystemConfig};
-use morrigan_types::prefetcher::NullPrefetcher;
 use morrigan_types::stats::{geometric_mean, mean};
 use serde::{Deserialize, Serialize};
 
-use crate::common::{run_server, suite_baselines, PrefetcherKind, Scale};
+use crate::common::{baseline_spec, PrefetcherKind, RunSpec, Runner, Scale};
 
 /// The figure's data.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -30,45 +29,58 @@ pub struct Fig19Result {
 }
 
 /// Runs the experiment.
-pub fn run(scale: &Scale) -> Fig19Result {
-    let baselines = suite_baselines(scale);
+pub fn run(runner: &Runner, scale: &Scale) -> Fig19Result {
+    let suite = scale.suite();
+    let n = suite.len();
 
-    let mut fnl_system = SystemConfig::default();
-    fnl_system.icache_prefetcher = IcachePrefetcherKind::FnlMma {
-        translation_cost: true,
+    let fnl_system = SystemConfig {
+        icache_prefetcher: IcachePrefetcherKind::FnlMma {
+            translation_cost: true,
+        },
+        ..SystemConfig::default()
     };
 
-    let mut fnl = Vec::new();
-    let mut morrigan = Vec::new();
-    let mut combined = Vec::new();
-    let mut ready = Vec::new();
-    for (cfg, base) in &baselines {
-        let m = run_server(cfg, fnl_system, scale.sim(), Box::new(NullPrefetcher));
-        fnl.push(m.speedup_over(base));
-
-        let m = run_server(
-            cfg,
-            SystemConfig::default(),
-            scale.sim(),
-            PrefetcherKind::Morrigan.build(),
+    // One batch: baselines, FNL+MMA alone, Morrigan alone, combined.
+    let mut specs: Vec<RunSpec> = suite.iter().map(|cfg| baseline_spec(cfg, scale)).collect();
+    let variants: [(SystemConfig, PrefetcherKind); 3] = [
+        (fnl_system, PrefetcherKind::None),
+        (SystemConfig::default(), PrefetcherKind::Morrigan),
+        (fnl_system, PrefetcherKind::Morrigan),
+    ];
+    for (system, kind) in variants {
+        specs.extend(
+            suite
+                .iter()
+                .map(|cfg| RunSpec::server(cfg, system, scale.sim(), kind)),
         );
-        morrigan.push(m.speedup_over(base));
-
-        let m = run_server(
-            cfg,
-            fnl_system,
-            scale.sim(),
-            PrefetcherKind::Morrigan.build(),
-        );
-        combined.push(m.speedup_over(base));
-        let crossings = m.iprefetch_translation_ready + m.iprefetch_translation_walks;
-        ready.push(m.iprefetch_translation_ready as f64 / crossings.max(1) as f64);
     }
+    let records = runner.run_batch(&specs);
+    let (baselines, rest) = records.split_at(n);
+    let (fnl_records, rest) = rest.split_at(n);
+    let (morrigan_records, combined_records) = rest.split_at(n);
+
+    let geomean_vs_baseline = |chunk: &[std::sync::Arc<crate::common::RunRecord>]| {
+        let speedups: Vec<f64> = chunk
+            .iter()
+            .zip(baselines)
+            .map(|(record, base)| record.metrics.speedup_over(&base.metrics))
+            .collect();
+        geometric_mean(&speedups)
+    };
+
+    let ready: Vec<f64> = combined_records
+        .iter()
+        .map(|record| {
+            let m = &record.metrics;
+            let crossings = m.iprefetch_translation_ready + m.iprefetch_translation_walks;
+            m.iprefetch_translation_ready as f64 / crossings.max(1) as f64
+        })
+        .collect();
 
     Fig19Result {
-        fnlmma_speedup: geometric_mean(&fnl),
-        morrigan_speedup: geometric_mean(&morrigan),
-        combined_speedup: geometric_mean(&combined),
+        fnlmma_speedup: geomean_vs_baseline(fnl_records),
+        morrigan_speedup: geomean_vs_baseline(morrigan_records),
+        combined_speedup: geomean_vs_baseline(combined_records),
         crossing_translation_ready: mean(&ready),
     }
 }
@@ -106,7 +118,7 @@ mod tests {
     #[test]
     #[cfg_attr(debug_assertions, ignore = "needs trained tables; run with --release")]
     fn combination_beats_each_alone() {
-        let r = run(&Scale::test_long());
+        let r = run(&Runner::new(4), &Scale::test_long());
         assert!(r.combined_speedup >= r.morrigan_speedup - 0.005, "{r:?}");
         assert!(r.combined_speedup >= r.fnlmma_speedup - 0.005, "{r:?}");
         assert!(

@@ -8,15 +8,12 @@
 
 use std::fmt;
 
-use morrigan::{Morrigan, MorriganConfig};
-use morrigan_sim::{IcachePrefetcherKind, Metrics, SimConfig, Simulator, SystemConfig};
-use morrigan_types::prefetcher::NullPrefetcher;
+use morrigan::MorriganConfig;
+use morrigan_sim::{IcachePrefetcherKind, SystemConfig};
 use morrigan_types::stats::geometric_mean;
-use morrigan_types::TlbPrefetcher;
-use morrigan_workloads::{ServerWorkload, ServerWorkloadConfig};
 use serde::{Deserialize, Serialize};
 
-use crate::common::Scale;
+use crate::common::{PrefetcherKind, PrefetcherSpec, RunSpec, Runner, Scale};
 
 /// The figure's data.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -32,77 +29,56 @@ pub struct Fig20Result {
     pub morrigan_undoubled_speedup: f64,
 }
 
-fn run_pair(
-    pair: &(ServerWorkloadConfig, ServerWorkloadConfig),
-    system: SystemConfig,
-    sim: SimConfig,
-    prefetcher: Box<dyn TlbPrefetcher>,
-) -> Metrics {
-    let mut simulator = Simulator::new_smt(
-        system,
-        vec![
-            Box::new(ServerWorkload::new(pair.0.clone())),
-            Box::new(ServerWorkload::new(pair.1.clone())),
-        ],
-        prefetcher,
-    );
-    simulator.run(sim)
-}
-
 /// Runs the experiment.
-pub fn run(scale: &Scale) -> Fig20Result {
+pub fn run(runner: &Runner, scale: &Scale) -> Fig20Result {
     let pairs = morrigan_workloads::suites::smt_pairs(scale.smt_pairs);
-    let sim = scale.sim();
+    let n = pairs.len();
 
-    let mut fnl_system = SystemConfig::default();
-    fnl_system.icache_prefetcher = IcachePrefetcherKind::FnlMma {
-        translation_cost: true,
+    let fnl_system = SystemConfig {
+        icache_prefetcher: IcachePrefetcherKind::FnlMma {
+            translation_cost: true,
+        },
+        ..SystemConfig::default()
+    };
+    // Single-thread-sized tables still configured for two threads.
+    let undoubled_cfg = MorriganConfig {
+        max_threads: 2,
+        ..MorriganConfig::default()
     };
 
-    let mut morrigan = Vec::new();
-    let mut fnl = Vec::new();
-    let mut combined = Vec::new();
-    let mut undoubled = Vec::new();
-    for pair in &pairs {
-        let base = run_pair(pair, SystemConfig::default(), sim, Box::new(NullPrefetcher));
-
-        let m = run_pair(
-            pair,
-            SystemConfig::default(),
-            sim,
-            Box::new(Morrigan::new(MorriganConfig::smt())),
+    // One batch: baselines, then the four prefetched variants.
+    let variants: [(SystemConfig, PrefetcherSpec); 5] = [
+        (SystemConfig::default(), PrefetcherKind::None.into()),
+        (SystemConfig::default(), PrefetcherKind::MorriganSmt.into()),
+        (fnl_system, PrefetcherKind::None.into()),
+        (fnl_system, PrefetcherKind::MorriganSmt.into()),
+        (SystemConfig::default(), undoubled_cfg.into()),
+    ];
+    let mut specs: Vec<RunSpec> = Vec::with_capacity(variants.len() * n);
+    for (system, prefetcher) in &variants {
+        specs.extend(
+            pairs
+                .iter()
+                .map(|pair| RunSpec::smt(pair, *system, scale.sim(), prefetcher.clone())),
         );
-        morrigan.push(m.speedup_over(&base));
-
-        let m = run_pair(pair, fnl_system, sim, Box::new(NullPrefetcher));
-        fnl.push(m.speedup_over(&base));
-
-        let m = run_pair(
-            pair,
-            fnl_system,
-            sim,
-            Box::new(Morrigan::new(MorriganConfig::smt())),
-        );
-        combined.push(m.speedup_over(&base));
-
-        let single_tables = MorriganConfig {
-            max_threads: 2,
-            ..MorriganConfig::default()
-        };
-        let m = run_pair(
-            pair,
-            SystemConfig::default(),
-            sim,
-            Box::new(Morrigan::new(single_tables)),
-        );
-        undoubled.push(m.speedup_over(&base));
     }
+    let records = runner.run_batch(&specs);
+    let baselines = &records[..n];
+
+    let geomean_vs_baseline = |k: usize| {
+        let speedups: Vec<f64> = records[n * k..n * (k + 1)]
+            .iter()
+            .zip(baselines)
+            .map(|(record, base)| record.metrics.speedup_over(&base.metrics))
+            .collect();
+        geometric_mean(&speedups)
+    };
 
     Fig20Result {
-        morrigan_speedup: geometric_mean(&morrigan),
-        fnlmma_speedup: geometric_mean(&fnl),
-        combined_speedup: geometric_mean(&combined),
-        morrigan_undoubled_speedup: geometric_mean(&undoubled),
+        morrigan_speedup: geomean_vs_baseline(1),
+        fnlmma_speedup: geomean_vs_baseline(2),
+        combined_speedup: geomean_vs_baseline(3),
+        morrigan_undoubled_speedup: geomean_vs_baseline(4),
     }
 }
 
@@ -139,7 +115,7 @@ mod tests {
     #[test]
     #[cfg_attr(debug_assertions, ignore = "needs trained tables; run with --release")]
     fn smt_gains_and_orderings() {
-        let r = run(&Scale::test_long());
+        let r = run(&Runner::new(4), &Scale::test_long());
         assert!(r.morrigan_speedup > 1.0, "{r:?}");
         assert!(r.combined_speedup >= r.morrigan_speedup - 0.01, "{r:?}");
         assert!(

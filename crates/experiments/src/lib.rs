@@ -1,9 +1,14 @@
 //! Per-figure experiment runners regenerating every table and figure of
 //! the Morrigan paper's motivation (§3) and evaluation (§6).
 //!
-//! Each `figXX` module exposes `run(&Scale) -> FigXXResult`; results are
-//! serde-serializable and render as aligned text tables via `Display`. The
-//! `figures` binary runs any subset by name.
+//! Each `figXX` module exposes `run(&Runner, &Scale) -> FigXXResult`: it
+//! declares its simulations as a batch of [`common::RunSpec`]s, hands
+//! them to the shared [`Runner`] (worker pool + content-keyed result
+//! cache, see the `morrigan-runner` crate), and folds the returned
+//! records into its result struct. Results are serde-serializable and
+//! render as aligned text tables via `Display`. The `figures` binary
+//! runs any subset by name and shares one `Runner` across figures, so
+//! common baselines are simulated exactly once per invocation.
 //!
 //! ## Scaling
 //!
@@ -41,4 +46,4 @@ pub mod fig19_icache_synergy;
 pub mod fig20_smt;
 pub mod tuning;
 
-pub use common::{PrefetcherKind, Scale};
+pub use common::{PrefetcherKind, RunRecord, RunSpec, Runner, Scale};

@@ -9,12 +9,12 @@
 
 use std::fmt;
 
-use morrigan::{IripConfig, Morrigan, MorriganConfig};
+use morrigan::{IripConfig, MorriganConfig};
 use morrigan_sim::SystemConfig;
 use morrigan_types::stats::mean;
 use serde::{Deserialize, Serialize};
 
-use crate::common::{run_server, Scale};
+use crate::common::{RunSpec, Runner, Scale};
 
 /// One configuration's mean coverage (and prefetch-walk cost).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -43,96 +43,112 @@ impl TuningResult {
 }
 
 /// Runs the study.
-pub fn run(scale: &Scale) -> TuningResult {
+pub fn run(runner: &Runner, scale: &Scale) -> TuningResult {
     let suite = scale.suite();
-    let mut rows = Vec::new();
+    let n = suite.len();
 
-    let mut measure = |name: &str, mcfg: MorriganConfig, system: SystemConfig| {
-        let mut coverages = Vec::new();
-        let mut refs = Vec::new();
-        for cfg in &suite {
-            let m = run_server(
-                cfg,
-                system,
-                scale.sim(),
-                Box::new(Morrigan::new(mcfg.clone())),
-            );
-            coverages.push(m.coverage());
-            refs.push(m.prefetch_walk_refs() as f64 * 1000.0 / m.instructions as f64);
-        }
-        rows.push(TuningRow {
-            config: name.to_string(),
-            coverage: mean(&coverages),
-            prefetch_refs_pki: mean(&refs),
-        });
-    };
-
-    // Associativity.
-    measure(
-        "set-assoc (paper)",
-        MorriganConfig::default(),
-        SystemConfig::default(),
-    );
-    measure(
-        "fully-assoc",
-        MorriganConfig {
-            irip: IripConfig::fully_associative(),
-            ..MorriganConfig::default()
-        },
-        SystemConfig::default(),
-    );
+    let mut configs: Vec<(String, MorriganConfig, SystemConfig)> = vec![
+        // Associativity.
+        (
+            "set-assoc (paper)".into(),
+            MorriganConfig::default(),
+            SystemConfig::default(),
+        ),
+        (
+            "fully-assoc".into(),
+            MorriganConfig {
+                irip: IripConfig::fully_associative(),
+                ..MorriganConfig::default()
+            },
+            SystemConfig::default(),
+        ),
+    ];
 
     // PB sizes.
     for pb in [16usize, 32, 64, 128] {
         let mut system = SystemConfig::default();
         system.mmu.pb_entries = pb;
-        measure(&format!("pb-{pb}"), MorriganConfig::default(), system);
+        configs.push((format!("pb-{pb}"), MorriganConfig::default(), system));
     }
 
     // Ablations.
-    measure(
-        "abl: spatial on all slots",
+    configs.push((
+        "abl: spatial on all slots".into(),
         MorriganConfig {
             spatial_max_conf_only: false,
             ..MorriganConfig::default()
         },
         SystemConfig::default(),
-    );
-    measure(
-        "abl: sdp always on",
+    ));
+    configs.push((
+        "abl: sdp always on".into(),
         MorriganConfig {
             sdp_only_on_irip_miss: false,
             ..MorriganConfig::default()
         },
         SystemConfig::default(),
-    );
-    measure(
-        "abl: sdp disabled",
+    ));
+    configs.push((
+        "abl: sdp disabled".into(),
         MorriganConfig {
             sdp_enabled: false,
             ..MorriganConfig::default()
         },
         SystemConfig::default(),
-    );
+    ));
     // §4.3 strategy variants.
     {
         let mut system = SystemConfig::default();
         system.mmu.engage_on_stlb_hits = true;
-        measure(
-            "abl: engage on STLB hits",
+        configs.push((
+            "abl: engage on STLB hits".into(),
             MorriganConfig::default(),
             system,
+        ));
+    }
+    configs.push((
+        "abl: context switch 500k".into(),
+        MorriganConfig::default(),
+        SystemConfig {
+            context_switch_interval: Some(500_000),
+            ..SystemConfig::default()
+        },
+    ));
+
+    // One batch: every configuration across the whole suite.
+    let mut specs: Vec<RunSpec> = Vec::with_capacity(configs.len() * n);
+    for (_, mcfg, system) in &configs {
+        specs.extend(
+            suite
+                .iter()
+                .map(|cfg| RunSpec::server(cfg, *system, scale.sim(), mcfg.clone())),
         );
     }
-    {
-        let mut system = SystemConfig::default();
-        system.context_switch_interval = Some(500_000);
-        measure(
-            "abl: context switch 500k",
-            MorriganConfig::default(),
-            system,
-        );
-    }
+    let records = runner.run_batch(&specs);
+
+    let rows = configs
+        .into_iter()
+        .enumerate()
+        .map(|(i, (name, _, _))| {
+            let chunk = &records[i * n..(i + 1) * n];
+            let coverages: Vec<f64> = chunk
+                .iter()
+                .map(|record| record.metrics.coverage())
+                .collect();
+            let refs: Vec<f64> = chunk
+                .iter()
+                .map(|record| {
+                    record.metrics.prefetch_walk_refs() as f64 * 1000.0
+                        / record.metrics.instructions as f64
+                })
+                .collect();
+            TuningRow {
+                config: name,
+                coverage: mean(&coverages),
+                prefetch_refs_pki: mean(&refs),
+            }
+        })
+        .collect();
 
     TuningResult { rows }
 }
@@ -165,7 +181,7 @@ mod tests {
     #[test]
     #[cfg_attr(debug_assertions, ignore = "needs trained tables; run with --release")]
     fn pb_size_matters_and_ablations_behave() {
-        let r = run(&Scale::test_long());
+        let r = run(&Runner::new(4), &Scale::test_long());
         let get = |n: &str| r.row(n).expect(n);
         // Bigger PBs help (the paper: 16/32 entries cost 4–12 % coverage).
         assert!(get("pb-64").coverage >= get("pb-16").coverage - 0.02, "{r}");

@@ -7,7 +7,10 @@ use morrigan_experiments::*;
 #[test]
 fn fig02_renders() {
     let r = fig02_java_mpki::Fig02Result {
-        rows: vec![fig02_java_mpki::JavaMpkiRow { workload: "cassandra".into(), istlb_mpki: 1.5 }],
+        rows: vec![fig02_java_mpki::JavaMpkiRow {
+            workload: "cassandra".into(),
+            istlb_mpki: 1.5,
+        }],
     };
     let text = r.to_string();
     assert!(text.contains("Fig 2"));
@@ -17,8 +20,15 @@ fn fig02_renders() {
 
 #[test]
 fn fig03_renders() {
-    let mk = |v| fig03_frontend_mpki::SuiteMpki { l1i: v, itlb: v, istlb: v };
-    let r = fig03_frontend_mpki::Fig03Result { spec: mk(0.5), qmm: mk(10.0) };
+    let mk = |v| fig03_frontend_mpki::SuiteMpki {
+        l1i: v,
+        itlb: v,
+        istlb: v,
+    };
+    let r = fig03_frontend_mpki::Fig03Result {
+        spec: mk(0.5),
+        qmm: mk(10.0),
+    };
     let text = r.to_string();
     assert!(text.contains("SPEC-like"));
     assert!(text.contains("QMM-like"));
@@ -48,16 +58,25 @@ fn fig04_renders_threshold_summary() {
 
 #[test]
 fn fig05_renders_and_indexes() {
-    let r = fig05_delta_cdf::Fig05Result { cdf: vec![0.1; fig05_delta_cdf::BOUNDS.len()] };
+    let r = fig05_delta_cdf::Fig05Result {
+        cdf: vec![0.1; fig05_delta_cdf::BOUNDS.len()],
+    };
     assert!((r.small_delta_fraction() - 0.1).abs() < 1e-12);
     assert!(r.to_string().contains("delta <= 1"));
 }
 
 #[test]
 fn fig07_and_fig08_render() {
-    let f7 = fig07_successors::Fig07Result { fractions: [0.4, 0.2, 0.2, 0.15, 0.05] };
+    let f7 = fig07_successors::Fig07Result {
+        fractions: [0.4, 0.2, 0.2, 0.15, 0.05],
+    };
     assert!(f7.to_string().contains(">8"));
-    let f8 = fig08_successor_prob::Fig08Result { first: 0.5, second: 0.2, third: 0.1, other: 0.2 };
+    let f8 = fig08_successor_prob::Fig08Result {
+        first: 0.5,
+        second: 0.2,
+        third: 0.1,
+        other: 0.2,
+    };
     let text = f8.to_string();
     assert!(text.contains("50.0%"));
     assert!(text.contains("top-50"));
@@ -92,7 +111,10 @@ fn fig10_renders() {
 #[test]
 fn fig13_renders() {
     let r = fig13_coverage_budget::Fig13Result {
-        points: vec![fig13_coverage_budget::BudgetPoint { storage_kb: 3.76, coverage: 0.81 }],
+        points: vec![fig13_coverage_budget::BudgetPoint {
+            storage_kb: 3.76,
+            coverage: 0.81,
+        }],
     };
     let text = r.to_string();
     assert!(text.contains("3.76 KB"));

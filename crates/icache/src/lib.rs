@@ -40,7 +40,12 @@ impl LinePrefetch {
 }
 
 /// The interface the simulator's front end drives on every fetched line.
-pub trait ICachePrefetcher: fmt::Debug {
+///
+/// `Send` lets a boxed prefetcher travel with its [`Simulator`] onto an
+/// experiment-runner worker thread; implementors hold only owned tables.
+///
+/// [`Simulator`]: https://docs.rs/morrigan-sim
+pub trait ICachePrefetcher: fmt::Debug + Send {
     /// Short identifier for experiment output.
     fn name(&self) -> &'static str;
 

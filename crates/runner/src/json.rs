@@ -1,0 +1,274 @@
+//! A small hand-rolled JSON emitter for [`RunRecord`]s.
+//!
+//! The workspace deliberately has no JSON dependency (the simulator and
+//! experiments are dependency-free beyond `serde` derives), so the
+//! `figures --json` output is rendered by hand here. The schema is flat
+//! and stable: one object per record with the workload/prefetcher
+//! identity, the run lengths, the system knobs that distinguish specs,
+//! and the full measurement metrics.
+
+use std::sync::Arc;
+
+use morrigan_sim::{IcachePrefetcherKind, Metrics};
+
+use crate::spec::{RunRecord, WorkloadSpec};
+
+/// Escapes a string for inclusion in a JSON document (quotes included).
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Renders an `f64` as a JSON number (`null` for NaN/infinity, which
+/// JSON cannot represent).
+pub fn json_f64(x: f64) -> String {
+    if x.is_finite() {
+        // `{:?}` prints the shortest representation that round-trips.
+        format!("{x:?}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn kv(key: &str, value: impl AsRef<str>) -> String {
+    format!("{}: {}", json_string(key), value.as_ref())
+}
+
+fn obj(fields: Vec<String>) -> String {
+    format!("{{{}}}", fields.join(", "))
+}
+
+fn workload_json(workload: &WorkloadSpec) -> String {
+    let class = match workload {
+        WorkloadSpec::Server(_) => "server",
+        WorkloadSpec::Spec(_) => "spec",
+        WorkloadSpec::Smt(_) => "smt",
+    };
+    obj(vec![
+        kv("name", json_string(&workload.name())),
+        kv("class", json_string(class)),
+    ])
+}
+
+fn metrics_json(m: &Metrics) -> String {
+    let mmu = &m.mmu;
+    let walker = &m.walker;
+    let served = &m.l1i_served;
+    obj(vec![
+        kv("instructions", m.instructions.to_string()),
+        kv("cycles", m.cycles.to_string()),
+        kv("ipc", json_f64(m.ipc())),
+        kv("istlb_stall_cycles", m.istlb_stall_cycles.to_string()),
+        kv("icache_stall_cycles", m.icache_stall_cycles.to_string()),
+        kv("istlb_mpki", json_f64(m.istlb_mpki())),
+        kv("itlb_mpki", json_f64(m.itlb_mpki())),
+        kv("dstlb_mpki", json_f64(m.dstlb_mpki())),
+        kv("l1i_mpki", json_f64(m.l1i_mpki())),
+        kv("l1i_misses", m.l1i_misses.to_string()),
+        kv(
+            "walk_refs_by_level",
+            format!(
+                "[{}, {}, {}, {}]",
+                m.walk_refs_by_level[0],
+                m.walk_refs_by_level[1],
+                m.walk_refs_by_level[2],
+                m.walk_refs_by_level[3]
+            ),
+        ),
+        kv(
+            "mmu",
+            obj(vec![
+                kv("instr_translations", mmu.instr_translations.to_string()),
+                kv("itlb_misses", mmu.itlb_misses.to_string()),
+                kv("istlb_misses", mmu.istlb_misses.to_string()),
+                kv("istlb_covered", mmu.istlb_covered.to_string()),
+                kv("istlb_covered_late", mmu.istlb_covered_late.to_string()),
+                kv("data_translations", mmu.data_translations.to_string()),
+                kv("dtlb_misses", mmu.dtlb_misses.to_string()),
+                kv("dstlb_misses", mmu.dstlb_misses.to_string()),
+                kv("prefetches_issued", mmu.prefetches_issued.to_string()),
+                kv("prefetches_duplicate", mmu.prefetches_duplicate.to_string()),
+                kv("spatial_ptes_staged", mmu.spatial_ptes_staged.to_string()),
+                kv("correcting_walks", mmu.correcting_walks.to_string()),
+                kv("shootdowns", mmu.shootdowns.to_string()),
+            ]),
+        ),
+        kv(
+            "walker",
+            obj(vec![
+                kv("demand_instr_walks", walker.demand_instr_walks.to_string()),
+                kv("demand_instr_refs", walker.demand_instr_refs.to_string()),
+                kv(
+                    "demand_instr_latency",
+                    walker.demand_instr_latency.to_string(),
+                ),
+                kv("demand_data_walks", walker.demand_data_walks.to_string()),
+                kv("demand_data_refs", walker.demand_data_refs.to_string()),
+                kv(
+                    "demand_data_latency",
+                    walker.demand_data_latency.to_string(),
+                ),
+                kv("prefetch_walks", walker.prefetch_walks.to_string()),
+                kv("prefetch_refs", walker.prefetch_refs.to_string()),
+                kv("faults_suppressed", walker.faults_suppressed.to_string()),
+            ]),
+        ),
+        kv(
+            "l1i_served",
+            obj(vec![
+                kv("ifetch", served.ifetch.to_string()),
+                kv("data", served.data.to_string()),
+                kv("demand_walk", served.demand_walk.to_string()),
+                kv("prefetch_walk", served.prefetch_walk.to_string()),
+                kv("iprefetch", served.iprefetch.to_string()),
+            ]),
+        ),
+        kv("iprefetch_lines", m.iprefetch_lines.to_string()),
+        kv(
+            "iprefetch_translation_ready",
+            m.iprefetch_translation_ready.to_string(),
+        ),
+        kv(
+            "iprefetch_translation_walks",
+            m.iprefetch_translation_walks.to_string(),
+        ),
+    ])
+}
+
+/// Renders one record as a JSON object.
+pub fn record_json(record: &RunRecord) -> String {
+    let spec = &record.spec;
+    let icache = match spec.system.icache_prefetcher {
+        IcachePrefetcherKind::None => json_string("none"),
+        IcachePrefetcherKind::NextLine => json_string("next-line"),
+        IcachePrefetcherKind::FnlMma { translation_cost } => obj(vec![
+            kv("kind", json_string("fnl-mma")),
+            kv("translation_cost", translation_cost.to_string()),
+        ]),
+    };
+    let miss_stream = match &record.miss_stream {
+        None => "null".to_string(),
+        Some(s) => obj(vec![
+            kv("total_misses", s.total_misses.to_string()),
+            kv("unique_pages", s.page_hist.len().to_string()),
+        ]),
+    };
+    obj(vec![
+        kv("workload", workload_json(&spec.workload)),
+        kv("prefetcher", json_string(spec.prefetcher.name())),
+        kv(
+            "run",
+            obj(vec![
+                kv(
+                    "warmup_instructions",
+                    spec.sim.warmup_instructions.to_string(),
+                ),
+                kv(
+                    "measure_instructions",
+                    spec.sim.measure_instructions.to_string(),
+                ),
+            ]),
+        ),
+        kv(
+            "system",
+            obj(vec![
+                kv("perfect_istlb", spec.system.mmu.perfect_istlb.to_string()),
+                kv(
+                    "collect_stream_stats",
+                    spec.system.mmu.collect_stream_stats.to_string(),
+                ),
+                kv("icache_prefetcher", icache),
+                kv(
+                    "context_switch_interval",
+                    spec.system
+                        .context_switch_interval
+                        .map_or("null".to_string(), |n| n.to_string()),
+                ),
+            ]),
+        ),
+        kv("metrics", metrics_json(&record.metrics)),
+        kv("miss_stream", miss_stream),
+    ])
+}
+
+/// Renders the full `figures --json` document: one entry per figure,
+/// each with the records that figure requested, in request order.
+pub fn figures_document(figures: &[(String, Vec<Arc<RunRecord>>)]) -> String {
+    let mut out = String::from("{\n  \"figures\": [\n");
+    for (i, (name, records)) in figures.iter().enumerate() {
+        out.push_str("    {");
+        out.push_str(&kv("figure", json_string(name)));
+        out.push_str(", \"records\": [\n");
+        for (j, record) in records.iter().enumerate() {
+            out.push_str("      ");
+            out.push_str(&record_json(record));
+            out.push_str(if j + 1 < records.len() { ",\n" } else { "\n" });
+        }
+        out.push_str("    ]}");
+        out.push_str(if i + 1 < figures.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{PrefetcherKind, RunSpec};
+    use morrigan_sim::{SimConfig, SystemConfig};
+    use morrigan_workloads::ServerWorkloadConfig;
+
+    #[test]
+    fn strings_are_escaped() {
+        assert_eq!(json_string("plain"), "\"plain\"");
+        assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn floats_render_as_json_numbers() {
+        assert_eq!(json_f64(1.5), "1.5");
+        assert_eq!(json_f64(f64::NAN), "null");
+        assert_eq!(json_f64(f64::INFINITY), "null");
+    }
+
+    #[test]
+    fn document_has_balanced_structure() {
+        let cfg = ServerWorkloadConfig::qmm_like("json-doc", 3);
+        let spec = RunSpec::server(
+            &cfg,
+            SystemConfig::default(),
+            SimConfig {
+                warmup_instructions: 10_000,
+                measure_instructions: 30_000,
+            },
+            PrefetcherKind::None,
+        );
+        let record = Arc::new(spec.execute());
+        let doc = figures_document(&[("fig99".to_string(), vec![record])]);
+        assert_eq!(
+            doc.matches('{').count(),
+            doc.matches('}').count(),
+            "balanced braces"
+        );
+        assert_eq!(doc.matches('[').count(), doc.matches(']').count());
+        assert!(doc.contains("\"figure\": \"fig99\""));
+        assert!(doc.contains("\"workload\": {\"name\": \"json-doc\""));
+        assert!(doc.contains("\"prefetcher\": \"baseline\""));
+        assert!(doc.contains("\"instructions\": 30000"));
+        assert!(doc.contains("\"miss_stream\": null"));
+    }
+}

@@ -1,0 +1,300 @@
+//! The worker-pool scheduler and deduplicating result cache.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::spec::{RunRecord, RunSpec};
+
+/// Executes [`RunSpec`] batches on a pool of worker threads, memoizing
+/// results by spec content.
+///
+/// One `Runner` is shared across a whole `figures` invocation, so a spec
+/// that several figures declare (the no-prefetch baseline, the default
+/// Morrigan point, …) is simulated exactly once and every consumer gets
+/// the same [`Arc<RunRecord>`].
+///
+/// # Determinism
+///
+/// Batch results are bitwise-identical regardless of worker count or
+/// completion order: each job builds and owns its own `Simulator` (no
+/// shared mutable simulation state), and results are keyed and returned
+/// by spec — never by arrival order. `run_batch` returns records in the
+/// order the specs were given.
+pub struct Runner {
+    threads: usize,
+    verbose: bool,
+    cache: Mutex<HashMap<String, Arc<RunRecord>>>,
+    /// Records every record handed out, in request order, across batches.
+    /// Lets callers attribute records to request ranges (the `figures`
+    /// binary uses watermarks over this journal for its `--json` output).
+    journal: Mutex<Vec<Arc<RunRecord>>>,
+    sims_executed: AtomicU64,
+    cache_hits: AtomicU64,
+}
+
+impl Runner {
+    /// A runner with a fixed worker count (`0` is clamped to `1`).
+    pub fn new(threads: usize) -> Self {
+        Runner {
+            threads: threads.max(1),
+            verbose: false,
+            cache: Mutex::new(HashMap::new()),
+            journal: Mutex::new(Vec::new()),
+            sims_executed: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+        }
+    }
+
+    /// A runner configured from the environment: worker count from
+    /// `MORRIGAN_THREADS` if set (falling back to
+    /// [`std::thread::available_parallelism`]), per-job narration when
+    /// `MORRIGAN_VERBOSE=1`.
+    pub fn from_env() -> Self {
+        let fallback = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let threads =
+            threads_from_env_value(std::env::var("MORRIGAN_THREADS").ok().as_deref(), fallback);
+        Runner::new(threads).verbose(std::env::var("MORRIGAN_VERBOSE").is_ok_and(|v| v == "1"))
+    }
+
+    /// Enables or disables per-job progress narration on stderr.
+    pub fn verbose(mut self, verbose: bool) -> Self {
+        self.verbose = verbose;
+        self
+    }
+
+    /// The worker count used for batches.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Simulations actually executed (cache misses) so far.
+    pub fn sims_executed(&self) -> u64 {
+        self.sims_executed.load(Ordering::Relaxed)
+    }
+
+    /// Requests served from the cache (including duplicates within one
+    /// batch) so far.
+    pub fn cache_hits(&self) -> u64 {
+        self.cache_hits.load(Ordering::Relaxed)
+    }
+
+    /// Number of records handed out so far; use as a watermark with
+    /// [`Runner::journal_since`].
+    pub fn journal_len(&self) -> usize {
+        self.journal.lock().unwrap().len()
+    }
+
+    /// The records handed out since a [`Runner::journal_len`] watermark,
+    /// in request order.
+    pub fn journal_since(&self, watermark: usize) -> Vec<Arc<RunRecord>> {
+        self.journal.lock().unwrap()[watermark..].to_vec()
+    }
+
+    /// Executes one spec (through the cache).
+    pub fn run_one(&self, spec: &RunSpec) -> Arc<RunRecord> {
+        self.run_batch(std::slice::from_ref(spec)).pop().unwrap()
+    }
+
+    /// Executes a batch, returning one record per spec **in spec order**.
+    ///
+    /// Specs already in the cache (or repeated within the batch) are not
+    /// re-simulated; the remaining unique specs are distributed over the
+    /// worker pool.
+    pub fn run_batch(&self, specs: &[RunSpec]) -> Vec<Arc<RunRecord>> {
+        let keys: Vec<String> = specs.iter().map(RunSpec::content_key).collect();
+
+        // Collect the unique, not-yet-cached jobs.
+        let mut pending: Vec<(usize, &RunSpec)> = Vec::new();
+        {
+            let cache = self.cache.lock().unwrap();
+            let mut claimed: HashMap<&str, ()> = HashMap::new();
+            for (i, key) in keys.iter().enumerate() {
+                if cache.contains_key(key) || claimed.contains_key(key.as_str()) {
+                    self.cache_hits.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    claimed.insert(key, ());
+                    pending.push((i, &specs[i]));
+                }
+            }
+        }
+
+        if !pending.is_empty() {
+            let total = pending.len();
+            let workers = self.threads.min(total);
+            let slots: Vec<Mutex<Option<RunRecord>>> =
+                (0..total).map(|_| Mutex::new(None)).collect();
+            let next = AtomicUsize::new(0);
+
+            let work = |_worker: usize| loop {
+                let j = next.fetch_add(1, Ordering::Relaxed);
+                if j >= total {
+                    break;
+                }
+                let (_, spec) = pending[j];
+                if self.verbose {
+                    eprintln!(
+                        "[runner] sim {}/{}: {} / {}",
+                        j + 1,
+                        total,
+                        spec.workload.name(),
+                        spec.prefetcher.name()
+                    );
+                }
+                let record = spec.execute();
+                self.sims_executed.fetch_add(1, Ordering::Relaxed);
+                *slots[j].lock().unwrap() = Some(record);
+            };
+
+            if workers == 1 {
+                work(0);
+            } else {
+                std::thread::scope(|scope| {
+                    for w in 0..workers {
+                        let work = &work;
+                        scope.spawn(move || work(w));
+                    }
+                });
+            }
+
+            let mut cache = self.cache.lock().unwrap();
+            for ((i, _), slot) in pending.iter().zip(slots) {
+                let record = slot.into_inner().unwrap().expect("worker filled slot");
+                cache.insert(keys[*i].clone(), Arc::new(record));
+            }
+        }
+
+        // Assemble output by key, in spec order — never arrival order.
+        let cache = self.cache.lock().unwrap();
+        let out: Vec<Arc<RunRecord>> = keys.iter().map(|key| Arc::clone(&cache[key])).collect();
+        drop(cache);
+        self.journal.lock().unwrap().extend(out.iter().cloned());
+        out
+    }
+}
+
+/// Resolves the worker count from a `MORRIGAN_THREADS` value, falling
+/// back to `fallback` when the variable is unset or unparsable; `0` is
+/// clamped to 1.
+fn threads_from_env_value(value: Option<&str>, fallback: usize) -> usize {
+    value
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .unwrap_or(fallback)
+        .max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{PrefetcherKind, RunSpec};
+    use morrigan_sim::{SimConfig, SystemConfig};
+    use morrigan_workloads::ServerWorkloadConfig;
+
+    fn tiny_sim() -> SimConfig {
+        SimConfig {
+            warmup_instructions: 20_000,
+            measure_instructions: 60_000,
+        }
+    }
+
+    fn batch() -> Vec<RunSpec> {
+        let kinds = [
+            PrefetcherKind::None,
+            PrefetcherKind::Sp,
+            PrefetcherKind::Mp,
+            PrefetcherKind::Morrigan,
+        ];
+        (0..3)
+            .flat_map(|seed| {
+                let cfg = ServerWorkloadConfig::qmm_like(format!("pool-{seed}"), seed);
+                kinds.map(move |k| RunSpec::server(&cfg, SystemConfig::default(), tiny_sim(), k))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn worker_count_does_not_change_results() {
+        let specs = batch();
+        let serial = Runner::new(1).run_batch(&specs);
+        let pooled = Runner::new(8).run_batch(&specs);
+        assert_eq!(serial.len(), pooled.len());
+        for (a, b) in serial.iter().zip(&pooled) {
+            assert_eq!(a.spec, b.spec, "records come back in spec order");
+            assert_eq!(
+                a.metrics,
+                b.metrics,
+                "metrics for {} / {} must be bitwise-identical across pool sizes",
+                a.spec.workload.name(),
+                a.spec.prefetcher.name()
+            );
+        }
+    }
+
+    #[test]
+    fn duplicate_specs_simulate_once() {
+        let cfg = ServerWorkloadConfig::qmm_like("dup", 7);
+        let spec = RunSpec::server(
+            &cfg,
+            SystemConfig::default(),
+            tiny_sim(),
+            PrefetcherKind::None,
+        );
+        let runner = Runner::new(4);
+        let records = runner.run_batch(&[spec.clone(), spec.clone(), spec.clone()]);
+        assert_eq!(
+            runner.sims_executed(),
+            1,
+            "one simulation for three requests"
+        );
+        assert_eq!(runner.cache_hits(), 2);
+        assert!(Arc::ptr_eq(&records[0], &records[1]));
+        assert!(Arc::ptr_eq(&records[0], &records[2]));
+
+        // A later batch reuses the cache too.
+        let again = runner.run_one(&spec);
+        assert_eq!(runner.sims_executed(), 1);
+        assert_eq!(runner.cache_hits(), 3);
+        assert!(Arc::ptr_eq(&records[0], &again));
+    }
+
+    #[test]
+    fn journal_watermarks_attribute_records_to_batches() {
+        let cfg = ServerWorkloadConfig::qmm_like("journal", 11);
+        let a = RunSpec::server(
+            &cfg,
+            SystemConfig::default(),
+            tiny_sim(),
+            PrefetcherKind::None,
+        );
+        let b = RunSpec::server(
+            &cfg,
+            SystemConfig::default(),
+            tiny_sim(),
+            PrefetcherKind::Sp,
+        );
+        let runner = Runner::new(2);
+        runner.run_batch(std::slice::from_ref(&a));
+        let mark = runner.journal_len();
+        assert_eq!(mark, 1);
+        runner.run_batch(&[b.clone(), a.clone()]);
+        let since = runner.journal_since(mark);
+        assert_eq!(since.len(), 2);
+        assert_eq!(since[0].spec, b);
+        assert_eq!(
+            since[1].spec, a,
+            "cached records still appear in the journal"
+        );
+    }
+
+    #[test]
+    fn thread_env_parsing() {
+        assert_eq!(threads_from_env_value(None, 6), 6);
+        assert_eq!(threads_from_env_value(Some("3"), 6), 3);
+        assert_eq!(threads_from_env_value(Some(" 12 "), 6), 12);
+        assert_eq!(threads_from_env_value(Some("0"), 6), 1);
+        assert_eq!(threads_from_env_value(Some("lots"), 6), 6);
+        assert_eq!(threads_from_env_value(Some(""), 6), 6);
+    }
+}

@@ -1,0 +1,391 @@
+//! Declarative descriptions of simulation jobs.
+//!
+//! A [`RunSpec`] is a pure value: workload configuration(s), system
+//! configuration, run length, and a prefetcher *description* (never a
+//! built prefetcher). Everything is serializable and deterministically
+//! buildable, which is what lets the [`Runner`](crate::Runner) execute
+//! specs on any worker thread and memoize results by content.
+
+use morrigan::{Morrigan, MorriganConfig};
+use morrigan_baselines::{
+    ArbitraryStridePrefetcher, AspConfig, DistancePrefetcher, DpConfig, MarkovPrefetcher,
+    MorriganMono, MpConfig, SequentialPrefetcher, UnboundedMarkov,
+};
+use morrigan_sim::{Metrics, SimConfig, Simulator, SystemConfig};
+use morrigan_types::prefetcher::NullPrefetcher;
+use morrigan_types::TlbPrefetcher;
+use morrigan_vm::MissStreamStats;
+use morrigan_workloads::{
+    InstructionStream, ServerWorkload, ServerWorkloadConfig, SpecWorkload, SpecWorkloadConfig,
+};
+use serde::{Deserialize, Serialize};
+
+/// Morrigan's prediction-state budget in bits (§6.1.3's 3.76 KB point),
+/// used to size the ISO-storage baselines of Fig 15.
+pub fn morrigan_budget_bits() -> u64 {
+    morrigan::IripConfig::default().storage_bits()
+}
+
+/// Every STLB prefetcher the experiments instantiate by name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PrefetcherKind {
+    /// No prefetching (the baseline).
+    None,
+    /// Sequential prefetcher, original configuration.
+    Sp,
+    /// Arbitrary-stride prefetcher, original configuration.
+    Asp,
+    /// Distance prefetcher, original configuration.
+    Dp,
+    /// Markov prefetcher, original configuration (128 × 2, LRU).
+    Mp,
+    /// ASP sized to Morrigan's 3.76 KB budget (Fig 15).
+    AspIso,
+    /// DP sized to Morrigan's budget.
+    DpIso,
+    /// MP sized to Morrigan's budget.
+    MpIso,
+    /// Idealized unbounded MP, two successors per entry (§3.4).
+    MpUnbounded2,
+    /// Idealized unbounded MP, unlimited successors (§3.4).
+    MpUnboundedInf,
+    /// Morrigan at the paper's default configuration.
+    Morrigan,
+    /// Morrigan-mono (§6.3).
+    MorriganMono,
+    /// Morrigan with doubled tables for SMT (§6.6).
+    MorriganSmt,
+}
+
+impl PrefetcherKind {
+    /// Short name for report rows.
+    pub fn name(self) -> &'static str {
+        match self {
+            PrefetcherKind::None => "baseline",
+            PrefetcherKind::Sp => "sp",
+            PrefetcherKind::Asp => "asp",
+            PrefetcherKind::Dp => "dp",
+            PrefetcherKind::Mp => "mp",
+            PrefetcherKind::AspIso => "asp-iso",
+            PrefetcherKind::DpIso => "dp-iso",
+            PrefetcherKind::MpIso => "mp-iso",
+            PrefetcherKind::MpUnbounded2 => "mp-unbounded-2",
+            PrefetcherKind::MpUnboundedInf => "mp-unbounded-inf",
+            PrefetcherKind::Morrigan => "morrigan",
+            PrefetcherKind::MorriganMono => "morrigan-mono",
+            PrefetcherKind::MorriganSmt => "morrigan-smt",
+        }
+    }
+
+    /// Instantiates the prefetcher.
+    pub fn build(self) -> Box<dyn TlbPrefetcher> {
+        let budget = morrigan_budget_bits();
+        match self {
+            PrefetcherKind::None => Box::new(NullPrefetcher),
+            PrefetcherKind::Sp => Box::new(SequentialPrefetcher::new()),
+            PrefetcherKind::Asp => Box::new(ArbitraryStridePrefetcher::new(AspConfig::original())),
+            PrefetcherKind::Dp => Box::new(DistancePrefetcher::new(DpConfig::original())),
+            PrefetcherKind::Mp => Box::new(MarkovPrefetcher::new(MpConfig::original())),
+            PrefetcherKind::AspIso => Box::new(ArbitraryStridePrefetcher::new(
+                AspConfig::sized_to_bits(budget),
+            )),
+            PrefetcherKind::DpIso => {
+                Box::new(DistancePrefetcher::new(DpConfig::sized_to_bits(budget)))
+            }
+            PrefetcherKind::MpIso => {
+                Box::new(MarkovPrefetcher::new(MpConfig::sized_to_bits(budget)))
+            }
+            PrefetcherKind::MpUnbounded2 => Box::new(UnboundedMarkov::two_successors()),
+            PrefetcherKind::MpUnboundedInf => Box::new(UnboundedMarkov::infinite_successors()),
+            PrefetcherKind::Morrigan => Box::new(Morrigan::new(MorriganConfig::default())),
+            PrefetcherKind::MorriganMono => Box::new(MorriganMono::new()),
+            PrefetcherKind::MorriganSmt => Box::new(Morrigan::new(MorriganConfig::smt())),
+        }
+    }
+}
+
+/// A prefetcher *description*: either a named configuration or a fully
+/// custom Morrigan config (budget sweeps, replacement-policy studies,
+/// ablations).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum PrefetcherSpec {
+    /// One of the named configurations.
+    Kind(PrefetcherKind),
+    /// Morrigan with an arbitrary configuration.
+    Morrigan(MorriganConfig),
+}
+
+impl PrefetcherSpec {
+    /// Short name for report rows.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PrefetcherSpec::Kind(k) => k.name(),
+            PrefetcherSpec::Morrigan(_) => "morrigan-custom",
+        }
+    }
+
+    /// Instantiates the prefetcher.
+    pub fn build(&self) -> Box<dyn TlbPrefetcher> {
+        match self {
+            PrefetcherSpec::Kind(k) => k.build(),
+            PrefetcherSpec::Morrigan(cfg) => Box::new(Morrigan::new(cfg.clone())),
+        }
+    }
+}
+
+impl From<PrefetcherKind> for PrefetcherSpec {
+    fn from(kind: PrefetcherKind) -> Self {
+        PrefetcherSpec::Kind(kind)
+    }
+}
+
+impl From<MorriganConfig> for PrefetcherSpec {
+    fn from(cfg: MorriganConfig) -> Self {
+        PrefetcherSpec::Morrigan(cfg)
+    }
+}
+
+/// Which instruction stream(s) a job simulates.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum WorkloadSpec {
+    /// One QMM-class synthetic server workload on a single-threaded core.
+    Server(ServerWorkloadConfig),
+    /// One SPEC-CPU-like workload on a single-threaded core.
+    Spec(SpecWorkloadConfig),
+    /// Server workloads colocated on one SMT core (§5, §6.6).
+    Smt(Vec<ServerWorkloadConfig>),
+}
+
+impl WorkloadSpec {
+    /// Report name: the workload's name, or `a+b` for SMT pairs.
+    pub fn name(&self) -> String {
+        match self {
+            WorkloadSpec::Server(cfg) => cfg.name.clone(),
+            WorkloadSpec::Spec(cfg) => cfg.name.clone(),
+            WorkloadSpec::Smt(cfgs) => cfgs
+                .iter()
+                .map(|c| c.name.as_str())
+                .collect::<Vec<_>>()
+                .join("+"),
+        }
+    }
+
+    fn build_streams(&self) -> Vec<Box<dyn InstructionStream>> {
+        match self {
+            WorkloadSpec::Server(cfg) => {
+                vec![Box::new(ServerWorkload::new(cfg.clone())) as Box<dyn InstructionStream>]
+            }
+            WorkloadSpec::Spec(cfg) => {
+                vec![Box::new(SpecWorkload::new(cfg.clone())) as Box<dyn InstructionStream>]
+            }
+            WorkloadSpec::Smt(cfgs) => cfgs
+                .iter()
+                .map(|c| Box::new(ServerWorkload::new(c.clone())) as Box<dyn InstructionStream>)
+                .collect(),
+        }
+    }
+}
+
+/// One simulation job, fully described by value.
+///
+/// Two specs that compare equal produce bitwise-identical [`Metrics`]
+/// (the simulator is deterministic), which is what makes the result
+/// cache sound: the [`Runner`](crate::Runner) memoizes on the spec's
+/// [content key](RunSpec::content_key), never on execution order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunSpec {
+    /// Instruction stream(s) to simulate.
+    pub workload: WorkloadSpec,
+    /// The simulated system (caches, MMU, core, I-cache prefetcher,
+    /// context-switch interval, miss-stream collection flag).
+    pub system: SystemConfig,
+    /// Warmup + measurement lengths.
+    pub sim: SimConfig,
+    /// STLB prefetcher description.
+    pub prefetcher: PrefetcherSpec,
+}
+
+impl RunSpec {
+    /// A single-server-workload spec — the shape most figures use.
+    pub fn server(
+        cfg: &ServerWorkloadConfig,
+        system: SystemConfig,
+        sim: SimConfig,
+        prefetcher: impl Into<PrefetcherSpec>,
+    ) -> Self {
+        RunSpec {
+            workload: WorkloadSpec::Server(cfg.clone()),
+            system,
+            sim,
+            prefetcher: prefetcher.into(),
+        }
+    }
+
+    /// A SPEC-workload spec.
+    pub fn spec_cpu(
+        cfg: &SpecWorkloadConfig,
+        system: SystemConfig,
+        sim: SimConfig,
+        prefetcher: impl Into<PrefetcherSpec>,
+    ) -> Self {
+        RunSpec {
+            workload: WorkloadSpec::Spec(cfg.clone()),
+            system,
+            sim,
+            prefetcher: prefetcher.into(),
+        }
+    }
+
+    /// An SMT-pair spec.
+    pub fn smt(
+        pair: &(ServerWorkloadConfig, ServerWorkloadConfig),
+        system: SystemConfig,
+        sim: SimConfig,
+        prefetcher: impl Into<PrefetcherSpec>,
+    ) -> Self {
+        RunSpec {
+            workload: WorkloadSpec::Smt(vec![pair.0.clone(), pair.1.clone()]),
+            system,
+            sim,
+            prefetcher: prefetcher.into(),
+        }
+    }
+
+    /// The content key the result cache memoizes on.
+    ///
+    /// Derived from the spec's `Debug` rendering: every field of every
+    /// component is a plain value whose `Debug` output is lossless (Rust
+    /// formats `f64` with shortest round-trip precision), so equal keys
+    /// imply equal specs and distinct specs render distinct keys. This
+    /// avoids hand-maintaining `Hash`/`Eq` over config structs with
+    /// floating-point fields.
+    pub fn content_key(&self) -> String {
+        format!("{self:?}")
+    }
+
+    /// Builds the simulator and executes this spec to completion.
+    ///
+    /// Used by the [`Runner`](crate::Runner)'s workers; callable directly
+    /// when no pooling or caching is wanted.
+    pub fn execute(&self) -> RunRecord {
+        let prefetcher = self.prefetcher.build();
+        let streams = self.workload.build_streams();
+        let mut simulator = Simulator::new_smt(self.system, streams, prefetcher);
+        let metrics = simulator.run(self.sim);
+        let miss_stream = self
+            .system
+            .mmu
+            .collect_stream_stats
+            .then(|| simulator.mmu().miss_stream.clone());
+        RunRecord {
+            spec: self.clone(),
+            metrics,
+            miss_stream,
+        }
+    }
+}
+
+/// The result of executing one [`RunSpec`].
+#[derive(Debug, Clone)]
+pub struct RunRecord {
+    /// The job that produced this record.
+    pub spec: RunSpec,
+    /// Measurement-window metrics.
+    pub metrics: Metrics,
+    /// The iSTLB miss-stream characterization, present iff the spec's
+    /// system enabled `collect_stream_stats` (Figures 5–8).
+    pub miss_stream: Option<MissStreamStats>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_kind_builds() {
+        for kind in [
+            PrefetcherKind::None,
+            PrefetcherKind::Sp,
+            PrefetcherKind::Asp,
+            PrefetcherKind::Dp,
+            PrefetcherKind::Mp,
+            PrefetcherKind::AspIso,
+            PrefetcherKind::DpIso,
+            PrefetcherKind::MpIso,
+            PrefetcherKind::MpUnbounded2,
+            PrefetcherKind::MpUnboundedInf,
+            PrefetcherKind::Morrigan,
+            PrefetcherKind::MorriganMono,
+            PrefetcherKind::MorriganSmt,
+        ] {
+            let p = kind.build();
+            assert!(!kind.name().is_empty());
+            let _ = p.storage_bits();
+        }
+    }
+
+    #[test]
+    fn iso_variants_respect_budget() {
+        let budget = morrigan_budget_bits();
+        for kind in [
+            PrefetcherKind::AspIso,
+            PrefetcherKind::DpIso,
+            PrefetcherKind::MpIso,
+        ] {
+            let p = kind.build();
+            assert!(
+                p.storage_bits() <= budget,
+                "{} exceeds the ISO budget: {} > {budget}",
+                kind.name(),
+                p.storage_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn content_keys_distinguish_specs() {
+        let cfg = ServerWorkloadConfig::qmm_like("key-test", 1);
+        let sim = SimConfig {
+            warmup_instructions: 10,
+            measure_instructions: 20,
+        };
+        let a = RunSpec::server(&cfg, SystemConfig::default(), sim, PrefetcherKind::None);
+        let b = RunSpec::server(&cfg, SystemConfig::default(), sim, PrefetcherKind::Morrigan);
+        let a2 = a.clone();
+        assert_eq!(a.content_key(), a2.content_key());
+        assert_ne!(a.content_key(), b.content_key());
+
+        let mut system = SystemConfig::default();
+        system.mmu.perfect_istlb = true;
+        let c = RunSpec::server(&cfg, system, sim, PrefetcherKind::None);
+        assert_ne!(a.content_key(), c.content_key());
+    }
+
+    #[test]
+    fn custom_morrigan_spec_builds_and_keys() {
+        let spec: PrefetcherSpec = MorriganConfig::default().into();
+        assert_eq!(spec.name(), "morrigan-custom");
+        let p = spec.build();
+        assert!(p.storage_bits() > 0);
+    }
+
+    #[test]
+    fn execute_collects_miss_stream_only_when_asked() {
+        let cfg = ServerWorkloadConfig::qmm_like("exec-test", 2);
+        let sim = SimConfig {
+            warmup_instructions: 10_000,
+            measure_instructions: 30_000,
+        };
+        let plain = RunSpec::server(&cfg, SystemConfig::default(), sim, PrefetcherKind::None);
+        let record = plain.execute();
+        assert!(record.miss_stream.is_none());
+        assert_eq!(record.metrics.instructions, 30_000);
+
+        let mut system = SystemConfig::default();
+        system.mmu.collect_stream_stats = true;
+        let collecting = RunSpec::server(&cfg, system, sim, PrefetcherKind::None);
+        let record = collecting.execute();
+        let stream = record.miss_stream.expect("stream collected");
+        assert!(stream.total_misses > 0);
+    }
+}

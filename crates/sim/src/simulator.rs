@@ -45,6 +45,7 @@ pub struct Simulator {
     workloads: Vec<Box<dyn InstructionStream>>,
     threads: Vec<ThreadFrontEnd>,
     // --- core state ---
+    ran: bool,
     fetch_cycle: u64,
     fetched_this_cycle: u64,
     rob: VecDeque<u64>,
@@ -136,6 +137,7 @@ impl Simulator {
             icache_translation_cost: cost,
             workloads,
             threads,
+            ran: false,
             fetch_cycle: 0,
             fetched_this_cycle: 0,
             rob: VecDeque::with_capacity(system.core.rob_size + 1),
@@ -184,8 +186,22 @@ impl Simulator {
     }
 
     /// Runs warmup then measurement, returning the measurement-window
-    /// metrics. Can be called once per simulator instance.
+    /// metrics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called a second time on the same instance: warmup state
+    /// and window snapshots are consumed by the first run, so a rerun
+    /// would silently measure a differently-warmed system. Build a fresh
+    /// `Simulator` per run (the experiment runner does exactly that).
     pub fn run(&mut self, cfg: SimConfig) -> Metrics {
+        assert!(
+            !self.ran,
+            "Simulator::run called twice: each simulator instance runs exactly once \
+             (warmup and measurement snapshots are consumed); build a new Simulator \
+             for every run"
+        );
+        self.ran = true;
         for _ in 0..cfg.warmup_instructions {
             self.step();
         }
@@ -517,13 +533,17 @@ mod tests {
     fn fnlmma_translation_cost_hurts() {
         // Fig 10's effect: modelling translation for page-crossing
         // prefetches reduces FNL+MMA's benefit.
-        let mut free_sys = SystemConfig::default();
-        free_sys.icache_prefetcher = IcachePrefetcherKind::FnlMma {
-            translation_cost: false,
+        let free_sys = SystemConfig {
+            icache_prefetcher: IcachePrefetcherKind::FnlMma {
+                translation_cost: false,
+            },
+            ..SystemConfig::default()
         };
-        let mut costly_sys = SystemConfig::default();
-        costly_sys.icache_prefetcher = IcachePrefetcherKind::FnlMma {
-            translation_cost: true,
+        let costly_sys = SystemConfig {
+            icache_prefetcher: IcachePrefetcherKind::FnlMma {
+                translation_cost: true,
+            },
+            ..SystemConfig::default()
         };
 
         let mut free = Simulator::new(free_sys, server(7), Box::new(NullPrefetcher));
@@ -544,6 +564,24 @@ mod tests {
             costly_m.ipc(),
             free_m.ipc()
         );
+    }
+
+    #[test]
+    #[should_panic(expected = "runs exactly once")]
+    fn second_run_on_one_instance_panics() {
+        let mut sim = Simulator::new(SystemConfig::default(), server(9), Box::new(NullPrefetcher));
+        let tiny = SimConfig {
+            warmup_instructions: 100,
+            measure_instructions: 100,
+        };
+        let _ = sim.run(tiny);
+        let _ = sim.run(tiny);
+    }
+
+    #[test]
+    fn simulator_is_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<Simulator>();
     }
 
     #[test]
@@ -589,8 +627,10 @@ mod extension_tests {
         );
         let base = undisturbed.run(quick());
 
-        let mut sys = SystemConfig::default();
-        sys.context_switch_interval = Some(10_000);
+        let sys = SystemConfig {
+            context_switch_interval: Some(10_000),
+            ..SystemConfig::default()
+        };
         let mut switching = Simulator::new(
             sys,
             server(31),

@@ -139,9 +139,14 @@ impl PrefetchDecision {
 /// Implementors: Morrigan ([IRIP]+[SDP]), the dSTLB baselines (SP, ASP, DP,
 /// MP), Morrigan-mono, and the idealized unbounded Markov variants.
 ///
+/// The `Send` bound lets a boxed prefetcher move into a worker thread: the
+/// experiment runner executes each simulation on a pool thread, and every
+/// prefetcher owns plain table state, so the bound costs implementors
+/// nothing.
+///
 /// [IRIP]: https://doi.org/10.1145/3466752.3480049
 /// [SDP]: https://doi.org/10.1145/3466752.3480049
-pub trait TlbPrefetcher {
+pub trait TlbPrefetcher: Send {
     /// Short identifier used in experiment output (e.g. `"morrigan"`).
     fn name(&self) -> &'static str;
 

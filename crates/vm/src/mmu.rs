@@ -913,8 +913,10 @@ mod extension_tests {
     fn correcting_walks_disabled_by_default() {
         let mut pt = PageTable::new(1);
         pt.map_range(VirtPage::new(0x4000), 256);
-        let mut cfg = MmuConfig::default();
-        cfg.pb_entries = 4;
+        let cfg = MmuConfig {
+            pb_entries: 4,
+            ..MmuConfig::default()
+        };
         let mut mmu = Mmu::new(cfg, pt, Box::new(Churner(0)));
         let mut mem = MemoryHierarchy::new(HierarchyConfig::default());
         for i in 0..64 {

@@ -27,7 +27,11 @@ pub struct TraceInstruction {
 ///
 /// Streams are infinite: the simulator decides how many instructions to
 /// warm up and measure (the paper runs 50 M + 100 M).
-pub trait InstructionStream {
+///
+/// `Send` lets a boxed stream move into an experiment-runner worker
+/// thread together with the simulator that owns it; generators and trace
+/// readers hold only owned state, so the bound is free.
+pub trait InstructionStream: Send {
     /// Workload name (e.g. `"qmm-srv-07"`).
     fn name(&self) -> &str;
 

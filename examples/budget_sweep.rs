@@ -6,10 +6,10 @@
 //! cargo run --release --example budget_sweep [seed]
 //! ```
 
-use morrigan_suite::prefetcher::{IripConfig, Morrigan, MorriganConfig};
-use morrigan_suite::sim::{SimConfig, Simulator, SystemConfig};
-use morrigan_suite::types::prefetcher::NullPrefetcher;
-use morrigan_suite::workloads::{ServerWorkload, ServerWorkloadConfig};
+use morrigan_suite::prefetcher::{IripConfig, MorriganConfig};
+use morrigan_suite::runner::{PrefetcherKind, RunSpec, Runner};
+use morrigan_suite::sim::{SimConfig, SystemConfig};
+use morrigan_suite::workloads::ServerWorkloadConfig;
 
 fn main() {
     let seed: u64 = std::env::args()
@@ -22,12 +22,29 @@ fn main() {
         measure_instructions: 4_000_000,
     };
 
-    let mut baseline = Simulator::new(
+    // Declare the whole sweep up front; the runner executes the points in
+    // parallel when worker threads are available.
+    let factors = [0.25, 0.5, 1.0, 2.0, 4.0, 8.0];
+    let mut specs = vec![RunSpec::server(
+        &cfg,
         SystemConfig::default(),
-        Box::new(ServerWorkload::new(cfg.clone())),
-        Box::new(NullPrefetcher),
-    );
-    let base = baseline.run(run);
+        run,
+        PrefetcherKind::None,
+    )];
+    let mut budgets_kb = Vec::new();
+    for factor in factors {
+        let irip = IripConfig::fully_associative().scaled(factor);
+        budgets_kb.push(irip.storage_kb());
+        let mcfg = MorriganConfig {
+            irip,
+            ..MorriganConfig::default()
+        };
+        specs.push(RunSpec::server(&cfg, SystemConfig::default(), run, mcfg));
+    }
+
+    let runner = Runner::from_env();
+    let records = runner.run_batch(&specs);
+    let base = &records[0].metrics;
     println!(
         "workload {}: baseline IPC {:.3}, iSTLB MPKI {:.2}\n",
         cfg.name,
@@ -36,24 +53,13 @@ fn main() {
     );
 
     println!("{:>9}  {:>9}  {:>8}", "budget", "coverage", "speedup");
-    for factor in [0.25, 0.5, 1.0, 2.0, 4.0, 8.0] {
-        let irip = IripConfig::fully_associative().scaled(factor);
-        let kb = irip.storage_kb();
-        let mcfg = MorriganConfig {
-            irip,
-            ..MorriganConfig::default()
-        };
-        let mut sim = Simulator::new(
-            SystemConfig::default(),
-            Box::new(ServerWorkload::new(cfg.clone())),
-            Box::new(Morrigan::new(mcfg)),
-        );
-        let m = sim.run(run);
+    for (kb, record) in budgets_kb.iter().zip(&records[1..]) {
+        let m = &record.metrics;
         println!(
             "{:>7.2}KB  {:>8.1}%  {:>+7.2}%",
             kb,
             m.coverage() * 100.0,
-            (m.speedup_over(&base) - 1.0) * 100.0
+            (m.speedup_over(base) - 1.0) * 100.0
         );
     }
     println!("\n(the paper's chosen operating point is the 3.80 KB row)");

@@ -5,9 +5,9 @@
 //! cargo run --release --example miss_stream_anatomy [seed]
 //! ```
 
-use morrigan_suite::sim::{SimConfig, Simulator, SystemConfig};
-use morrigan_suite::types::prefetcher::NullPrefetcher;
-use morrigan_suite::workloads::{ServerWorkload, ServerWorkloadConfig};
+use morrigan_suite::runner::{PrefetcherKind, RunSpec, Runner};
+use morrigan_suite::sim::{SimConfig, SystemConfig};
+use morrigan_suite::workloads::ServerWorkloadConfig;
 
 fn main() {
     let seed: u64 = std::env::args()
@@ -18,17 +18,22 @@ fn main() {
     let mut system = SystemConfig::default();
     system.mmu.collect_stream_stats = true;
 
-    let mut sim = Simulator::new(
+    let spec = RunSpec::server(
+        &cfg,
         system,
-        Box::new(ServerWorkload::new(cfg.clone())),
-        Box::new(NullPrefetcher),
+        SimConfig {
+            warmup_instructions: 1_000_000,
+            measure_instructions: 6_000_000,
+        },
+        PrefetcherKind::None,
     );
-    let metrics = sim.run(SimConfig {
-        warmup_instructions: 1_000_000,
-        measure_instructions: 6_000_000,
-    });
+    let record = Runner::from_env().run_one(&spec);
+    let metrics = &record.metrics;
+    let stream = record
+        .miss_stream
+        .as_ref()
+        .expect("collect_stream_stats was set");
 
-    let stream = &sim.mmu().miss_stream;
     println!(
         "workload {} — {} iSTLB misses over {} distinct pages",
         cfg.name,

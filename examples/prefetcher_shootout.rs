@@ -6,10 +6,21 @@
 //! cargo run --release --example prefetcher_shootout
 //! ```
 
-use morrigan_suite::experiments::common::{run_server, PrefetcherKind, Scale};
+use morrigan_suite::experiments::common::{baseline_spec, server_spec, Scale};
+use morrigan_suite::runner::{PrefetcherKind, RunSpec, Runner};
 use morrigan_suite::sim::SystemConfig;
-use morrigan_suite::types::prefetcher::NullPrefetcher;
 use morrigan_suite::types::stats::geometric_mean;
+
+const KINDS: [PrefetcherKind; 8] = [
+    PrefetcherKind::Sp,
+    PrefetcherKind::AspIso,
+    PrefetcherKind::DpIso,
+    PrefetcherKind::MpIso,
+    PrefetcherKind::MpUnbounded2,
+    PrefetcherKind::MpUnboundedInf,
+    PrefetcherKind::MorriganMono,
+    PrefetcherKind::Morrigan,
+];
 
 fn main() {
     let scale = Scale {
@@ -19,56 +30,56 @@ fn main() {
         smt_pairs: 1,
     };
     let suite = scale.suite();
+    let n = suite.len();
 
-    println!("running {} workloads x {} prefetchers...", suite.len(), 8);
-    let baselines: Vec<_> = suite
-        .iter()
-        .map(|cfg| {
-            run_server(
-                cfg,
-                SystemConfig::default(),
-                scale.sim(),
-                Box::new(NullPrefetcher),
-            )
-        })
-        .collect();
+    // One batch: baselines, each contender, then the perfect-iSTLB bound.
+    let mut specs: Vec<RunSpec> = suite.iter().map(|cfg| baseline_spec(cfg, &scale)).collect();
+    for kind in KINDS {
+        specs.extend(suite.iter().map(|cfg| server_spec(cfg, &scale, kind)));
+    }
+    let mut perfect_system = SystemConfig::default();
+    perfect_system.mmu.perfect_istlb = true;
+    specs.extend(
+        suite
+            .iter()
+            .map(|cfg| RunSpec::server(cfg, perfect_system, scale.sim(), PrefetcherKind::None)),
+    );
+
+    println!(
+        "running {} workloads x {} prefetchers...",
+        suite.len(),
+        KINDS.len()
+    );
+    let runner = Runner::from_env();
+    let records = runner.run_batch(&specs);
+    let baselines = &records[..n];
 
     println!("{:<18} {:>9} {:>10}", "prefetcher", "speedup", "coverage");
-    for kind in [
-        PrefetcherKind::Sp,
-        PrefetcherKind::AspIso,
-        PrefetcherKind::DpIso,
-        PrefetcherKind::MpIso,
-        PrefetcherKind::MpUnbounded2,
-        PrefetcherKind::MpUnboundedInf,
-        PrefetcherKind::MorriganMono,
-        PrefetcherKind::Morrigan,
-    ] {
-        let mut speedups = Vec::new();
-        let mut coverage = 0.0;
-        for (cfg, base) in suite.iter().zip(&baselines) {
-            let m = run_server(cfg, SystemConfig::default(), scale.sim(), kind.build());
-            speedups.push(m.speedup_over(base));
-            coverage += m.coverage();
-        }
+    for (k, kind) in KINDS.iter().enumerate() {
+        let chunk = &records[n * (k + 1)..n * (k + 2)];
+        let speedups: Vec<f64> = chunk
+            .iter()
+            .zip(baselines)
+            .map(|(record, base)| record.metrics.speedup_over(&base.metrics))
+            .collect();
+        let coverage: f64 = chunk
+            .iter()
+            .map(|record| record.metrics.coverage())
+            .sum::<f64>()
+            / n as f64;
         println!(
             "{:<18} {:>8.2}% {:>9.1}%",
             kind.name(),
             (geometric_mean(&speedups) - 1.0) * 100.0,
-            coverage / suite.len() as f64 * 100.0
+            coverage * 100.0
         );
     }
 
     // The perfect-iSTLB ceiling for context.
-    let mut perfect_system = SystemConfig::default();
-    perfect_system.mmu.perfect_istlb = true;
-    let speedups: Vec<f64> = suite
+    let speedups: Vec<f64> = records[n * (KINDS.len() + 1)..]
         .iter()
-        .zip(&baselines)
-        .map(|(cfg, base)| {
-            run_server(cfg, perfect_system, scale.sim(), Box::new(NullPrefetcher))
-                .speedup_over(base)
-        })
+        .zip(baselines)
+        .map(|(record, base)| record.metrics.speedup_over(&base.metrics))
         .collect();
     println!(
         "{:<18} {:>8.2}%",

@@ -6,9 +6,10 @@
 //! ```
 
 use morrigan_suite::prefetcher::{Morrigan, MorriganConfig};
-use morrigan_suite::sim::{SimConfig, Simulator, SystemConfig};
-use morrigan_suite::types::prefetcher::NullPrefetcher;
-use morrigan_suite::workloads::{ServerWorkload, ServerWorkloadConfig};
+use morrigan_suite::runner::{PrefetcherKind, RunSpec, Runner};
+use morrigan_suite::sim::{SimConfig, SystemConfig};
+use morrigan_suite::types::TlbPrefetcher;
+use morrigan_suite::workloads::ServerWorkloadConfig;
 
 fn main() {
     // A QMM-class synthetic server workload: ~16-40 MB of code, deep call
@@ -24,13 +25,26 @@ fn main() {
         workload.name, workload.code_pages, workload.data_pages
     );
 
-    // Baseline: Table 1 system, no STLB prefetching.
-    let mut baseline = Simulator::new(
-        SystemConfig::default(),
-        Box::new(ServerWorkload::new(workload.clone())),
-        Box::new(NullPrefetcher),
-    );
-    let base = baseline.run(run);
+    // Declare both jobs and let the runner execute them (in parallel when
+    // more than one worker thread is available — see MORRIGAN_THREADS).
+    let runner = Runner::from_env();
+    let specs = [
+        RunSpec::server(
+            &workload,
+            SystemConfig::default(),
+            run,
+            PrefetcherKind::None,
+        ),
+        RunSpec::server(
+            &workload,
+            SystemConfig::default(),
+            run,
+            PrefetcherKind::Morrigan,
+        ),
+    ];
+    let records = runner.run_batch(&specs);
+    let (base, m) = (&records[0].metrics, &records[1].metrics);
+
     println!("\nbaseline (no STLB prefetching)");
     println!("  IPC                 {:.3}", base.ipc());
     println!("  iSTLB MPKI          {:.2}", base.istlb_mpki());
@@ -47,19 +61,13 @@ fn main() {
     let morrigan = Morrigan::new(MorriganConfig::default());
     println!(
         "\nmorrigan ({:.2} KB prediction state)",
-        morrigan.irip().storage_bits() as f64 / 8192.0
+        morrigan.storage_bits() as f64 / 8192.0
     );
-    let mut with = Simulator::new(
-        SystemConfig::default(),
-        Box::new(ServerWorkload::new(workload)),
-        Box::new(morrigan),
-    );
-    let m = with.run(run);
     println!("  IPC                 {:.3}", m.ipc());
     println!("  miss coverage       {:.1}%", m.coverage() * 100.0);
     println!(
         "  speedup             {:+.2}%",
-        (m.speedup_over(&base) - 1.0) * 100.0
+        (m.speedup_over(base) - 1.0) * 100.0
     );
     println!(
         "  demand walk refs    {} -> {} ({:+.0}%)",

@@ -7,10 +7,10 @@
 //! ```
 
 use morrigan_suite::prefetcher::{Morrigan, MorriganConfig};
-use morrigan_suite::sim::{SimConfig, Simulator, SystemConfig};
-use morrigan_suite::types::prefetcher::NullPrefetcher;
+use morrigan_suite::runner::{PrefetcherKind, RunSpec, Runner};
+use morrigan_suite::sim::{SimConfig, SystemConfig};
+use morrigan_suite::types::TlbPrefetcher;
 use morrigan_suite::workloads::suites::smt_pairs;
-use morrigan_suite::workloads::ServerWorkload;
 
 fn main() {
     let pair = smt_pairs(1).remove(0);
@@ -20,27 +20,32 @@ fn main() {
     };
     println!("colocating: {}", pair.1.name);
 
-    let build = |prefetcher| {
-        Simulator::new_smt(
+    let specs = [
+        RunSpec::smt(&pair, SystemConfig::default(), run, PrefetcherKind::None),
+        RunSpec::smt(
+            &pair,
             SystemConfig::default(),
-            vec![
-                Box::new(ServerWorkload::new(pair.0.clone())) as _,
-                Box::new(ServerWorkload::new(pair.1.clone())) as _,
-            ],
-            prefetcher,
-        )
-    };
-
-    let mut baseline = build(Box::new(NullPrefetcher));
-    let base = baseline.run(run);
+            run,
+            PrefetcherKind::MorriganSmt,
+        ),
+        // The paper's secondary observation: single-thread-sized tables
+        // shared by two threads lose part of the gain.
+        RunSpec::smt(
+            &pair,
+            SystemConfig::default(),
+            run,
+            MorriganConfig {
+                max_threads: 2,
+                ..MorriganConfig::default()
+            },
+        ),
+    ];
+    let records = Runner::from_env().run_batch(&specs);
+    let base = &records[0].metrics;
     println!(
         "\nbaseline:  aggregate IPC {:.3}, iSTLB MPKI {:.2}",
         base.ipc(),
         base.istlb_mpki()
-    );
-    println!(
-        "STLB cross-thread contention: {} instr entries evicted by data fills",
-        baseline.mmu().stlb().instr_evicted_by_data
     );
 
     // The paper doubles the IRIP tables under SMT (7.5 KB) because two
@@ -48,37 +53,20 @@ fn main() {
     let smt_morrigan = Morrigan::new(MorriganConfig::smt());
     println!(
         "\nmorrigan-smt ({:.2} KB prediction state, per-thread miss registers)",
-        smt_morrigan.storage_bits_kb()
+        smt_morrigan.storage_bits() as f64 / 8192.0
     );
-    let mut with = build(Box::new(smt_morrigan));
-    let m = with.run(run);
+    let m = &records[1].metrics;
     println!("  aggregate IPC  {:.3}", m.ipc());
     println!("  miss coverage  {:.1}%", m.coverage() * 100.0);
     println!(
         "  speedup        {:+.2}%",
-        (m.speedup_over(&base) - 1.0) * 100.0
+        (m.speedup_over(base) - 1.0) * 100.0
     );
 
     // And without doubling, as the paper's secondary observation.
-    let mut single = build(Box::new(Morrigan::new(MorriganConfig {
-        max_threads: 2,
-        ..MorriganConfig::default()
-    })));
-    let s = single.run(run);
+    let s = &records[2].metrics;
     println!(
         "\nmorrigan with single-thread tables: {:+.2}%",
-        (s.speedup_over(&base) - 1.0) * 100.0
+        (s.speedup_over(base) - 1.0) * 100.0
     );
-}
-
-/// Convenience used above; kept local to the example.
-trait StorageKb {
-    fn storage_bits_kb(&self) -> f64;
-}
-
-impl StorageKb for Morrigan {
-    fn storage_bits_kb(&self) -> f64 {
-        use morrigan_suite::types::TlbPrefetcher;
-        self.storage_bits() as f64 / 8192.0
-    }
 }

@@ -21,6 +21,7 @@
 //! * [`icache`] — next-line and FNL+MMA-style I-cache prefetchers
 //! * [`workloads`] — synthetic server/SPEC trace generators
 //! * [`sim`] — the interval core model + SMT mode
+//! * [`runner`] — declarative job specs, worker pool, result cache
 //! * [`experiments`] — one runner per paper figure
 //!
 //! ## Quickstart
@@ -39,6 +40,7 @@ pub use morrigan_baselines as baselines;
 pub use morrigan_experiments as experiments;
 pub use morrigan_icache as icache;
 pub use morrigan_mem as mem;
+pub use morrigan_runner as runner;
 pub use morrigan_sim as sim;
 pub use morrigan_types as types;
 pub use morrigan_vm as vm;

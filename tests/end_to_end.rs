@@ -2,8 +2,8 @@
 //! facade, exercising every prefetcher and checking the invariants that
 //! must hold regardless of calibration.
 
-use morrigan_suite::experiments::common::{run_server, run_server_sim, PrefetcherKind, Scale};
-use morrigan_suite::sim::{SimConfig, Simulator, SystemConfig};
+use morrigan_suite::experiments::common::{PrefetcherKind, RunSpec, Runner, Scale};
+use morrigan_suite::sim::{Metrics, SimConfig, Simulator, SystemConfig};
 use morrigan_suite::types::prefetcher::NullPrefetcher;
 use morrigan_suite::workloads::{ServerWorkload, ServerWorkloadConfig};
 
@@ -16,6 +16,12 @@ fn quick() -> SimConfig {
 
 fn workload(seed: u64) -> ServerWorkloadConfig {
     ServerWorkloadConfig::qmm_like(format!("it-{seed}"), seed)
+}
+
+fn run_server(cfg: &ServerWorkloadConfig, system: SystemConfig, kind: PrefetcherKind) -> Metrics {
+    RunSpec::server(cfg, system, quick(), kind)
+        .execute()
+        .metrics
 }
 
 #[test]
@@ -35,7 +41,7 @@ fn every_prefetcher_runs_end_to_end() {
         PrefetcherKind::Morrigan,
         PrefetcherKind::MorriganMono,
     ] {
-        let m = run_server(&cfg, SystemConfig::default(), quick(), kind.build());
+        let m = run_server(&cfg, SystemConfig::default(), kind);
         assert_eq!(m.instructions, 300_000, "{}", kind.name());
         assert!(
             m.ipc() > 0.05 && m.ipc() <= 4.0,
@@ -55,14 +61,16 @@ fn every_prefetcher_runs_end_to_end() {
 
 #[test]
 fn covered_misses_match_eliminated_walks() {
-    // iSTLB misses = covered (PB hits) + demand walks, exactly.
+    // iSTLB misses = covered (PB hits) + demand walks, exactly. This test
+    // needs the simulator instance afterwards, so it drives the simulator
+    // directly instead of going through a spec.
     let cfg = workload(2);
-    let (sim, m) = run_server_sim(
-        &cfg,
+    let mut sim = Simulator::new_smt(
         SystemConfig::default(),
-        quick(),
+        vec![Box::new(ServerWorkload::new(cfg))],
         PrefetcherKind::Morrigan.build(),
     );
+    let m = sim.run(quick());
     assert_eq!(
         m.mmu.istlb_misses,
         m.mmu.istlb_covered + m.walker.demand_instr_walks,
@@ -77,14 +85,26 @@ fn covered_misses_match_eliminated_walks() {
 }
 
 #[test]
+fn simulator_refuses_to_run_twice() {
+    let cfg = workload(2);
+    let mut sim = Simulator::new_smt(
+        SystemConfig::default(),
+        vec![Box::new(ServerWorkload::new(cfg))],
+        Box::new(NullPrefetcher),
+    );
+    let tiny = SimConfig {
+        warmup_instructions: 1_000,
+        measure_instructions: 2_000,
+    };
+    let _ = sim.run(tiny);
+    let panic = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| sim.run(tiny)));
+    assert!(panic.is_err(), "a second run() must panic");
+}
+
+#[test]
 fn walk_reference_accounting_is_consistent() {
     let cfg = workload(3);
-    let m = run_server(
-        &cfg,
-        SystemConfig::default(),
-        quick(),
-        PrefetcherKind::Morrigan.build(),
-    );
+    let m = run_server(&cfg, SystemConfig::default(), PrefetcherKind::Morrigan);
     // Every walk performs 1..=4 references.
     let walks = m.walker.demand_instr_walks + m.walker.demand_data_walks + m.walker.prefetch_walks;
     let refs = m.walker.demand_instr_refs + m.walker.demand_data_refs + m.walker.prefetch_refs;
@@ -98,33 +118,42 @@ fn walk_reference_accounting_is_consistent() {
 #[test]
 fn simulation_is_deterministic_across_repetitions() {
     let cfg = workload(4);
-    let a = run_server(
-        &cfg,
-        SystemConfig::default(),
-        quick(),
-        PrefetcherKind::Morrigan.build(),
-    );
-    let b = run_server(
-        &cfg,
-        SystemConfig::default(),
-        quick(),
-        PrefetcherKind::Morrigan.build(),
-    );
+    let a = run_server(&cfg, SystemConfig::default(), PrefetcherKind::Morrigan);
+    let b = run_server(&cfg, SystemConfig::default(), PrefetcherKind::Morrigan);
     assert_eq!(a, b, "same seed + config must replay bit-for-bit");
+}
+
+#[test]
+fn runner_batches_match_direct_execution() {
+    // The pooled, cached path must return byte-identical metrics to
+    // executing the spec inline.
+    let cfg = workload(4);
+    let spec = RunSpec::server(
+        &cfg,
+        SystemConfig::default(),
+        quick(),
+        PrefetcherKind::Morrigan,
+    );
+    let direct = spec.execute().metrics;
+    let runner = Runner::new(2);
+    let pooled = runner.run_one(&spec);
+    assert_eq!(direct, pooled.metrics);
 }
 
 #[test]
 fn warmup_isolation_counts_only_measurement_window() {
     let cfg = workload(5);
-    let short = run_server(
+    let short = RunSpec::server(
         &cfg,
         SystemConfig::default(),
         SimConfig {
             warmup_instructions: 200_000,
             measure_instructions: 100_000,
         },
-        Box::new(NullPrefetcher),
-    );
+        PrefetcherKind::None,
+    )
+    .execute()
+    .metrics;
     assert_eq!(short.instructions, 100_000);
     assert!(
         short.mmu.instr_translations <= 100_000,
@@ -135,16 +164,15 @@ fn warmup_isolation_counts_only_measurement_window() {
 #[test]
 fn smt_round_robin_interleaves_both_threads() {
     let pairs = morrigan_suite::workloads::suites::smt_pairs(1);
-    let (a, b) = pairs.into_iter().next().expect("one pair");
-    let mut sim = Simulator::new_smt(
+    let pair = pairs.into_iter().next().expect("one pair");
+    let m = RunSpec::smt(
+        &pair,
         SystemConfig::default(),
-        vec![
-            Box::new(ServerWorkload::new(a.clone())),
-            Box::new(ServerWorkload::new(b.clone())),
-        ],
-        Box::new(NullPrefetcher),
-    );
-    let m = sim.run(quick());
+        quick(),
+        PrefetcherKind::None,
+    )
+    .execute()
+    .metrics;
     // Both address spaces must appear in the translation stream: with
     // disjoint code regions, instruction translations far exceed what one
     // thread could produce in half the instructions... simplest check:
@@ -156,21 +184,11 @@ fn smt_round_robin_interleaves_both_threads() {
 #[test]
 fn perfect_istlb_dominates_all_real_prefetchers() {
     let cfg = workload(6);
-    let base = run_server(
-        &cfg,
-        SystemConfig::default(),
-        quick(),
-        Box::new(NullPrefetcher),
-    );
+    let base = run_server(&cfg, SystemConfig::default(), PrefetcherKind::None);
     let mut perfect_system = SystemConfig::default();
     perfect_system.mmu.perfect_istlb = true;
-    let perfect = run_server(&cfg, perfect_system, quick(), Box::new(NullPrefetcher));
-    let morrigan = run_server(
-        &cfg,
-        SystemConfig::default(),
-        quick(),
-        PrefetcherKind::Morrigan.build(),
-    );
+    let perfect = run_server(&cfg, perfect_system, PrefetcherKind::None);
+    let morrigan = run_server(&cfg, SystemConfig::default(), PrefetcherKind::Morrigan);
     assert!(perfect.ipc() >= base.ipc());
     assert!(
         perfect.ipc() * 1.002 >= morrigan.ipc(),
@@ -187,4 +205,5 @@ fn facade_reexports_are_usable() {
     let _ = morrigan_suite::icache::NextLinePrefetcher::new();
     let _ = morrigan_suite::mem::MemoryHierarchy::new(Default::default());
     let _ = Scale::test();
+    let _ = morrigan_suite::runner::Runner::new(1);
 }

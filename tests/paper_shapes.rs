@@ -4,40 +4,48 @@
 //! These are `#[ignore]`d in debug builds (they need trained prediction
 //! tables); run them with `cargo test --release`.
 
-use morrigan_suite::experiments::common::{run_server, PrefetcherKind, Scale};
-use morrigan_suite::sim::SystemConfig;
-use morrigan_suite::types::prefetcher::NullPrefetcher;
+use morrigan_suite::experiments::common::{
+    baseline_spec, server_spec, PrefetcherKind, RunSpec, Runner, Scale,
+};
 use morrigan_suite::types::stats::geometric_mean;
 
-fn measure(kinds: &[PrefetcherKind]) -> Vec<(String, f64, f64)> {
-    let scale = Scale {
+fn shape_scale() -> Scale {
+    Scale {
         warmup: 1_000_000,
         measure: 3_000_000,
         workloads: 4,
         smt_pairs: 1,
-    };
+    }
+}
+
+fn measure(kinds: &[PrefetcherKind]) -> Vec<(String, f64, f64)> {
+    let scale = shape_scale();
     let suite = scale.suite();
-    let baselines: Vec<_> = suite
-        .iter()
-        .map(|cfg| {
-            run_server(
-                cfg,
-                SystemConfig::default(),
-                scale.sim(),
-                Box::new(NullPrefetcher),
-            )
-        })
-        .collect();
+    let n = suite.len();
+    let runner = Runner::new(4);
+
+    let mut specs: Vec<RunSpec> = suite.iter().map(|cfg| baseline_spec(cfg, &scale)).collect();
+    for &kind in kinds {
+        specs.extend(suite.iter().map(|cfg| server_spec(cfg, &scale, kind)));
+    }
+    let records = runner.run_batch(&specs);
+    let baselines = &records[..n];
+
     kinds
         .iter()
-        .map(|&kind| {
-            let mut speedups = Vec::new();
-            let mut coverage = 0.0;
-            for (cfg, base) in suite.iter().zip(&baselines) {
-                let m = run_server(cfg, SystemConfig::default(), scale.sim(), kind.build());
-                speedups.push(m.speedup_over(base));
-                coverage += m.coverage() / suite.len() as f64;
-            }
+        .enumerate()
+        .map(|(k, kind)| {
+            let chunk = &records[n * (k + 1)..n * (k + 2)];
+            let speedups: Vec<f64> = chunk
+                .iter()
+                .zip(baselines)
+                .map(|(record, base)| record.metrics.speedup_over(&base.metrics))
+                .collect();
+            let coverage = chunk
+                .iter()
+                .map(|record| record.metrics.coverage())
+                .sum::<f64>()
+                / n as f64;
             (kind.name().to_string(), geometric_mean(&speedups), coverage)
         })
         .collect()
@@ -72,31 +80,27 @@ fn headline_morrigan_beats_every_prior_dstlb_prefetcher() {
 #[test]
 #[cfg_attr(debug_assertions, ignore = "needs trained tables; run with --release")]
 fn headline_morrigan_eliminates_demand_walk_references() {
-    let scale = Scale {
-        warmup: 1_000_000,
-        measure: 3_000_000,
-        workloads: 4,
-        smt_pairs: 1,
-    };
+    let scale = shape_scale();
     let suite = scale.suite();
-    let mut base_refs = 0u64;
-    let mut morrigan_refs = 0u64;
-    for cfg in &suite {
-        let base = run_server(
-            cfg,
-            SystemConfig::default(),
-            scale.sim(),
-            Box::new(NullPrefetcher),
-        );
-        let m = run_server(
-            cfg,
-            SystemConfig::default(),
-            scale.sim(),
-            PrefetcherKind::Morrigan.build(),
-        );
-        base_refs += base.demand_instr_walk_refs();
-        morrigan_refs += m.demand_instr_walk_refs();
-    }
+    let n = suite.len();
+    let runner = Runner::new(4);
+
+    let mut specs: Vec<RunSpec> = suite.iter().map(|cfg| baseline_spec(cfg, &scale)).collect();
+    specs.extend(
+        suite
+            .iter()
+            .map(|cfg| server_spec(cfg, &scale, PrefetcherKind::Morrigan)),
+    );
+    let records = runner.run_batch(&specs);
+
+    let base_refs: u64 = records[..n]
+        .iter()
+        .map(|record| record.metrics.demand_instr_walk_refs())
+        .sum();
+    let morrigan_refs: u64 = records[n..]
+        .iter()
+        .map(|record| record.metrics.demand_instr_walk_refs())
+        .sum();
     let reduction = 1.0 - morrigan_refs as f64 / base_refs as f64;
     // The paper reports 69 %; the synthetic substrate attenuates this (see
     // EXPERIMENTS.md) but the reduction must be substantial.

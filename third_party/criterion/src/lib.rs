@@ -1,0 +1,124 @@
+//! Offline stand-in for `criterion`: a plain timing harness with the
+//! `bench_function`/`Bencher::iter` shape and the
+//! `criterion_group!`/`criterion_main!` macros. Reports min/mean/max
+//! wall-clock per benchmark instead of criterion's statistics. See
+//! `third_party/README.md`.
+
+use std::time::{Duration, Instant};
+
+/// The benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed samples [`Bencher::iter`] collects.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Accepted for API compatibility; this harness never plots.
+    pub fn without_plots(self) -> Self {
+        self
+    }
+
+    /// Times `f`'s [`Bencher::iter`] body and prints a one-line report.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            samples: self.sample_size,
+            timings: Vec::new(),
+        };
+        f(&mut bencher);
+        let timings = bencher.timings;
+        if timings.is_empty() {
+            eprintln!("{id}: no samples (Bencher::iter never called)");
+            return self;
+        }
+        let total: Duration = timings.iter().sum();
+        let mean = total / timings.len() as u32;
+        let min = timings.iter().min().unwrap();
+        let max = timings.iter().max().unwrap();
+        eprintln!(
+            "{id}: mean {mean:?} (min {min:?}, max {max:?}, {} samples)",
+            timings.len()
+        );
+        self
+    }
+}
+
+/// Runs and times the benchmark body.
+pub struct Bencher {
+    samples: usize,
+    timings: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Calls `f` once per sample, timing each call.
+    pub fn iter<O, F>(&mut self, mut f: F)
+    where
+        F: FnMut() -> O,
+    {
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            std::hint::black_box(f());
+            self.timings.push(start.elapsed());
+        }
+    }
+}
+
+/// Prevents the optimizer from deleting a benchmarked value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Bundles benchmark functions into one group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Emits `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_times_the_body() {
+        let mut count = 0u64;
+        Criterion::default()
+            .sample_size(3)
+            .bench_function("stub-smoke", |b| b.iter(|| count += 1));
+        assert_eq!(count, 3);
+    }
+}

@@ -1,0 +1,18 @@
+//! Offline stand-in for `serde`: the two trait names plus no-op derive
+//! macros, which is the entire surface this workspace uses (derive
+//! annotations on config/metrics types; no runtime serialization). See
+//! `third_party/README.md` for how to swap the crates.io release back
+//! in.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`; blanket-implemented since the
+/// no-op derive emits no impls.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
