@@ -1,6 +1,6 @@
 //! The three-level cache hierarchy plus DRAM, with per-class statistics.
 
-use morrigan_types::CacheLine;
+use morrigan_types::{CacheLine, CounterSet};
 use serde::{Deserialize, Serialize};
 
 use crate::cache::{Cache, CacheConfig};
@@ -129,6 +129,18 @@ impl std::ops::Sub for LevelStats {
             prefetch_walk: self.prefetch_walk - rhs.prefetch_walk,
             iprefetch: self.iprefetch - rhs.iprefetch,
         }
+    }
+}
+
+impl CounterSet for LevelStats {
+    fn counters(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("ifetch", self.ifetch),
+            ("data", self.data),
+            ("demand_walk", self.demand_walk),
+            ("prefetch_walk", self.prefetch_walk),
+            ("iprefetch", self.iprefetch),
+        ]
     }
 }
 

@@ -101,6 +101,10 @@ fn metrics_json(m: &Metrics) -> String {
                 kv("dstlb_misses", mmu.dstlb_misses.to_string()),
                 kv("prefetches_issued", mmu.prefetches_issued.to_string()),
                 kv("prefetches_duplicate", mmu.prefetches_duplicate.to_string()),
+                kv(
+                    "icache_prefetches_issued",
+                    mmu.icache_prefetches_issued.to_string(),
+                ),
                 kv("spatial_ptes_staged", mmu.spatial_ptes_staged.to_string()),
                 kv("correcting_walks", mmu.correcting_walks.to_string()),
                 kv("shootdowns", mmu.shootdowns.to_string()),
@@ -124,6 +128,18 @@ fn metrics_json(m: &Metrics) -> String {
                 kv("prefetch_walks", walker.prefetch_walks.to_string()),
                 kv("prefetch_refs", walker.prefetch_refs.to_string()),
                 kv("faults_suppressed", walker.faults_suppressed.to_string()),
+            ]),
+        ),
+        kv(
+            "pb",
+            obj(vec![
+                kv("hits_ready", m.pb.hits_ready.to_string()),
+                kv("hits_inflight", m.pb.hits_inflight.to_string()),
+                kv("misses", m.pb.misses.to_string()),
+                kv("inserts", m.pb.inserts.to_string()),
+                kv("refreshes", m.pb.refreshes.to_string()),
+                kv("evicted_unused", m.pb.evicted_unused.to_string()),
+                kv("invalidations", m.pb.invalidations.to_string()),
             ]),
         ),
         kv(
@@ -166,6 +182,27 @@ pub fn record_json(record: &RunRecord) -> String {
             kv("unique_pages", s.page_hist.len().to_string()),
         ]),
     };
+    let audit = match &record.audit {
+        None => "null".to_string(),
+        Some(a) => {
+            let violations = a
+                .violations
+                .iter()
+                .map(|v| {
+                    obj(vec![
+                        kv("law", json_string(&v.law)),
+                        kv("detail", json_string(&v.detail)),
+                    ])
+                })
+                .collect::<Vec<_>>()
+                .join(", ");
+            obj(vec![
+                kv("context", json_string(&a.context)),
+                kv("checks", a.checks.to_string()),
+                kv("violations", format!("[{violations}]")),
+            ])
+        }
+    };
     obj(vec![
         kv("workload", workload_json(&spec.workload)),
         kv("prefetcher", json_string(spec.prefetcher.name())),
@@ -201,6 +238,7 @@ pub fn record_json(record: &RunRecord) -> String {
         ),
         kv("metrics", metrics_json(&record.metrics)),
         kv("miss_stream", miss_stream),
+        kv("audit", audit),
     ])
 }
 
@@ -270,5 +308,8 @@ mod tests {
         assert!(doc.contains("\"prefetcher\": \"baseline\""));
         assert!(doc.contains("\"instructions\": 30000"));
         assert!(doc.contains("\"miss_stream\": null"));
+        // Debug builds audit every run; the clean report rides along.
+        assert!(doc.contains("\"audit\": {\"context\":"));
+        assert!(doc.contains("\"violations\": []"));
     }
 }

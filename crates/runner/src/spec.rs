@@ -13,7 +13,7 @@ use morrigan_baselines::{
 };
 use morrigan_sim::{Metrics, SimConfig, Simulator, SystemConfig};
 use morrigan_types::prefetcher::NullPrefetcher;
-use morrigan_types::TlbPrefetcher;
+use morrigan_types::{AuditReport, TlbPrefetcher};
 use morrigan_vm::MissStreamStats;
 use morrigan_workloads::{
     InstructionStream, ServerWorkload, ServerWorkloadConfig, SpecWorkload, SpecWorkloadConfig,
@@ -281,6 +281,7 @@ impl RunSpec {
             spec: self.clone(),
             metrics,
             miss_stream,
+            audit: simulator.audit_report().cloned(),
         }
     }
 }
@@ -295,6 +296,11 @@ pub struct RunRecord {
     /// The iSTLB miss-stream characterization, present iff the spec's
     /// system enabled `collect_stream_stats` (Figures 5–8).
     pub miss_stream: Option<MissStreamStats>,
+    /// The stats-invariant audit report, present iff auditing was enabled
+    /// for the run (always in debug builds; `MORRIGAN_AUDIT=1` in
+    /// release). A present report is always clean — the simulator panics
+    /// on a violated law instead of returning metrics.
+    pub audit: Option<AuditReport>,
 }
 
 #[cfg(test)]

@@ -47,10 +47,12 @@
 //! assert!(metrics.ipc() > 0.0);
 //! ```
 
+pub mod audit;
 mod config;
 mod metrics;
 mod simulator;
 
+pub use audit::{audit_metrics, audit_state};
 pub use config::{CoreConfig, IcachePrefetcherKind, SimConfig, SystemConfig};
 pub use metrics::Metrics;
 pub use simulator::Simulator;

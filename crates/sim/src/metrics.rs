@@ -2,7 +2,7 @@
 
 use morrigan_mem::LevelStats;
 use morrigan_types::stats::mpki;
-use morrigan_vm::{MmuStats, WalkerStats};
+use morrigan_vm::{MmuStats, PbStats, WalkerStats};
 use serde::{Deserialize, Serialize};
 
 /// Everything measured over the measurement window of one run.
@@ -21,6 +21,8 @@ pub struct Metrics {
     pub mmu: MmuStats,
     /// Walker counters over the window.
     pub walker: WalkerStats,
+    /// Prefetch-buffer counters over the window.
+    pub pb: PbStats,
     /// Demand L1I misses over the window.
     pub l1i_misses: u64,
     /// Page-walk references served by `[L1, L2, LLC, DRAM]`.

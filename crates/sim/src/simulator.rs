@@ -4,10 +4,13 @@ use std::collections::VecDeque;
 
 use morrigan_icache::{FnlMma, FnlMmaConfig, ICachePrefetcher, LinePrefetch, NextLinePrefetcher};
 use morrigan_mem::{AccessClass, LevelStats, MemLevel, MemoryHierarchy};
-use morrigan_types::{CacheLine, ThreadId, TlbPrefetcher, VirtPage, PAGE_SHIFT};
-use morrigan_vm::{Mmu, MmuStats, PageTable, WalkerStats};
+use morrigan_types::{
+    check_monotonic, AuditReport, CacheLine, ThreadId, TlbPrefetcher, VirtPage, PAGE_SHIFT,
+};
+use morrigan_vm::{Mmu, MmuStats, PageTable, PbStats, WalkerStats};
 use morrigan_workloads::InstructionStream;
 
+use crate::audit::{audit_metrics, audit_state};
 use crate::config::{IcachePrefetcherKind, SimConfig, SystemConfig};
 use crate::metrics::Metrics;
 
@@ -27,6 +30,7 @@ struct Snapshot {
     icache_stall: u64,
     mmu: MmuStats,
     walker: WalkerStats,
+    pb: PbStats,
     l1i_misses: u64,
     walk_refs: [u64; 4],
     l1i_served: LevelStats,
@@ -58,8 +62,19 @@ pub struct Simulator {
     iprefetch_lines: u64,
     iprefetch_ready: u64,
     iprefetch_walks: u64,
+    // --- stats-invariant audit ---
+    audit_enabled: bool,
+    audit: Option<AuditReport>,
     // --- scratch ---
     line_scratch: Vec<LinePrefetch>,
+}
+
+/// Default audit enablement: always in debug builds; in release only when
+/// `MORRIGAN_AUDIT=1` is exported (the checks cost one pass over the
+/// counters per checkpoint, negligible, but the policy keeps release
+/// figure runs byte-identical to earlier revisions unless asked).
+fn audit_default() -> bool {
+    cfg!(debug_assertions) || std::env::var("MORRIGAN_AUDIT").is_ok_and(|v| v == "1")
 }
 
 impl std::fmt::Debug for Simulator {
@@ -149,8 +164,24 @@ impl Simulator {
             iprefetch_lines: 0,
             iprefetch_ready: 0,
             iprefetch_walks: 0,
+            audit_enabled: audit_default(),
+            audit: None,
             line_scratch: Vec::with_capacity(16),
         }
+    }
+
+    /// Forces the stats-invariant audit on or off for this run,
+    /// overriding the debug/`MORRIGAN_AUDIT` default.
+    pub fn set_audit(&mut self, enabled: bool) {
+        self.audit_enabled = enabled;
+    }
+
+    /// The audit report of the completed run, when auditing was enabled.
+    ///
+    /// A present report is always clean: [`Simulator::run`] panics on the
+    /// first violated law rather than returning tainted metrics.
+    pub fn audit_report(&self) -> Option<&AuditReport> {
+        self.audit.as_ref()
     }
 
     /// The simulated system configuration.
@@ -176,6 +207,7 @@ impl Simulator {
             icache_stall: self.icache_stall_cycles,
             mmu: self.mmu.stats,
             walker: *self.mmu.walker_stats(),
+            pb: self.mmu.prefetch_buffer().stats,
             l1i_misses: self.mem.l1i_demand_misses,
             walk_refs: self.mem.walk_refs_by_level(),
             l1i_served: self.mem.served_by(MemLevel::L1I),
@@ -202,8 +234,19 @@ impl Simulator {
              for every run"
         );
         self.ran = true;
+        let mut report = self.audit_enabled.then(|| {
+            AuditReport::new(format!(
+                "{} run ({} warmup + {} measure instructions)",
+                self.mmu.prefetcher_name(),
+                cfg.warmup_instructions,
+                cfg.measure_instructions
+            ))
+        });
         for _ in 0..cfg.warmup_instructions {
             self.step();
+        }
+        if let Some(r) = report.as_mut() {
+            audit_state(r, "end of warmup", &self.mmu, &self.mem);
         }
         self.mmu.miss_stream.break_chain();
         let start = self.snapshot();
@@ -218,19 +261,91 @@ impl Simulator {
             end.walk_refs[2] - start.walk_refs[2],
             end.walk_refs[3] - start.walk_refs[3],
         ];
-        Metrics {
+        let metrics = Metrics {
             instructions: end.retired - start.retired,
             cycles: (end.last_retire - start.last_retire).max(1),
             istlb_stall_cycles: end.istlb_stall - start.istlb_stall,
             icache_stall_cycles: end.icache_stall - start.icache_stall,
             mmu: end.mmu - start.mmu,
             walker: end.walker - start.walker,
+            pb: end.pb - start.pb,
             l1i_misses: end.l1i_misses - start.l1i_misses,
             walk_refs_by_level: walk_refs,
             l1i_served: end.l1i_served - start.l1i_served,
             iprefetch_lines: end.iprefetch_lines - start.iprefetch_lines,
             iprefetch_translation_ready: end.iprefetch_ready - start.iprefetch_ready,
             iprefetch_translation_walks: end.iprefetch_walks - start.iprefetch_walks,
+        };
+
+        if let Some(mut r) = report {
+            audit_state(&mut r, "end of window", &self.mmu, &self.mem);
+            self.audit_window(&mut r, &start, &end);
+            audit_metrics(&mut r, &metrics);
+            assert!(r.is_clean(), "{}", r.render());
+            self.audit = Some(r);
+        }
+        metrics
+    }
+
+    /// Window monotonicity: every counter the snapshot subtraction relies
+    /// on must be no smaller at the end of the window than at its start.
+    fn audit_window(&self, r: &mut AuditReport, start: &Snapshot, end: &Snapshot) {
+        let at = "measurement window";
+        check_monotonic(r, at, "mmu", &start.mmu, &end.mmu);
+        check_monotonic(r, at, "walker", &start.walker, &end.walker);
+        check_monotonic(r, at, "pb", &start.pb, &end.pb);
+        check_monotonic(r, at, "l1i_served", &start.l1i_served, &end.l1i_served);
+        for (law, s, e) in [
+            (
+                "retired is monotone over the window",
+                start.retired,
+                end.retired,
+            ),
+            (
+                "last_retire is monotone over the window",
+                start.last_retire,
+                end.last_retire,
+            ),
+            (
+                "istlb_stall is monotone over the window",
+                start.istlb_stall,
+                end.istlb_stall,
+            ),
+            (
+                "icache_stall is monotone over the window",
+                start.icache_stall,
+                end.icache_stall,
+            ),
+            (
+                "l1i_misses is monotone over the window",
+                start.l1i_misses,
+                end.l1i_misses,
+            ),
+            (
+                "iprefetch_lines is monotone over the window",
+                start.iprefetch_lines,
+                end.iprefetch_lines,
+            ),
+            (
+                "iprefetch_ready is monotone over the window",
+                start.iprefetch_ready,
+                end.iprefetch_ready,
+            ),
+            (
+                "iprefetch_walks is monotone over the window",
+                start.iprefetch_walks,
+                end.iprefetch_walks,
+            ),
+        ] {
+            r.check_le(at, law, s, e);
+        }
+        for (i, (s, e)) in start.walk_refs.iter().zip(end.walk_refs).enumerate() {
+            r.check_le(
+                at,
+                &format!("walk_refs_by_level[{i}] is monotone over the window"),
+                *s,
+                e,
+            );
         }
     }
 
@@ -576,6 +691,24 @@ mod tests {
         };
         let _ = sim.run(tiny);
         let _ = sim.run(tiny);
+    }
+
+    #[test]
+    fn every_run_is_audited_when_enabled() {
+        let mut sim = Simulator::new(
+            SystemConfig::default(),
+            server(10),
+            Box::new(Morrigan::new(MorriganConfig::default())),
+        );
+        sim.set_audit(true);
+        let _ = sim.run(quick());
+        let report = sim.audit_report().expect("audit was enabled");
+        assert!(report.is_clean(), "{}", report.render());
+        assert!(
+            report.checks > 80,
+            "warmup + window + monotonicity law sets must all run, got {}",
+            report.checks
+        );
     }
 
     #[test]

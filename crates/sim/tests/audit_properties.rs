@@ -1,0 +1,94 @@
+//! Property tests: the full stats-invariant audit holds under random
+//! mapped miss streams, for every MMU configuration the figures use.
+//!
+//! Each test drives a bare MMU (no core model) with an arbitrary
+//! interleaving of instruction fetches, data accesses, and shootdowns,
+//! with Morrigan attached so the prefetch, duplicate, spatial-staging,
+//! and faulting-prefetch paths are all exercised, then runs the complete
+//! cumulative law set from [`morrigan_sim::audit_state`].
+
+use morrigan::{Morrigan, MorriganConfig};
+use morrigan_mem::{HierarchyConfig, MemoryHierarchy};
+use morrigan_sim::audit_state;
+use morrigan_types::{AuditReport, ThreadId, VirtPage};
+use morrigan_vm::{Mmu, MmuConfig, PageTable, PrefetchPlacement};
+use proptest::prelude::*;
+
+const INSTR_BASE: u64 = 0x4000;
+const DATA_BASE: u64 = 0x80_0000;
+const REGION: u64 = 256;
+
+/// Random access stream: (page selector, operation selector, cycle gap).
+fn stream() -> impl Strategy<Value = Vec<(u64, u8, u64)>> {
+    prop::collection::vec((0u64..512, 0u8..8, 0u64..64), 1..400)
+}
+
+/// Drives `cfg` with `accesses` and returns the audit report.
+fn drive(cfg: MmuConfig, accesses: &[(u64, u8, u64)]) -> AuditReport {
+    let mut pt = PageTable::new(11);
+    // Only part of each region is mapped, so Morrigan's neighbor
+    // predictions regularly fault and exercise prefetch suppression.
+    pt.map_range(VirtPage::new(INSTR_BASE), REGION);
+    pt.map_range(VirtPage::new(DATA_BASE), REGION);
+    let mut mmu = Mmu::new(cfg, pt, Box::new(Morrigan::new(MorriganConfig::default())));
+    let mut mem = MemoryHierarchy::new(HierarchyConfig::default());
+    let mut now = 0u64;
+    for &(page, op, dt) in accesses {
+        now += dt;
+        match op {
+            // Instruction fetches dominate, as in a front-end miss stream.
+            0..=5 => {
+                let addr = VirtPage::new(INSTR_BASE + page % REGION).base_addr();
+                mmu.translate_instr(addr, ThreadId::ZERO, now, &mut mem);
+            }
+            6 => {
+                let addr = VirtPage::new(DATA_BASE + page % REGION).base_addr();
+                mmu.translate_data(addr, ThreadId::ZERO, now, &mut mem);
+            }
+            // Shootdowns exercise the PB-invalidation ledger entry.
+            _ => {
+                mmu.shootdown(VirtPage::new(INSTR_BASE + page % REGION));
+            }
+        }
+    }
+    let mut report = AuditReport::new("audit property run");
+    audit_state(&mut report, "end of stream", &mmu, &mem);
+    report
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The paper's default configuration: PB placement.
+    #[test]
+    fn audit_holds_for_buffer_placement(accesses in stream()) {
+        let report = drive(MmuConfig::default(), &accesses);
+        prop_assert!(report.is_clean(), "{}", report.render());
+    }
+
+    /// The P2TLB variant (Fig 18): prefetches go straight into the STLB.
+    #[test]
+    fn audit_holds_for_p2tlb_placement(accesses in stream()) {
+        let cfg = MmuConfig { placement: PrefetchPlacement::Stlb, ..MmuConfig::default() };
+        let report = drive(cfg, &accesses);
+        prop_assert!(report.is_clean(), "{}", report.render());
+    }
+
+    /// §4.3 correcting walks: evicted-unused PB entries trigger extra
+    /// prefetch-class walks, which the walker conservation law must absorb.
+    #[test]
+    fn audit_holds_with_correcting_walks(accesses in stream()) {
+        let cfg = MmuConfig { correcting_walks: true, ..MmuConfig::default() };
+        let report = drive(cfg, &accesses);
+        prop_assert!(report.is_clean(), "{}", report.render());
+    }
+
+    /// §4.3 engagement on STLB hits: the prefetcher fires on hits too,
+    /// adding prefetch traffic without touching the demand-path laws.
+    #[test]
+    fn audit_holds_when_engaging_on_stlb_hits(accesses in stream()) {
+        let cfg = MmuConfig { engage_on_stlb_hits: true, ..MmuConfig::default() };
+        let report = drive(cfg, &accesses);
+        prop_assert!(report.is_clean(), "{}", report.render());
+    }
+}

@@ -14,6 +14,9 @@
 //!   (invoked on STLB misses, fills a prefetch buffer).
 //! * [`stats`] — saturating counters, ratios, and the geometric-mean helper
 //!   used for the paper's speedup aggregation.
+//! * [`audit`] — the stats-invariant audit vocabulary: [`AuditReport`]
+//!   accumulates conservation-law checks, [`CounterSet`] exposes a stats
+//!   struct's monotone counters for generic window-monotonicity checks.
 //!
 //! # Examples
 //!
@@ -27,11 +30,13 @@
 //! ```
 
 pub mod addr;
+pub mod audit;
 pub mod prefetcher;
 pub mod rng;
 pub mod stats;
 
 pub use addr::{CacheLine, PhysAddr, PhysPage, VirtAddr, VirtPage, LINE_SHIFT, PAGE_SHIFT};
+pub use audit::{check_monotonic, AuditReport, CounterSet, Violation};
 pub use prefetcher::{
     MissContext, PageDistance, PrefetchDecision, PrefetchOrigin, ThreadId, TlbPrefetcher,
 };

@@ -46,7 +46,7 @@ mod walker;
 pub use miss_stream::MissStreamStats;
 pub use mmu::{Mmu, MmuConfig, MmuStats, PrefetchPlacement, TranslationOutcome};
 pub use page_table::{PageTable, PtLevel, WalkStep};
-pub use prefetch_buffer::{PbEntry, PrefetchBuffer};
+pub use prefetch_buffer::{PbEntry, PbStats, PrefetchBuffer};
 pub use psc::{PagingStructureCaches, PscConfig, PscHit};
 pub use tlb::{Tlb, TlbConfig};
 pub use walker::{WalkKind, WalkResult, Walker, WalkerConfig, WalkerStats};

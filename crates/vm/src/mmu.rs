@@ -23,7 +23,8 @@
 use morrigan_mem::MemoryHierarchy;
 use morrigan_types::prefetcher::NullPrefetcher;
 use morrigan_types::{
-    MissContext, PhysPage, PrefetchDecision, ThreadId, TlbPrefetcher, VirtAddr, VirtPage,
+    CounterSet, MissContext, PhysPage, PrefetchDecision, ThreadId, TlbPrefetcher, VirtAddr,
+    VirtPage,
 };
 use serde::{Deserialize, Serialize};
 
@@ -116,8 +117,13 @@ pub struct MmuStats {
     pub dstlb_misses: u64,
     /// Prefetch requests issued to the walker.
     pub prefetches_issued: u64,
-    /// Prefetch requests discarded because the PB already staged the page.
+    /// Prefetch requests discarded because the placement target (PB, or
+    /// the STLB in P2TLB mode) already staged the page.
     pub prefetches_duplicate: u64,
+    /// Prefetch walks issued on behalf of a page-crossing I-cache
+    /// prefetcher (§3.5), counted separately from the STLB prefetcher's
+    /// own requests so Fig 18/19 configurations stay comparable.
+    pub icache_prefetches_issued: u64,
     /// PTEs staged for free via page-table locality (spatial prefetching).
     pub spatial_ptes_staged: u64,
     /// Correcting page walks issued for PB entries evicted unused (§4.3).
@@ -143,10 +149,32 @@ impl std::ops::Sub for MmuStats {
             dstlb_misses: self.dstlb_misses - rhs.dstlb_misses,
             prefetches_issued: self.prefetches_issued - rhs.prefetches_issued,
             prefetches_duplicate: self.prefetches_duplicate - rhs.prefetches_duplicate,
+            icache_prefetches_issued: self.icache_prefetches_issued - rhs.icache_prefetches_issued,
             spatial_ptes_staged: self.spatial_ptes_staged - rhs.spatial_ptes_staged,
             correcting_walks: self.correcting_walks - rhs.correcting_walks,
             shootdowns: self.shootdowns - rhs.shootdowns,
         }
+    }
+}
+
+impl CounterSet for MmuStats {
+    fn counters(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("instr_translations", self.instr_translations),
+            ("itlb_misses", self.itlb_misses),
+            ("istlb_misses", self.istlb_misses),
+            ("istlb_covered", self.istlb_covered),
+            ("istlb_covered_late", self.istlb_covered_late),
+            ("data_translations", self.data_translations),
+            ("dtlb_misses", self.dtlb_misses),
+            ("dstlb_misses", self.dstlb_misses),
+            ("prefetches_issued", self.prefetches_issued),
+            ("prefetches_duplicate", self.prefetches_duplicate),
+            ("icache_prefetches_issued", self.icache_prefetches_issued),
+            ("spatial_ptes_staged", self.spatial_ptes_staged),
+            ("correcting_walks", self.correcting_walks),
+            ("shootdowns", self.shootdowns),
+        ]
     }
 }
 
@@ -264,6 +292,16 @@ impl Mmu {
         &self.stlb
     }
 
+    /// The L1 instruction TLB (occupancy auditing).
+    pub fn itlb(&self) -> &Tlb {
+        &self.itlb
+    }
+
+    /// The L1 data TLB (occupancy auditing).
+    pub fn dtlb(&self) -> &Tlb {
+        &self.dtlb
+    }
+
     /// Name of the attached prefetcher.
     pub fn prefetcher_name(&self) -> &'static str {
         self.prefetcher.name()
@@ -337,7 +375,10 @@ impl Mmu {
         }
 
         latency += self.pb.latency;
-        let (pb_hit, pfn) = match self.pb.take(vpn, now) {
+        // The PB is probed only after the I-TLB, STLB, and PB lookup
+        // cycles have elapsed; probing with the request cycle would charge
+        // an in-flight entry for wait time that already passed.
+        let (pb_hit, pfn) = match self.pb.take(vpn, now + latency) {
             Some(hit) => {
                 // PB hit: demand walk avoided; entry moves into the TLBs.
                 latency += hit.remaining_latency;
@@ -406,9 +447,15 @@ impl Mmu {
     /// (or STLB, in P2TLB mode) fill, and optional spatial staging.
     fn issue_prefetch(&mut self, decision: &PrefetchDecision, now: u64, mem: &mut MemoryHierarchy) {
         let vpn = decision.vpn;
-        // Duplicate check against the PB only; probing the STLB would
+        // Duplicate check against the structure prefetches are placed
+        // into, so Buffer and P2TLB runs count duplicates symmetrically.
+        // In Buffer mode only the PB is probed; probing the STLB would
         // contend with demand lookups (§2.1).
-        if self.cfg.placement == PrefetchPlacement::Buffer && self.pb.contains(vpn) {
+        let already_staged = match self.cfg.placement {
+            PrefetchPlacement::Buffer => self.pb.contains(vpn),
+            PrefetchPlacement::Stlb => self.stlb.contains(vpn),
+        };
+        if already_staged {
             self.stats.prefetches_duplicate += 1;
             return;
         }
@@ -524,6 +571,7 @@ impl Mmu {
         let walk = self
             .walker
             .walk(&self.page_table, mem, vpn, WalkKind::Prefetch, now)?;
+        self.stats.icache_prefetches_issued += 1;
         let victim = self.pb.insert(vpn, walk.pfn, walk.completed_at, None);
         self.correct_eviction(victim, now, mem);
         Some(walk.latency)
@@ -690,6 +738,28 @@ mod tests {
     }
 
     #[test]
+    fn pb_hit_remaining_wait_is_relative_to_probe_time() {
+        let (mut mmu, mut mem) = setup(Box::new(NextPage {
+            spatial: false,
+            hits_credited: 0,
+        }));
+        // The miss at cycle 0 prefetches 0x4001; its walk starts at cycle 1
+        // (initiation rate), finds all upper levels and the leaf line in
+        // L1D (the demand walk just touched them), and completes at cycle
+        // 1 + 2 + 4*4 = 19.
+        mmu.translate_instr(pc(0x4000), ThreadId::ZERO, 0, &mut mem);
+        // A lookup at cycle 8 reaches the PB at cycle 8 + 11 = 19: the
+        // walk is done by probe time, so no extra wait may be charged.
+        let out = mmu.translate_instr(pc(0x4001), ThreadId::ZERO, 8, &mut mem);
+        assert!(out.pb_hit);
+        assert_eq!(
+            out.latency, 11,
+            "the lookup pipeline already covers the remaining walk time"
+        );
+        assert_eq!(mmu.stats.istlb_covered_late, 0);
+    }
+
+    #[test]
     fn pb_hit_credits_prefetcher() {
         let (mut mmu, mut mem) = setup(Box::new(NextPage {
             spatial: false,
@@ -771,6 +841,28 @@ mod tests {
     }
 
     #[test]
+    fn p2tlb_counts_duplicates_like_buffer_mode() {
+        let mut pt = PageTable::new(1);
+        pt.map_range(VirtPage::new(0x4000), 256);
+        let mut mmu = Mmu::new(
+            MmuConfig {
+                placement: PrefetchPlacement::Stlb,
+                ..MmuConfig::default()
+            },
+            pt,
+            Box::new(FixedTarget(VirtPage::new(0x4050))),
+        );
+        let mut mem = MemoryHierarchy::new(HierarchyConfig::default());
+        mmu.translate_instr(pc(0x4000), ThreadId::ZERO, 0, &mut mem);
+        assert_eq!(mmu.stats.prefetches_issued, 1);
+        // The second miss re-requests 0x4050, already placed in the STLB:
+        // it must count as a duplicate, exactly as Buffer mode would.
+        mmu.translate_instr(pc(0x4001), ThreadId::ZERO, 10_000, &mut mem);
+        assert_eq!(mmu.stats.prefetches_issued, 1);
+        assert_eq!(mmu.stats.prefetches_duplicate, 1);
+    }
+
+    #[test]
     fn perfect_istlb_never_misses() {
         let mut pt = PageTable::new(1);
         pt.map_range(VirtPage::new(0x4000), 64);
@@ -847,6 +939,14 @@ mod tests {
         assert!(mmu.icache_prefetch_translation(vpn, 0, &mut mem).is_some());
         // Second request: already staged.
         assert!(mmu.icache_prefetch_translation(vpn, 1, &mut mem).is_none());
+        assert_eq!(
+            mmu.stats.icache_prefetches_issued, 1,
+            "i-cache-initiated walks have their own counter"
+        );
+        assert_eq!(
+            mmu.stats.prefetches_issued, 0,
+            "the STLB prefetcher issued nothing"
+        );
         let out = mmu.translate_instr(pc(0x4042), ThreadId::ZERO, 10_000, &mut mem);
         assert!(out.pb_hit);
     }

@@ -12,7 +12,8 @@
 //! only saves the *remaining* latency (this is the effect that cripples
 //! naive page-crossing I-cache prefetchers in Fig 10).
 
-use morrigan_types::{PhysPage, PrefetchOrigin, VirtPage};
+use morrigan_types::{CounterSet, PhysPage, PrefetchOrigin, VirtPage};
+use serde::{Deserialize, Serialize};
 
 /// One prefetched translation staged in the PB.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -40,6 +41,71 @@ pub struct PbHit {
     pub origin: Option<PrefetchOrigin>,
 }
 
+/// PB counters. Together they form a closed ledger: every entry that ever
+/// entered the buffer (`inserts`) either left through a demand hit
+/// (`hits_ready + hits_inflight`), an eviction or flush (`evicted_unused`),
+/// a shootdown (`invalidations`), or is still resident (occupancy) —
+/// `inserts == hits + evicted_unused + invalidations + len()` at every
+/// instant, which the audit layer checks.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PbStats {
+    /// Demand lookups that hit a ready entry.
+    pub hits_ready: u64,
+    /// Demand lookups that hit an entry whose walk was still in flight.
+    pub hits_inflight: u64,
+    /// Demand lookups that missed.
+    pub misses: u64,
+    /// Entries evicted without ever providing a hit (useless prefetches),
+    /// including entries discarded by a flush.
+    pub evicted_unused: u64,
+    /// Insertions of pages not already staged (new entries only).
+    pub inserts: u64,
+    /// Re-insertions of already-staged pages (recency refresh; the entry
+    /// count does not change).
+    pub refreshes: u64,
+    /// Entries removed by TLB shootdowns.
+    pub invalidations: u64,
+}
+
+impl std::ops::Sub for PbStats {
+    type Output = PbStats;
+
+    /// Field-wise difference, used to isolate the measurement window from
+    /// warmup (`end_snapshot - start_snapshot`).
+    fn sub(self, rhs: PbStats) -> PbStats {
+        PbStats {
+            hits_ready: self.hits_ready - rhs.hits_ready,
+            hits_inflight: self.hits_inflight - rhs.hits_inflight,
+            misses: self.misses - rhs.misses,
+            evicted_unused: self.evicted_unused - rhs.evicted_unused,
+            inserts: self.inserts - rhs.inserts,
+            refreshes: self.refreshes - rhs.refreshes,
+            invalidations: self.invalidations - rhs.invalidations,
+        }
+    }
+}
+
+impl CounterSet for PbStats {
+    fn counters(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("hits_ready", self.hits_ready),
+            ("hits_inflight", self.hits_inflight),
+            ("misses", self.misses),
+            ("evicted_unused", self.evicted_unused),
+            ("inserts", self.inserts),
+            ("refreshes", self.refreshes),
+            ("invalidations", self.invalidations),
+        ]
+    }
+}
+
+impl PbStats {
+    /// Demand hits, ready or in flight.
+    pub fn hits(&self) -> u64 {
+        self.hits_ready + self.hits_inflight
+    }
+}
+
 /// A fully-associative, LRU prefetch buffer (Table 1: 64-entry, 2-cycle).
 #[derive(Debug, Clone)]
 pub struct PrefetchBuffer {
@@ -48,16 +114,8 @@ pub struct PrefetchBuffer {
     /// Lookup latency in cycles.
     pub latency: u64,
     tick: u64,
-    /// Demand lookups that hit a ready entry.
-    pub hits_ready: u64,
-    /// Demand lookups that hit an entry whose walk was still in flight.
-    pub hits_inflight: u64,
-    /// Demand lookups that missed.
-    pub misses: u64,
-    /// Entries evicted without ever providing a hit (useless prefetches).
-    pub evicted_unused: u64,
-    /// Total insertions.
-    pub inserts: u64,
+    /// Counters.
+    pub stats: PbStats,
 }
 
 impl PrefetchBuffer {
@@ -73,11 +131,7 @@ impl PrefetchBuffer {
             capacity,
             latency,
             tick: 0,
-            hits_ready: 0,
-            hits_inflight: 0,
-            misses: 0,
-            evicted_unused: 0,
-            inserts: 0,
+            stats: PbStats::default(),
         }
     }
 
@@ -105,17 +159,22 @@ impl PrefetchBuffer {
         self.entries.iter().any(|e| e.vpn == vpn)
     }
 
-    /// Demand lookup at cycle `now`. On a hit the entry is **removed**
-    /// (it moves to the STLB, per §2.1) and returned.
+    /// Demand lookup probing the buffer at cycle `now`. On a hit the entry
+    /// is **removed** (it moves to the STLB, per §2.1) and returned.
+    ///
+    /// `now` must be the cycle the probe actually happens — after the
+    /// I-TLB, STLB, and PB lookup latencies have elapsed — so that
+    /// `remaining_latency` charges only the wait that is genuinely left on
+    /// an in-flight prefetch walk.
     pub fn take(&mut self, vpn: VirtPage, now: u64) -> Option<PbHit> {
         match self.entries.iter().position(|e| e.vpn == vpn) {
             Some(i) => {
                 let e = self.entries.swap_remove(i);
                 let remaining = e.ready_at.saturating_sub(now);
                 if remaining == 0 {
-                    self.hits_ready += 1;
+                    self.stats.hits_ready += 1;
                 } else {
-                    self.hits_inflight += 1;
+                    self.stats.hits_inflight += 1;
                 }
                 Some(PbHit {
                     pfn: e.pfn,
@@ -124,7 +183,7 @@ impl PrefetchBuffer {
                 })
             }
             None => {
-                self.misses += 1;
+                self.stats.misses += 1;
                 None
             }
         }
@@ -145,12 +204,13 @@ impl PrefetchBuffer {
         origin: Option<PrefetchOrigin>,
     ) -> Option<PbEntry> {
         self.tick += 1;
-        self.inserts += 1;
         if let Some(e) = self.entries.iter_mut().find(|e| e.vpn == vpn) {
+            self.stats.refreshes += 1;
             e.stamp = self.tick;
             e.ready_at = e.ready_at.min(ready_at);
             return None;
         }
+        self.stats.inserts += 1;
         let mut victim = None;
         if self.entries.len() == self.capacity {
             let (i, _) = self
@@ -160,7 +220,7 @@ impl PrefetchBuffer {
                 .min_by_key(|(_, e)| e.stamp)
                 .expect("buffer is full, hence non-empty");
             victim = Some(self.entries.swap_remove(i));
-            self.evicted_unused += 1;
+            self.stats.evicted_unused += 1;
         }
         self.entries.push(PbEntry {
             vpn,
@@ -178,6 +238,7 @@ impl PrefetchBuffer {
         match self.entries.iter().position(|e| e.vpn == vpn) {
             Some(i) => {
                 self.entries.swap_remove(i);
+                self.stats.invalidations += 1;
                 true
             }
             None => false,
@@ -186,14 +247,14 @@ impl PrefetchBuffer {
 
     /// Empties the buffer (context switch).
     pub fn flush(&mut self) {
-        self.evicted_unused += self.entries.len() as u64;
+        self.stats.evicted_unused += self.entries.len() as u64;
         self.entries.clear();
     }
 
     /// Fraction of demand lookups that hit (ready or in flight).
     pub fn hit_rate(&self) -> f64 {
-        let hits = self.hits_ready + self.hits_inflight;
-        let total = hits + self.misses;
+        let hits = self.stats.hits();
+        let total = hits + self.stats.misses;
         if total == 0 {
             0.0
         } else {
@@ -222,8 +283,8 @@ mod tests {
             pb.take(VirtPage::new(1), 10).is_none(),
             "entry moved to STLB"
         );
-        assert_eq!(pb.hits_ready, 1);
-        assert_eq!(pb.misses, 1);
+        assert_eq!(pb.stats.hits_ready, 1);
+        assert_eq!(pb.stats.misses, 1);
     }
 
     #[test]
@@ -232,8 +293,8 @@ mod tests {
         pb.insert(VirtPage::new(2), pfn(2), 150, None);
         let hit = pb.take(VirtPage::new(2), 100).expect("staged entry");
         assert_eq!(hit.remaining_latency, 50);
-        assert_eq!(pb.hits_inflight, 1);
-        assert_eq!(pb.hits_ready, 0);
+        assert_eq!(pb.stats.hits_inflight, 1);
+        assert_eq!(pb.stats.hits_ready, 0);
     }
 
     #[test]
@@ -242,7 +303,7 @@ mod tests {
         pb.insert(VirtPage::new(1), pfn(1), 0, None);
         pb.insert(VirtPage::new(2), pfn(2), 0, None);
         pb.insert(VirtPage::new(3), pfn(3), 0, None); // evicts 1
-        assert_eq!(pb.evicted_unused, 1);
+        assert_eq!(pb.stats.evicted_unused, 1);
         assert!(!pb.contains(VirtPage::new(1)));
         assert!(pb.contains(VirtPage::new(2)));
         assert!(pb.contains(VirtPage::new(3)));
@@ -254,6 +315,8 @@ mod tests {
         pb.insert(VirtPage::new(1), pfn(1), 100, None);
         pb.insert(VirtPage::new(1), pfn(1), 500, None);
         assert_eq!(pb.len(), 1);
+        assert_eq!(pb.stats.inserts, 1, "a refresh is not a new entry");
+        assert_eq!(pb.stats.refreshes, 1);
         let hit = pb.take(VirtPage::new(1), 0).expect("staged");
         assert_eq!(hit.remaining_latency, 100);
     }
@@ -276,8 +339,27 @@ mod tests {
         pb.insert(VirtPage::new(1), pfn(1), 0, None);
         pb.insert(VirtPage::new(2), pfn(2), 0, None);
         pb.flush();
-        assert_eq!(pb.evicted_unused, 2);
+        assert_eq!(pb.stats.evicted_unused, 2);
         assert!(pb.is_empty());
+    }
+
+    #[test]
+    fn ledger_balances_through_mixed_operations() {
+        let mut pb = PrefetchBuffer::new(2, 2);
+        pb.insert(VirtPage::new(1), pfn(1), 0, None);
+        pb.insert(VirtPage::new(2), pfn(2), 0, None);
+        pb.insert(VirtPage::new(2), pfn(2), 50, None); // refresh
+        pb.insert(VirtPage::new(3), pfn(3), 0, None); // evicts 1
+        let _ = pb.take(VirtPage::new(2), 10); // hit
+        assert!(pb.invalidate(VirtPage::new(3)));
+        assert!(!pb.invalidate(VirtPage::new(3)), "already gone");
+        let s = pb.stats;
+        assert_eq!(s.invalidations, 1, "only present entries count");
+        assert_eq!(
+            s.inserts,
+            s.hits() + s.evicted_unused + s.invalidations + pb.len() as u64,
+            "every inserted entry is accounted for exactly once"
+        );
     }
 
     #[test]

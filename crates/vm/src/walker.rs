@@ -9,7 +9,7 @@
 //! STLB's MSHR depth) and one walk can be initiated per cycle.
 
 use morrigan_mem::{AccessClass, MemoryHierarchy};
-use morrigan_types::{PhysPage, VirtPage};
+use morrigan_types::{CounterSet, PhysPage, VirtPage};
 use serde::{Deserialize, Serialize};
 
 use crate::page_table::PageTable;
@@ -116,6 +116,22 @@ impl std::ops::Sub for WalkerStats {
     }
 }
 
+impl CounterSet for WalkerStats {
+    fn counters(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("demand_instr_walks", self.demand_instr_walks),
+            ("demand_instr_refs", self.demand_instr_refs),
+            ("demand_instr_latency", self.demand_instr_latency),
+            ("demand_data_walks", self.demand_data_walks),
+            ("demand_data_refs", self.demand_data_refs),
+            ("demand_data_latency", self.demand_data_latency),
+            ("prefetch_walks", self.prefetch_walks),
+            ("prefetch_refs", self.prefetch_refs),
+            ("faults_suppressed", self.faults_suppressed),
+        ]
+    }
+}
+
 impl WalkerStats {
     /// Mean latency of demand instruction walks (the paper's 69-cycle
     /// iSTLB walk figure, §3.2).
@@ -144,8 +160,15 @@ pub struct Walker {
     psc: PagingStructureCaches,
     /// Busy-until cycle per walk slot.
     slots: Vec<u64>,
-    /// Cycle of the most recent walk initiation (1 initiation per cycle).
-    last_start: u64,
+    /// Cycle of the most recent walk initiation (1 initiation per cycle),
+    /// `None` while no walk has been issued yet — so the very first walk
+    /// may start at cycle 0.
+    last_start: Option<u64>,
+    /// PSC fills produced by walks that have not completed yet, as
+    /// `(ready_at, vpn)`. A walk's upper-level entries only become visible
+    /// to later walks once it finishes; filling at issue time would let an
+    /// overlapping walk hit PSC state that does not exist yet.
+    pending_fills: Vec<(u64, VirtPage)>,
     /// Counters.
     pub stats: WalkerStats,
 }
@@ -161,7 +184,8 @@ impl Walker {
         Self {
             psc: PagingStructureCaches::new(cfg.psc),
             slots: vec![0; cfg.concurrent_walks],
-            last_start: 0,
+            last_start: None,
+            pending_fills: Vec::new(),
             cfg,
             stats: WalkerStats::default(),
         }
@@ -222,10 +246,12 @@ impl Walker {
             .skip(first_slot)
             .min_by_key(|&(_, busy)| busy)
             .expect("walker has at least one slot");
-        let start = now.max(slot_free).max(self.last_start + 1);
-        self.last_start = start;
+        let start = now.max(slot_free).max(self.last_start.map_or(0, |s| s + 1));
+        self.last_start = Some(start);
 
-        // PSC lookup decides how many references remain.
+        // PSC fills of walks that completed by `start` become visible now;
+        // then the PSC lookup decides how many references remain.
+        self.apply_pending_fills(start);
         let hit = self.psc.lookup(vpn);
         let steps = pt.walk_steps(vpn);
         let remaining = &steps[hit.first_step()..];
@@ -243,7 +269,7 @@ impl Walker {
         let walk_time = self.cfg.psc.latency + memory_time;
         let completed_at = start + walk_time;
         self.slots[slot_idx] = completed_at;
-        self.psc.fill(vpn);
+        self.pending_fills.push((completed_at, vpn));
 
         let latency = completed_at - now;
         let refs = remaining.len() as u64;
@@ -272,9 +298,33 @@ impl Walker {
         })
     }
 
-    /// Flushes the PSCs (context switch).
+    /// Applies every pending PSC fill whose producing walk completed by
+    /// `now`, in completion order (ties resolve in issue order, keeping
+    /// the PSC LRU state deterministic).
+    fn apply_pending_fills(&mut self, now: u64) {
+        if self.pending_fills.is_empty() {
+            return;
+        }
+        let mut due: Vec<(u64, VirtPage)> = Vec::new();
+        self.pending_fills.retain(|&(ready_at, vpn)| {
+            if ready_at <= now {
+                due.push((ready_at, vpn));
+                false
+            } else {
+                true
+            }
+        });
+        due.sort_by_key(|&(ready_at, _)| ready_at);
+        for (_, vpn) in due {
+            self.psc.fill(vpn);
+        }
+    }
+
+    /// Flushes the PSCs (context switch); in-flight walks no longer fill
+    /// the post-switch caches.
     pub fn flush_psc(&mut self) {
         self.psc.flush();
+        self.pending_fills.clear();
     }
 }
 
@@ -311,6 +361,81 @@ mod tests {
         );
         assert_eq!(w.stats.demand_instr_walks, 1);
         assert_eq!(w.stats.demand_instr_refs, 4);
+    }
+
+    #[test]
+    fn first_walk_starts_at_cycle_zero() {
+        let (pt, mut mem, mut w) = setup();
+        let r = w
+            .walk(
+                &pt,
+                &mut mem,
+                VirtPage::new(0x1000),
+                WalkKind::DemandInstruction,
+                0,
+            )
+            .expect("mapped page");
+        // Cold walk: PSC latency (2) + 4 references to DRAM (142 each).
+        // The initiation-rate rule must not push the very first walk to
+        // cycle 1.
+        assert_eq!(r.latency, 2 + 4 * 142);
+        assert_eq!(r.completed_at, 2 + 4 * 142);
+    }
+
+    #[test]
+    fn overlapping_walk_cannot_hit_inflight_psc_state() {
+        let (pt, mut mem, mut w) = setup();
+        // First walk of the 2 MB region at cycle 0, completing around
+        // cycle 570. A second walk issued at cycle 1 overlaps it: the PD
+        // entry the first walk will install is not visible yet, so all
+        // four references are performed.
+        w.walk(
+            &pt,
+            &mut mem,
+            VirtPage::new(0x1000),
+            WalkKind::DemandInstruction,
+            0,
+        )
+        .unwrap();
+        let r = w
+            .walk(
+                &pt,
+                &mut mem,
+                VirtPage::new(0x1010),
+                WalkKind::DemandInstruction,
+                1,
+            )
+            .expect("mapped page");
+        assert_eq!(
+            r.memory_refs, 4,
+            "PSC state of an in-flight walk must not be visible"
+        );
+    }
+
+    #[test]
+    fn psc_flush_discards_inflight_fills() {
+        let (pt, mut mem, mut w) = setup();
+        w.walk(
+            &pt,
+            &mut mem,
+            VirtPage::new(0x1000),
+            WalkKind::DemandInstruction,
+            0,
+        )
+        .unwrap();
+        w.flush_psc();
+        // Long after the first walk completed: its fill was discarded by
+        // the flush, so the next walk misses every PSC level again.
+        let r = w
+            .walk(
+                &pt,
+                &mut mem,
+                VirtPage::new(0x1010),
+                WalkKind::DemandInstruction,
+                10_000,
+            )
+            .expect("mapped page");
+        assert_eq!(r.memory_refs, 4);
     }
 
     #[test]

@@ -2,10 +2,10 @@
 
 use morrigan_mem::{HierarchyConfig, MemoryHierarchy};
 use morrigan_types::prefetcher::NullPrefetcher;
-use morrigan_types::{ThreadId, VirtPage};
+use morrigan_types::{PhysPage, ThreadId, VirtPage};
 use morrigan_vm::{
-    Mmu, MmuConfig, PageTable, PagingStructureCaches, PscConfig, PscHit, WalkKind, Walker,
-    WalkerConfig,
+    Mmu, MmuConfig, PageTable, PagingStructureCaches, PrefetchBuffer, PscConfig, PscHit, Tlb,
+    TlbConfig, WalkKind, Walker, WalkerConfig,
 };
 use proptest::prelude::*;
 
@@ -94,6 +94,116 @@ proptest! {
         prop_assert_eq!(s.dstlb_misses, mmu.walker_stats().demand_data_walks);
         prop_assert!(s.itlb_misses <= s.instr_translations);
         prop_assert!(s.istlb_misses <= s.itlb_misses);
+    }
+
+    /// TLB conservation under arbitrary insert/lookup/invalidate/flush
+    /// interleavings: occupancy never exceeds the configured entries, an
+    /// invalidated page is gone and releases its way, and a flush empties
+    /// the structure.
+    #[test]
+    fn tlb_occupancy_and_invalidation_bookkeeping(
+        ops in prop::collection::vec((0u64..256, 0u8..4), 1..400)
+    ) {
+        let cfg = TlbConfig { entries: 16, ways: 4, latency: 1 };
+        let mut tlb = Tlb::new(cfg);
+        for &(vpn_raw, op) in &ops {
+            let vpn = VirtPage::new(vpn_raw);
+            match op {
+                0 | 1 => {
+                    let before = tlb.occupancy();
+                    let resident = tlb.contains(vpn);
+                    let evicted = tlb.insert(vpn, PhysPage::new(vpn_raw + 1), op == 0);
+                    prop_assert!(tlb.contains(vpn), "a just-inserted page is resident");
+                    if let Some(victim) = evicted {
+                        prop_assert!(!tlb.contains(victim), "the victim is gone");
+                        prop_assert_eq!(tlb.occupancy(), before, "eviction swaps one entry");
+                    } else if !resident {
+                        prop_assert_eq!(tlb.occupancy(), before + 1);
+                    }
+                }
+                2 => {
+                    let before = tlb.occupancy();
+                    let was_resident = tlb.contains(vpn);
+                    prop_assert_eq!(tlb.invalidate(vpn), was_resident);
+                    prop_assert!(!tlb.contains(vpn));
+                    prop_assert_eq!(tlb.occupancy(), before - usize::from(was_resident));
+                }
+                _ => {
+                    tlb.flush();
+                    prop_assert_eq!(tlb.occupancy(), 0);
+                }
+            }
+            prop_assert!(tlb.occupancy() <= cfg.entries, "occupancy above capacity");
+        }
+    }
+
+    /// The TLB's LRU policy evicts the least-recently-touched entry of
+    /// the victim's set: every resident page of that set was touched no
+    /// earlier than the victim.
+    #[test]
+    fn tlb_lru_victim_is_oldest_in_its_set(
+        ops in prop::collection::vec((0u64..64, any::<bool>()), 1..300)
+    ) {
+        let cfg = TlbConfig { entries: 16, ways: 4, latency: 1 };
+        let sets = cfg.entries / cfg.ways;
+        let mut tlb = Tlb::new(cfg);
+        // Shadow timestamps: when each vpn was last inserted or looked up.
+        let mut touched: std::collections::HashMap<u64, usize> = std::collections::HashMap::new();
+        for (stamp, &(vpn_raw, is_lookup)) in ops.iter().enumerate() {
+            let vpn = VirtPage::new(vpn_raw);
+            if is_lookup {
+                if tlb.lookup(vpn).is_some() {
+                    touched.insert(vpn_raw, stamp);
+                }
+                continue;
+            }
+            let evicted = tlb.insert(vpn, PhysPage::new(vpn_raw + 1), true);
+            touched.insert(vpn_raw, stamp);
+            if let Some(victim) = evicted {
+                let victim_stamp = touched[&victim.raw()];
+                let victim_set = victim.raw() as usize % sets;
+                for (&other, &other_stamp) in &touched {
+                    if other as usize % sets == victim_set && tlb.contains(VirtPage::new(other)) {
+                        prop_assert!(
+                            other_stamp >= victim_stamp,
+                            "evicted {victim:?}@{victim_stamp} but {other:#x}@{other_stamp} \
+                             was older and survived"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// The prefetch buffer is a closed ledger: at every instant,
+    /// everything ever inserted is accounted for as a hit, an unused
+    /// eviction, an invalidation, or a still-resident entry.
+    #[test]
+    fn pb_ledger_balances(
+        ops in prop::collection::vec((0u64..48, 0u8..8, 0u64..64), 1..400)
+    ) {
+        let mut pb = PrefetchBuffer::new(8, 2);
+        let mut now = 0u64;
+        for &(vpn_raw, op, dt) in &ops {
+            let vpn = VirtPage::new(vpn_raw);
+            now += dt;
+            match op {
+                0..=3 => { pb.insert(vpn, PhysPage::new(vpn_raw + 1), now + dt, None); }
+                4 | 5 => { pb.take(vpn, now); }
+                6 => { pb.invalidate(vpn); }
+                _ => pb.flush(),
+            }
+            let s = pb.stats;
+            prop_assert_eq!(
+                s.inserts,
+                s.hits() + s.evicted_unused + s.invalidations + pb.len() as u64,
+                "ledger out of balance: {:?} with {} resident",
+                s,
+                pb.len()
+            );
+            prop_assert!(pb.len() <= pb.capacity());
+            prop_assert!(s.hits() + s.misses >= s.hits_ready + s.hits_inflight);
+        }
     }
 
     /// Page-table frames never collide with page-table *node* frames for

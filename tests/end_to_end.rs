@@ -78,10 +78,7 @@ fn covered_misses_match_eliminated_walks() {
     );
     // PB accounting is consistent with MMU accounting.
     let pb = sim.mmu().prefetch_buffer();
-    assert_eq!(
-        pb.hits_ready + pb.hits_inflight,
-        sim.mmu().stats.istlb_covered
-    );
+    assert_eq!(pb.stats.hits(), sim.mmu().stats.istlb_covered);
 }
 
 #[test]
