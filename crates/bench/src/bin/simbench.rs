@@ -1,0 +1,199 @@
+//! The throughput baseline: wall-clock MIPS per figure regeneration.
+//!
+//! Runs the same figure workloads as the criterion benches — each with a
+//! fresh single-threaded [`Runner`] so neither the result cache nor the
+//! worker pool skews the number — and reports simulated instructions per
+//! wall-second (MIPS). Two modes:
+//!
+//! * `simbench [--out PATH]` — measure and write the JSON baseline
+//!   (default `BENCH_simloop.json` in the current directory).
+//! * `simbench --check PATH [--tolerance FRAC]` — measure and compare
+//!   against a committed baseline, exiting non-zero if the aggregate MIPS
+//!   regressed by more than `FRAC` (default 0.20). CI runs this with a
+//!   small `MORRIGAN_INSTR` so a hot-path regression fails the build.
+//!
+//! Scale comes from [`bench_scale`]: the criterion profile unless
+//! `MORRIGAN_INSTR`/`MORRIGAN_FULL` override it.
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use morrigan_bench::bench_scale;
+use morrigan_experiments as exp;
+use morrigan_experiments::{Runner, Scale};
+use morrigan_runner::json::json_f64;
+
+/// One measured figure regeneration.
+struct FigureRun {
+    name: &'static str,
+    instructions: u64,
+    seconds: f64,
+}
+
+impl FigureRun {
+    fn mips(&self) -> f64 {
+        self.instructions as f64 / self.seconds / 1e6
+    }
+}
+
+/// Every figure the criterion bench suite regenerates, in bench order.
+fn run_figures(scale: &Scale) -> Vec<FigureRun> {
+    macro_rules! figs {
+        ($($name:literal => $module:ident),+ $(,)?) => {
+            vec![$(($name, (|runner: &Runner, scale: &Scale| {
+                std::hint::black_box(exp::$module::run(runner, scale));
+            }) as fn(&Runner, &Scale))),+]
+        };
+    }
+    let figures = figs![
+        "fig02_java_mpki" => fig02_java_mpki,
+        "fig03_frontend_mpki" => fig03_frontend_mpki,
+        "fig04_translation_cycles" => fig04_translation_cycles,
+        "fig05_delta_cdf" => fig05_delta_cdf,
+        "fig06_page_skew" => fig06_page_skew,
+        "fig07_successors" => fig07_successors,
+        "fig08_successor_prob" => fig08_successor_prob,
+        "fig09_dstlb_on_istlb" => fig09_dstlb_on_istlb,
+        "fig10_fnlmma_tlb" => fig10_fnlmma_tlb,
+        "fig13_coverage_budget" => fig13_coverage_budget,
+        "fig14_replacement" => fig14_replacement,
+        "fig15_iso_speedup" => fig15_iso_speedup,
+        "fig16_walk_refs" => fig16_walk_refs,
+        "fig17_mono" => fig17_mono,
+        "fig18_other_approaches" => fig18_other_approaches,
+        "fig19_icache_synergy" => fig19_icache_synergy,
+        "fig20_smt" => fig20_smt,
+        "table_irip_tuning" => tuning,
+    ];
+
+    let mut runs = Vec::with_capacity(figures.len());
+    for (name, run) in figures {
+        let runner = Runner::new(1);
+        let start = Instant::now();
+        run(&runner, scale);
+        let seconds = start.elapsed().as_secs_f64();
+        let instructions = runner.instructions_simulated();
+        let fig = FigureRun {
+            name,
+            instructions,
+            seconds,
+        };
+        eprintln!(
+            "[simbench] {name}: {instructions} instructions in {seconds:.3} s = {:.2} MIPS",
+            fig.mips()
+        );
+        runs.push(fig);
+    }
+    runs
+}
+
+/// Renders the baseline document (the workspace deliberately carries no
+/// JSON dependency; this mirrors `morrigan_runner::json`).
+fn render(scale: &Scale, runs: &[FigureRun]) -> String {
+    let mut out = String::with_capacity(4096);
+    out.push_str("{\n  \"schema\": \"morrigan-bench-simloop-v1\",\n");
+    out.push_str(&format!(
+        "  \"scale\": {{\"warmup\": {}, \"measure\": {}, \"workloads\": {}, \"smt_pairs\": {}}},\n",
+        scale.warmup, scale.measure, scale.workloads, scale.smt_pairs
+    ));
+    out.push_str("  \"figures\": [\n");
+    for (i, f) in runs.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"figure\": \"{}\", \"instructions\": {}, \"seconds\": {}, \"mips\": {}}}{}\n",
+            f.name,
+            f.instructions,
+            json_f64(f.seconds),
+            json_f64(f.mips()),
+            if i + 1 < runs.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    let (instructions, seconds) = totals(runs);
+    out.push_str(&format!(
+        "  \"total\": {{\"instructions\": {instructions}, \"seconds\": {}, \"mips\": {}}}\n}}\n",
+        json_f64(seconds),
+        json_f64(instructions as f64 / seconds / 1e6)
+    ));
+    out
+}
+
+fn totals(runs: &[FigureRun]) -> (u64, f64) {
+    (
+        runs.iter().map(|f| f.instructions).sum(),
+        runs.iter().map(|f| f.seconds).sum(),
+    )
+}
+
+/// Pulls the `"mips"` value out of the baseline's `"total"` object. The
+/// parser is deliberately narrow: it reads exactly what [`render`]
+/// writes.
+fn baseline_total_mips(doc: &str) -> Option<f64> {
+    let total = &doc[doc.rfind("\"total\"")?..];
+    let mips = &total[total.find("\"mips\": ")? + "\"mips\": ".len()..];
+    let end = mips.find(|c: char| c != '.' && c != '-' && !c.is_ascii_digit())?;
+    mips[..end].parse().ok()
+}
+
+fn main() -> ExitCode {
+    let mut out_path = "BENCH_simloop.json".to_string();
+    let mut check_path: Option<String> = None;
+    let mut tolerance = 0.20_f64;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => match args.next() {
+                Some(p) => out_path = p,
+                None => return usage("--out needs a path"),
+            },
+            "--check" => match args.next() {
+                Some(p) => check_path = Some(p),
+                None => return usage("--check needs a path"),
+            },
+            "--tolerance" => match args.next().and_then(|t| t.parse().ok()) {
+                Some(t) => tolerance = t,
+                None => return usage("--tolerance needs a fraction"),
+            },
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    let scale = bench_scale();
+    eprintln!(
+        "[simbench] scale: {} warmup + {} measure instructions, {} workloads, {} SMT pairs",
+        scale.warmup, scale.measure, scale.workloads, scale.smt_pairs
+    );
+    let runs = run_figures(&scale);
+    let (instructions, seconds) = totals(&runs);
+    let mips = instructions as f64 / seconds / 1e6;
+    println!("simbench: {instructions} instructions in {seconds:.3} s = {mips:.2} MIPS");
+
+    match check_path {
+        None => {
+            std::fs::write(&out_path, render(&scale, &runs)).expect("write baseline");
+            println!("simbench: baseline written to {out_path}");
+            ExitCode::SUCCESS
+        }
+        Some(path) => {
+            let doc = std::fs::read_to_string(&path).expect("read committed baseline");
+            let committed = baseline_total_mips(&doc).expect("baseline has a total mips field");
+            let floor = committed * (1.0 - tolerance);
+            println!(
+                "simbench: committed baseline {committed:.2} MIPS, floor {floor:.2} \
+                 (tolerance {tolerance})"
+            );
+            if mips < floor {
+                eprintln!("simbench: THROUGHPUT REGRESSION: {mips:.2} < {floor:.2} MIPS");
+                ExitCode::FAILURE
+            } else {
+                println!("simbench: throughput ok");
+                ExitCode::SUCCESS
+            }
+        }
+    }
+}
+
+fn usage(err: &str) -> ExitCode {
+    eprintln!("simbench: {err}");
+    eprintln!("usage: simbench [--out PATH] [--check PATH] [--tolerance FRAC]");
+    ExitCode::FAILURE
+}

@@ -50,15 +50,17 @@ impl CacheConfig {
     }
 }
 
-#[derive(Debug, Clone, Copy)]
-struct Way {
-    line: CacheLine,
-    /// Monotonic timestamp for LRU ordering; smaller is older.
-    stamp: u64,
-    valid: bool,
-}
+/// Line-number sentinel marking an empty way. Real line numbers are
+/// physical addresses shifted right by 6, so they can never reach it.
+const NO_LINE: u64 = u64::MAX;
 
 /// A set-associative, LRU-replacement cache of line numbers.
+///
+/// Tags and LRU stamps live in separate packed vectors
+/// (structure-of-arrays), so a set probe scans one contiguous run of
+/// tags. An empty way holds the [`NO_LINE`] tag and stamp 0; live stamps
+/// are always ≥ 1, so victim selection is a single min-stamp pass that
+/// prefers free ways in index order, then the LRU way.
 ///
 /// # Examples
 ///
@@ -75,8 +77,18 @@ struct Way {
 #[derive(Debug, Clone)]
 pub struct Cache {
     cfg: CacheConfig,
-    ways: Vec<Way>,
+    /// `sets - 1`; the constructor asserts a power-of-two set count.
+    set_mask: usize,
+    lines: Vec<u64>,
+    /// Monotonic timestamps for LRU ordering; smaller is older, 0 is empty.
+    stamps: Vec<u64>,
     tick: u64,
+    /// Index of the most recently hit/filled way, as a one-entry memo.
+    /// Sound without invalidation hooks: a line only ever resides in its
+    /// own set, so `lines[last_idx] == key` proves `last_idx` is the live
+    /// way for `key`, and the memo path writes the same stamp the scan
+    /// would.
+    last_idx: usize,
 }
 
 impl Cache {
@@ -93,15 +105,11 @@ impl Cache {
         assert!(cfg.ways > 0, "ways must be positive");
         Self {
             cfg,
-            ways: vec![
-                Way {
-                    line: CacheLine::new(0),
-                    stamp: 0,
-                    valid: false
-                };
-                cfg.sets * cfg.ways
-            ],
+            set_mask: cfg.sets - 1,
+            lines: vec![NO_LINE; cfg.sets * cfg.ways],
+            stamps: vec![0; cfg.sets * cfg.ways],
             tick: 0,
+            last_idx: 0,
         }
     }
 
@@ -112,30 +120,39 @@ impl Cache {
 
     #[inline]
     fn set_range(&self, line: CacheLine) -> std::ops::Range<usize> {
-        let set = (line.raw() as usize) & (self.cfg.sets - 1);
-        let start = set * self.cfg.ways;
+        let start = ((line.raw() as usize) & self.set_mask) * self.cfg.ways;
         start..start + self.cfg.ways
     }
 
     /// Looks up `line`, promoting it to MRU on a hit. Returns whether it hit.
     pub fn probe(&mut self, line: CacheLine) -> bool {
         self.tick += 1;
-        let tick = self.tick;
+        let key = line.raw();
+        debug_assert_ne!(key, NO_LINE);
+        // Fast path: instruction fetch probes the same line for runs of
+        // consecutive instructions, so the previous hit's way usually
+        // answers with a single compare.
+        let li = self.last_idx;
+        if self.lines[li] == key {
+            self.stamps[li] = self.tick;
+            return true;
+        }
         let range = self.set_range(line);
-        for way in &mut self.ways[range] {
-            if way.valid && way.line == line {
-                way.stamp = tick;
-                return true;
-            }
+        // One slice per probe: the tag scan compiles to a straight run
+        // over contiguous u64s with no per-way bounds checks.
+        let start = range.start;
+        if let Some(w) = self.lines[range].iter().position(|&l| l == key) {
+            self.stamps[start + w] = self.tick;
+            self.last_idx = start + w;
+            return true;
         }
         false
     }
 
     /// Whether `line` is resident, without disturbing LRU state.
     pub fn contains(&self, line: CacheLine) -> bool {
-        self.ways[self.set_range(line)]
-            .iter()
-            .any(|w| w.valid && w.line == line)
+        let key = line.raw();
+        self.lines[self.set_range(line)].contains(&key)
     }
 
     /// Installs `line` as MRU, returning the evicted victim line, if any.
@@ -145,50 +162,49 @@ impl Cache {
     pub fn fill(&mut self, line: CacheLine) -> Option<CacheLine> {
         self.tick += 1;
         let tick = self.tick;
+        let key = line.raw();
+        debug_assert_ne!(key, NO_LINE);
         let range = self.set_range(line);
-        // Already present: refresh.
-        for way in &mut self.ways[range.clone()] {
-            if way.valid && way.line == line {
-                way.stamp = tick;
-                return None;
+        let start = range.start;
+        let lines = &mut self.lines[range.clone()];
+        let stamps = &mut self.stamps[range];
+        // Refresh a resident line, and find the victim in the same pass:
+        // empty ways carry stamp 0 (below every live stamp ≥ 1) and ties
+        // pick the lowest index, so the min-stamp way is the first free
+        // way if one exists, the LRU way otherwise.
+        let mut victim = 0;
+        let mut victim_stamp = stamps[0];
+        let mut hit = None;
+        for (w, (&l, &s)) in lines.iter().zip(stamps.iter()).enumerate() {
+            if l == key {
+                hit = Some(w);
+                break;
+            }
+            if s < victim_stamp {
+                victim_stamp = s;
+                victim = w;
             }
         }
-        // Free way if any.
-        for way in &mut self.ways[range.clone()] {
-            if !way.valid {
-                *way = Way {
-                    line,
-                    stamp: tick,
-                    valid: true,
-                };
-                return None;
-            }
+        if let Some(w) = hit {
+            stamps[w] = tick;
+            self.last_idx = start + w;
+            return None;
         }
-        // Evict LRU.
-        let victim_idx = {
-            let set = &self.ways[range.clone()];
-            let (i, _) = set
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, w)| w.stamp)
-                .expect("set has at least one way");
-            range.start + i
-        };
-        let victim = self.ways[victim_idx].line;
-        self.ways[victim_idx] = Way {
-            line,
-            stamp: tick,
-            valid: true,
-        };
-        Some(victim)
+        let evicted = (victim_stamp != 0).then(|| CacheLine::new(lines[victim]));
+        lines[victim] = key;
+        stamps[victim] = tick;
+        self.last_idx = start + victim;
+        evicted
     }
 
     /// Removes `line` if resident; returns whether it was present.
     pub fn invalidate(&mut self, line: CacheLine) -> bool {
+        let key = line.raw();
         let range = self.set_range(line);
-        for way in &mut self.ways[range] {
-            if way.valid && way.line == line {
-                way.valid = false;
+        for i in range {
+            if self.lines[i] == key {
+                self.lines[i] = NO_LINE;
+                self.stamps[i] = 0;
                 return true;
             }
         }
@@ -197,14 +213,13 @@ impl Cache {
 
     /// Empties the cache.
     pub fn clear(&mut self) {
-        for way in &mut self.ways {
-            way.valid = false;
-        }
+        self.lines.fill(NO_LINE);
+        self.stamps.fill(0);
     }
 
     /// Number of currently valid lines.
     pub fn occupancy(&self) -> usize {
-        self.ways.iter().filter(|w| w.valid).count()
+        self.lines.iter().filter(|&&l| l != NO_LINE).count()
     }
 }
 

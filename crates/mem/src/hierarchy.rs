@@ -170,6 +170,9 @@ pub struct MemoryHierarchy {
     llc: Cache,
     cfg: HierarchyConfig,
     l2_prefetcher: L2Prefetcher,
+    /// Reused between [`MemoryHierarchy::access`] calls so the prefetcher
+    /// train path never allocates.
+    l2_pref_scratch: Vec<CacheLine>,
     served: [LevelStats; 5],
     /// Demand I-fetch lookups that missed the L1I (for MPKI accounting).
     pub l1i_demand_misses: u64,
@@ -186,6 +189,7 @@ impl MemoryHierarchy {
             l2: Cache::new(cfg.l2),
             llc: Cache::new(cfg.llc),
             l2_prefetcher: L2Prefetcher::new(cfg.l2_prefetch),
+            l2_pref_scratch: Vec::with_capacity(8),
             cfg,
             served: [LevelStats::default(); 5],
             l1i_demand_misses: 0,
@@ -238,8 +242,11 @@ impl MemoryHierarchy {
         latency += self.cfg.l2.latency;
         let l2_hit = self.l2.probe(line);
         if matches!(class, AccessClass::Data) {
-            for pf in self.l2_prefetcher.train(line) {
+            self.l2_pref_scratch.clear();
+            self.l2_prefetcher.train(line, &mut self.l2_pref_scratch);
+            for i in 0..self.l2_pref_scratch.len() {
                 // L2 prefetches fill L2 (and LLC for inclusion) silently.
+                let pf = self.l2_pref_scratch[i];
                 self.l2.fill(pf);
                 self.llc.fill(pf);
             }

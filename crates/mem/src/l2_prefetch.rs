@@ -13,6 +13,10 @@ use serde::{Deserialize, Serialize};
 
 const LINES_PER_PAGE: u64 = 64; // 4 KB page / 64 B line
 
+/// Page sentinel marking an unused tracker. Tracked pages are physical
+/// line numbers shifted right by 6, so they can never reach it.
+const NO_PAGE: u64 = u64::MAX;
+
 /// Configuration of the L2 prefetcher.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct L2PrefetcherConfig {
@@ -44,21 +48,21 @@ impl L2PrefetcherConfig {
     }
 }
 
-#[derive(Debug, Clone, Copy)]
-struct Tracker {
-    page: u64,
-    last_offset: u64,
-    last_delta: i64,
-    confident: bool,
-    lru: u64,
-    valid: bool,
-}
-
 /// SPP-style stride/signature prefetcher trained on L2 data accesses.
+///
+/// Tracker state lives in parallel packed arrays (structure-of-arrays):
+/// `train` runs on every L2 data access, and the page-match scan over a
+/// contiguous `u64` run is what makes that affordable. An unused tracker
+/// holds the [`NO_PAGE`] page and LRU stamp 0; live stamps are ≥ 1, so
+/// victim selection is a single min-stamp pass preferring free slots in
+/// index order, then the least-recently-used page.
 #[derive(Debug, Clone)]
 pub struct L2Prefetcher {
     cfg: L2PrefetcherConfig,
-    trackers: Vec<Tracker>,
+    pages: Vec<u64>,
+    lru: Vec<u64>,
+    last_offset: Vec<u8>,
+    last_delta: Vec<i8>,
     tick: u64,
     issued: u64,
 }
@@ -68,17 +72,10 @@ impl L2Prefetcher {
     pub fn new(cfg: L2PrefetcherConfig) -> Self {
         Self {
             cfg,
-            trackers: vec![
-                Tracker {
-                    page: 0,
-                    last_offset: 0,
-                    last_delta: 0,
-                    confident: false,
-                    lru: 0,
-                    valid: false,
-                };
-                cfg.trackers
-            ],
+            pages: vec![NO_PAGE; cfg.trackers],
+            lru: vec![0; cfg.trackers],
+            last_offset: vec![0; cfg.trackers],
+            last_delta: vec![0; cfg.trackers],
             tick: 0,
             issued: 0,
         }
@@ -89,53 +86,52 @@ impl L2Prefetcher {
         self.issued
     }
 
-    /// Trains on one L2 data access and returns the lines to prefetch.
+    /// Trains on one L2 data access, appending the lines to prefetch to
+    /// `out` (which is not cleared).
     ///
     /// A delta that repeats twice for the same page becomes confident and
     /// triggers `degree` lookahead lines, clipped at the page boundary (SPP
     /// does not cross pages; that restriction is exactly why I-side page
     /// crossings need a TLB prefetcher).
-    pub fn train(&mut self, line: CacheLine) -> Vec<CacheLine> {
+    pub fn train(&mut self, line: CacheLine, out: &mut Vec<CacheLine>) {
         if !self.cfg.enabled {
-            return Vec::new();
+            return;
         }
         self.tick += 1;
         let page = line.raw() / LINES_PER_PAGE;
         let offset = line.raw() % LINES_PER_PAGE;
 
-        let slot = match self.trackers.iter().position(|t| t.valid && t.page == page) {
+        let slot = match self.pages.iter().position(|&p| p == page) {
             Some(i) => i,
             None => {
-                let i = self
-                    .trackers
-                    .iter()
-                    .enumerate()
-                    .min_by_key(|(_, t)| if t.valid { t.lru } else { 0 })
-                    .map(|(i, _)| i)
-                    .expect("tracker table is non-empty");
-                self.trackers[i] = Tracker {
-                    page,
-                    last_offset: offset,
-                    last_delta: 0,
-                    confident: false,
-                    lru: self.tick,
-                    valid: true,
-                };
-                return Vec::new();
+                // Free slots hold stamp 0, below every live stamp, and
+                // min-by returns the first minimum — the same "first free
+                // slot, else LRU" order as the per-tracker valid flag.
+                let mut victim = 0;
+                let mut victim_lru = self.lru[0];
+                for (i, &l) in self.lru.iter().enumerate() {
+                    if l < victim_lru {
+                        victim_lru = l;
+                        victim = i;
+                    }
+                }
+                self.pages[victim] = page;
+                self.lru[victim] = self.tick;
+                self.last_offset[victim] = offset as u8;
+                self.last_delta[victim] = 0;
+                return;
             }
         };
 
-        let t = &mut self.trackers[slot];
-        t.lru = self.tick;
-        let delta = offset as i64 - t.last_offset as i64;
-        t.confident = delta != 0 && delta == t.last_delta;
-        t.last_delta = delta;
-        t.last_offset = offset;
+        self.lru[slot] = self.tick;
+        let delta = offset as i64 - self.last_offset[slot] as i64;
+        let confident = delta != 0 && delta == self.last_delta[slot] as i64;
+        self.last_delta[slot] = delta as i8;
+        self.last_offset[slot] = offset as u8;
 
-        if !t.confident {
-            return Vec::new();
+        if !confident {
+            return;
         }
-        let mut out = Vec::with_capacity(self.cfg.degree);
         let mut next = offset as i64;
         for _ in 0..self.cfg.degree {
             next += delta;
@@ -143,9 +139,8 @@ impl L2Prefetcher {
                 break;
             }
             out.push(CacheLine::new(page * LINES_PER_PAGE + next as u64));
+            self.issued += 1;
         }
-        self.issued += out.len() as u64;
-        out
     }
 }
 
@@ -157,6 +152,12 @@ mod tests {
         CacheLine::new(page * LINES_PER_PAGE + offset)
     }
 
+    fn train(p: &mut L2Prefetcher, l: CacheLine) -> Vec<CacheLine> {
+        let mut out = Vec::new();
+        p.train(l, &mut out);
+        out
+    }
+
     #[test]
     fn stride_becomes_confident_after_two_repeats() {
         let mut p = L2Prefetcher::new(L2PrefetcherConfig {
@@ -164,9 +165,12 @@ mod tests {
             degree: 2,
             enabled: true,
         });
-        assert!(p.train(line(7, 0)).is_empty(), "first touch allocates");
-        assert!(p.train(line(7, 2)).is_empty(), "first delta observed");
-        let out = p.train(line(7, 4));
+        assert!(
+            train(&mut p, line(7, 0)).is_empty(),
+            "first touch allocates"
+        );
+        assert!(train(&mut p, line(7, 2)).is_empty(), "first delta observed");
+        let out = train(&mut p, line(7, 4));
         assert_eq!(out, vec![line(7, 6), line(7, 8)]);
         assert_eq!(p.issued(), 2);
     }
@@ -178,26 +182,26 @@ mod tests {
             degree: 4,
             enabled: true,
         });
-        p.train(line(3, 59));
-        p.train(line(3, 61));
-        let out = p.train(line(3, 63));
+        train(&mut p, line(3, 59));
+        train(&mut p, line(3, 61));
+        let out = train(&mut p, line(3, 63));
         assert!(out.is_empty(), "offset 65 would leave the page: {out:?}");
     }
 
     #[test]
     fn irregular_pattern_stays_quiet() {
         let mut p = L2Prefetcher::new(L2PrefetcherConfig::default());
-        p.train(line(1, 0));
-        p.train(line(1, 5));
-        assert!(p.train(line(1, 7)).is_empty());
-        assert!(p.train(line(1, 20)).is_empty());
+        train(&mut p, line(1, 0));
+        train(&mut p, line(1, 5));
+        assert!(train(&mut p, line(1, 7)).is_empty());
+        assert!(train(&mut p, line(1, 20)).is_empty());
     }
 
     #[test]
     fn disabled_is_inert() {
         let mut p = L2Prefetcher::new(L2PrefetcherConfig::disabled());
         for i in 0..10 {
-            assert!(p.train(line(1, i * 2)).is_empty());
+            assert!(train(&mut p, line(1, i * 2)).is_empty());
         }
         assert_eq!(p.issued(), 0);
     }
@@ -209,15 +213,15 @@ mod tests {
             degree: 1,
             enabled: true,
         });
-        p.train(line(1, 0));
-        p.train(line(2, 0));
-        p.train(line(3, 0)); // evicts page 1
-        p.train(line(1, 2)); // re-allocates page 1, no history
+        train(&mut p, line(1, 0));
+        train(&mut p, line(2, 0));
+        train(&mut p, line(3, 0)); // evicts page 1
+        train(&mut p, line(1, 2)); // re-allocates page 1, no history
         assert!(
-            p.train(line(1, 4)).is_empty(),
+            train(&mut p, line(1, 4)).is_empty(),
             "history was lost on eviction"
         );
-        let out = p.train(line(1, 6));
+        let out = train(&mut p, line(1, 6));
         assert_eq!(out, vec![line(1, 8)]);
     }
 
@@ -228,9 +232,9 @@ mod tests {
             degree: 2,
             enabled: true,
         });
-        p.train(line(9, 30));
-        p.train(line(9, 25));
-        let out = p.train(line(9, 20));
+        train(&mut p, line(9, 30));
+        train(&mut p, line(9, 25));
+        let out = train(&mut p, line(9, 20));
         assert_eq!(out, vec![line(9, 15), line(9, 10)]);
     }
 }

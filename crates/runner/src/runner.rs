@@ -31,6 +31,7 @@ pub struct Runner {
     journal: Mutex<Vec<Arc<RunRecord>>>,
     sims_executed: AtomicU64,
     cache_hits: AtomicU64,
+    instructions_simulated: AtomicU64,
 }
 
 impl Runner {
@@ -43,6 +44,7 @@ impl Runner {
             journal: Mutex::new(Vec::new()),
             sims_executed: AtomicU64::new(0),
             cache_hits: AtomicU64::new(0),
+            instructions_simulated: AtomicU64::new(0),
         }
     }
 
@@ -79,6 +81,13 @@ impl Runner {
     /// batch) so far.
     pub fn cache_hits(&self) -> u64 {
         self.cache_hits.load(Ordering::Relaxed)
+    }
+
+    /// Total instructions stepped by executed simulations (warmup +
+    /// measurement per cache miss; cached records add nothing). The
+    /// throughput bench divides this by wall time for its MIPS figures.
+    pub fn instructions_simulated(&self) -> u64 {
+        self.instructions_simulated.load(Ordering::Relaxed)
     }
 
     /// Number of records handed out so far; use as a watermark with
@@ -145,6 +154,10 @@ impl Runner {
                 }
                 let record = spec.execute();
                 self.sims_executed.fetch_add(1, Ordering::Relaxed);
+                self.instructions_simulated.fetch_add(
+                    spec.sim.warmup_instructions + spec.sim.measure_instructions,
+                    Ordering::Relaxed,
+                );
                 *slots[j].lock().unwrap() = Some(record);
             };
 

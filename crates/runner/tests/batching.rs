@@ -1,0 +1,136 @@
+//! Batched delivery is a pure transport change: a simulator fed through
+//! `fill_block` in large blocks must produce records byte-identical to
+//! one pulling a single instruction at a time through
+//! `next_instruction`. These tests pin that for every workload shape the
+//! figures use (server, SPEC, SMT pair), comparing both the rendered
+//! record JSON and the audit reports (debug builds always audit).
+
+use morrigan_runner::json::record_json;
+use morrigan_runner::{PrefetcherKind, RunRecord, RunSpec, WorkloadSpec};
+use morrigan_sim::{SimConfig, Simulator, SystemConfig};
+use morrigan_types::VirtPage;
+use morrigan_workloads::{
+    InstructionStream, ServerWorkload, ServerWorkloadConfig, SpecWorkload, SpecWorkloadConfig,
+    TraceInstruction,
+};
+
+/// Delegates everything except `fill_block`, forcing the trait's default
+/// one-at-a-time body even for streams with a native block fill.
+struct Unbatched<S: InstructionStream>(S);
+
+impl<S: InstructionStream> InstructionStream for Unbatched<S> {
+    fn name(&self) -> &str {
+        self.0.name()
+    }
+
+    fn next_instruction(&mut self) -> TraceInstruction {
+        self.0.next_instruction()
+    }
+
+    fn code_region(&self) -> (VirtPage, u64) {
+        self.0.code_region()
+    }
+
+    fn data_region(&self) -> (VirtPage, u64) {
+        self.0.data_region()
+    }
+}
+
+/// Mirrors `RunSpec::execute`, but wraps every stream in [`Unbatched`]
+/// and shrinks the simulator's front-end buffer to one instruction, so
+/// the run consumes streams exactly as the pre-batching simulator did.
+fn execute_unbatched(spec: &RunSpec) -> RunRecord {
+    let streams: Vec<Box<dyn InstructionStream>> = match &spec.workload {
+        WorkloadSpec::Server(cfg) => vec![Box::new(Unbatched(ServerWorkload::new(cfg.clone())))],
+        WorkloadSpec::Spec(cfg) => vec![Box::new(Unbatched(SpecWorkload::new(cfg.clone())))],
+        WorkloadSpec::Smt(cfgs) => cfgs
+            .iter()
+            .map(|c| {
+                Box::new(Unbatched(ServerWorkload::new(c.clone()))) as Box<dyn InstructionStream>
+            })
+            .collect(),
+    };
+    let mut simulator = Simulator::new_smt(spec.system, streams, spec.prefetcher.build());
+    simulator.set_fill_block(1);
+    let metrics = simulator.run(spec.sim);
+    let miss_stream = spec
+        .system
+        .mmu
+        .collect_stream_stats
+        .then(|| simulator.mmu().miss_stream.clone());
+    RunRecord {
+        spec: spec.clone(),
+        metrics,
+        miss_stream,
+        audit: simulator.audit_report().cloned(),
+    }
+}
+
+fn assert_equivalent(spec: RunSpec) {
+    let batched = spec.execute();
+    let unbatched = execute_unbatched(&spec);
+    assert_eq!(
+        batched.metrics,
+        unbatched.metrics,
+        "metrics diverge for {}",
+        spec.workload.name()
+    );
+    assert_eq!(
+        batched.audit,
+        unbatched.audit,
+        "audit reports diverge for {}",
+        spec.workload.name()
+    );
+    assert!(
+        batched.audit.is_some() || !cfg!(debug_assertions),
+        "debug builds always audit; this test must compare real reports"
+    );
+    assert_eq!(
+        record_json(&batched),
+        record_json(&unbatched),
+        "record JSON diverges for {}",
+        spec.workload.name()
+    );
+}
+
+fn sim() -> SimConfig {
+    SimConfig {
+        warmup_instructions: 30_000,
+        measure_instructions: 90_000,
+    }
+}
+
+#[test]
+fn server_run_is_batching_invariant() {
+    let cfg = ServerWorkloadConfig::qmm_like("batch-srv", 21);
+    let mut system = SystemConfig::default();
+    system.mmu.collect_stream_stats = true;
+    assert_equivalent(RunSpec::server(
+        &cfg,
+        system,
+        sim(),
+        PrefetcherKind::Morrigan,
+    ));
+}
+
+#[test]
+fn spec_run_is_batching_invariant() {
+    let cfg = SpecWorkloadConfig::spec_like("batch-spec", 22);
+    assert_equivalent(RunSpec::spec_cpu(
+        &cfg,
+        SystemConfig::default(),
+        sim(),
+        PrefetcherKind::Mp,
+    ));
+}
+
+#[test]
+fn smt_run_is_batching_invariant() {
+    let pair = morrigan_workloads::suites::smt_pairs(1).pop().unwrap();
+    assert_equivalent(RunSpec::smt(
+        &pair,
+        SystemConfig::default(),
+        sim(),
+        PrefetcherKind::MorriganSmt,
+    ));
+}

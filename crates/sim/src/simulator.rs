@@ -1,14 +1,13 @@
 //! The interval-model simulator loop.
 
-use std::collections::VecDeque;
-
 use morrigan_icache::{FnlMma, FnlMmaConfig, ICachePrefetcher, LinePrefetch, NextLinePrefetcher};
 use morrigan_mem::{AccessClass, LevelStats, MemLevel, MemoryHierarchy};
 use morrigan_types::{
-    check_monotonic, AuditReport, CacheLine, ThreadId, TlbPrefetcher, VirtPage, PAGE_SHIFT,
+    check_monotonic, AuditReport, CacheLine, PhysPage, ThreadId, TlbPrefetcher, VirtPage,
+    PAGE_SHIFT,
 };
 use morrigan_vm::{Mmu, MmuStats, PageTable, PbStats, WalkerStats};
-use morrigan_workloads::InstructionStream;
+use morrigan_workloads::{InstructionStream, TraceInstruction};
 
 use crate::audit::{audit_metrics, audit_state};
 use crate::config::{IcachePrefetcherKind, SimConfig, SystemConfig};
@@ -19,6 +18,31 @@ use crate::metrics::Metrics;
 struct ThreadFrontEnd {
     /// Virtual line index of the last fetch, to detect line crossings.
     cur_vline: Option<u64>,
+}
+
+/// Instructions fetched ahead per [`InstructionStream::fill_block`] call.
+///
+/// Streams are pure generators (their output never depends on simulator
+/// state), so pre-fetching a block is invisible to the timing model; the
+/// size only amortizes the per-instruction virtual call.
+const FILL_BLOCK: usize = 1024;
+
+/// Slots in the direct-mapped VPN→PFN memo on the I-cache-prefetch
+/// translation path (must be a power of two).
+const XLAT_MEMO_SLOTS: usize = 256;
+
+/// VPN sentinel for an empty memo slot (real VPNs are ≤ 2^52).
+const NO_VPN: u64 = u64::MAX;
+
+/// PFN sentinel memoizing "unmapped" (real PFNs are ≤ 2^36).
+const NO_PFN: u64 = u64::MAX;
+
+/// A refillable buffer over one workload stream: the simulator drains it
+/// an instruction at a time and refills it in [`FILL_BLOCK`] chunks.
+#[derive(Debug, Default)]
+struct StreamBuffer {
+    buf: Vec<TraceInstruction>,
+    cursor: usize,
 }
 
 /// Counter snapshot used to subtract warmup from measurement.
@@ -47,15 +71,39 @@ pub struct Simulator {
     icache_pref: Option<Box<dyn ICachePrefetcher>>,
     icache_translation_cost: bool,
     workloads: Vec<Box<dyn InstructionStream>>,
+    /// One refillable instruction buffer per workload; SMT thread
+    /// selection is deterministic in `retired`, so per-stream consumption
+    /// order is identical to instruction-at-a-time delivery.
+    stream_bufs: Vec<StreamBuffer>,
+    fill_block: usize,
     threads: Vec<ThreadFrontEnd>,
     // --- core state ---
     ran: bool,
     fetch_cycle: u64,
     fetched_this_cycle: u64,
-    rob: VecDeque<u64>,
-    recent_retires: VecDeque<u64>,
+    /// Completion times of in-flight instructions, oldest at `rob_head`;
+    /// a fixed ring sized to `rob_size` (one push per step, one pop per
+    /// step once full, so a `VecDeque` would only add masking overhead).
+    rob_ring: Vec<u64>,
+    rob_head: usize,
+    rob_len: usize,
+    /// SMT round-robin state mirroring `(retired / smt_block) % nthreads`
+    /// without the per-step division.
+    smt_thread: usize,
+    smt_left: u64,
+    /// Ring buffer of the last `retire_width` retire cycles, oldest at
+    /// `retire_head`; `retire_len` grows until the ring is full.
+    retire_ring: Vec<u64>,
+    retire_head: usize,
+    retire_len: usize,
     last_retire: u64,
     retired: u64,
+    /// Direct-mapped VPN→PFN memo for the prefetch-path page-table hash
+    /// (`(vpn, pfn)` pairs; [`NO_VPN`] marks an empty slot, [`NO_PFN`] a
+    /// memoized unmapped page). The page table is immutable after
+    /// construction, so entries only ever need invalidating at a context
+    /// switch — done for hygiene, not correctness.
+    xlat_memo: Vec<(u64, u64)>,
     // --- accumulated front-end stall accounting ---
     istlb_stall_cycles: u64,
     icache_stall_cycles: u64,
@@ -144,6 +192,7 @@ impl Simulator {
             ),
         };
         let threads = vec![ThreadFrontEnd::default(); workloads.len()];
+        let stream_bufs = workloads.iter().map(|_| StreamBuffer::default()).collect();
         Self {
             system,
             mem,
@@ -151,14 +200,23 @@ impl Simulator {
             icache_pref,
             icache_translation_cost: cost,
             workloads,
+            stream_bufs,
+            fill_block: FILL_BLOCK,
             threads,
             ran: false,
             fetch_cycle: 0,
             fetched_this_cycle: 0,
-            rob: VecDeque::with_capacity(system.core.rob_size + 1),
-            recent_retires: VecDeque::with_capacity(system.core.retire_width as usize + 1),
+            rob_ring: vec![0; system.core.rob_size],
+            rob_head: 0,
+            rob_len: 0,
+            smt_thread: 0,
+            smt_left: system.core.smt_block,
+            retire_ring: vec![0; system.core.retire_width as usize],
+            retire_head: 0,
+            retire_len: 0,
             last_retire: 0,
             retired: 0,
+            xlat_memo: vec![(NO_VPN, NO_PFN); XLAT_MEMO_SLOTS],
             istlb_stall_cycles: 0,
             icache_stall_cycles: 0,
             iprefetch_lines: 0,
@@ -174,6 +232,22 @@ impl Simulator {
     /// overriding the debug/`MORRIGAN_AUDIT` default.
     pub fn set_audit(&mut self, enabled: bool) {
         self.audit_enabled = enabled;
+    }
+
+    /// Overrides the instruction-delivery block size (default 1024).
+    ///
+    /// Block size is timing-invisible — streams are pure generators — so
+    /// this exists for the batching-equivalence tests, which pin that a
+    /// block size of 1 (one `fill_block` call per instruction) produces
+    /// byte-identical results.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero block size or after the run has started.
+    pub fn set_fill_block(&mut self, block: usize) {
+        assert!(block > 0, "block size must be positive");
+        assert!(!self.ran, "block size must be set before running");
+        self.fill_block = block;
     }
 
     /// The audit report of the completed run, when auditing was enabled.
@@ -360,21 +434,47 @@ impl Simulator {
                 for t in &mut self.threads {
                     t.cur_vline = None;
                 }
+                self.xlat_memo.fill((NO_VPN, NO_PFN));
             }
         }
-        let nthreads = self.workloads.len() as u64;
+        let nthreads = self.workloads.len();
         let thread_idx = if nthreads == 1 {
             0
         } else {
-            ((self.retired / self.system.core.smt_block) % nthreads) as usize
+            // Incremental `(retired / smt_block) % nthreads`: consume one
+            // slot of the current block per retirement.
+            if self.smt_left == 0 {
+                self.smt_thread += 1;
+                if self.smt_thread == nthreads {
+                    self.smt_thread = 0;
+                }
+                self.smt_left = self.system.core.smt_block;
+            }
+            self.smt_left -= 1;
+            self.smt_thread
         };
-        let instr = self.workloads[thread_idx].next_instruction();
+        let instr = {
+            let buf = &mut self.stream_bufs[thread_idx];
+            if buf.cursor == buf.buf.len() {
+                buf.buf.clear();
+                self.workloads[thread_idx].fill_block(&mut buf.buf, self.fill_block);
+                buf.cursor = 0;
+            }
+            let instr = buf.buf[buf.cursor];
+            buf.cursor += 1;
+            instr
+        };
         let thread = ThreadId(thread_idx as u8);
         let core = self.system.core;
 
         // --- ROB admission: stall fetch while the ROB is full. ---
-        while self.rob.len() >= core.rob_size {
-            let head = self.rob.pop_front().expect("rob is full, hence non-empty");
+        while self.rob_len >= core.rob_size {
+            let head = self.rob_ring[self.rob_head];
+            self.rob_head += 1;
+            if self.rob_head == core.rob_size {
+                self.rob_head = 0;
+            }
+            self.rob_len -= 1;
             if head > self.fetch_cycle {
                 self.fetch_cycle = head;
                 self.fetched_this_cycle = 0;
@@ -436,15 +536,33 @@ impl Simulator {
                 + dc.latency.saturating_sub(self.system.mem.l1d.latency);
         }
 
-        // In-order retirement at `retire_width` per cycle.
+        // In-order retirement at `retire_width` per cycle: the ring holds
+        // the last `retire_width` retire cycles, and a full ring gates
+        // this retirement behind its oldest entry + 1.
         let mut retire = complete.max(self.last_retire);
-        if self.recent_retires.len() >= core.retire_width as usize {
-            let gate = self.recent_retires.front().copied().expect("ring is full");
+        let width = core.retire_width as usize;
+        if self.retire_len >= width {
+            let gate = self.retire_ring[self.retire_head];
             retire = retire.max(gate + 1);
-            self.recent_retires.pop_front();
+            self.retire_ring[self.retire_head] = retire;
+            self.retire_head += 1;
+            if self.retire_head == width {
+                self.retire_head = 0;
+            }
+        } else {
+            let mut slot = self.retire_head + self.retire_len;
+            if slot >= width {
+                slot -= width;
+            }
+            self.retire_ring[slot] = retire;
+            self.retire_len += 1;
         }
-        self.recent_retires.push_back(retire);
-        self.rob.push_back(retire);
+        let mut slot = self.rob_head + self.rob_len;
+        if slot >= core.rob_size {
+            slot -= core.rob_size;
+        }
+        self.rob_ring[slot] = retire;
+        self.rob_len += 1;
         self.last_retire = retire;
         self.retired += 1;
     }
@@ -452,14 +570,14 @@ impl Simulator {
     /// Feeds the I-cache prefetcher and services its requests, modelling
     /// translation for page-crossing prefetches per §3.5.
     fn run_icache_prefetcher(&mut self, vline: u64) {
-        let mut scratch = std::mem::take(&mut self.line_scratch);
-        scratch.clear();
+        self.line_scratch.clear();
         self.icache_pref
             .as_mut()
             .expect("caller checked icache_pref")
-            .on_fetch(vline, &mut scratch);
+            .on_fetch(vline, &mut self.line_scratch);
         let cur_page = VirtPage::new(vline >> (PAGE_SHIFT - 6));
-        for lp in &scratch {
+        for i in 0..self.line_scratch.len() {
+            let lp = self.line_scratch[i];
             self.iprefetch_lines += 1;
             let page = lp.page();
             let translated = page == cur_page
@@ -467,7 +585,7 @@ impl Simulator {
                 || !self.icache_translation_cost;
             if translated {
                 self.iprefetch_ready += 1;
-                if let Some(pfn) = self.mmu.page_table().translate(page) {
+                if let Some(pfn) = self.memo_translate(page) {
                     let pline = CacheLine::new(
                         pfn.raw() << (PAGE_SHIFT - 6) | (lp.vline % (1 << (PAGE_SHIFT - 6))),
                     );
@@ -488,7 +606,21 @@ impl Simulator {
                 }
             }
         }
-        self.line_scratch = scratch;
+    }
+
+    /// [`PageTable::translate`] through the direct-mapped memo: the table
+    /// is an immutable pure function of the VPN for the whole run, so the
+    /// memo can only return what the hash would.
+    fn memo_translate(&mut self, page: VirtPage) -> Option<PhysPage> {
+        let key = page.raw();
+        let slot = (key as usize) & (XLAT_MEMO_SLOTS - 1);
+        let (vpn, pfn) = self.xlat_memo[slot];
+        if vpn == key {
+            return (pfn != NO_PFN).then(|| PhysPage::new(pfn));
+        }
+        let res = self.mmu.page_table().translate(page);
+        self.xlat_memo[slot] = (key, res.map_or(NO_PFN, |p| p.raw()));
+        res
     }
 }
 

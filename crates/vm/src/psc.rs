@@ -72,18 +72,21 @@ impl PscHit {
     }
 }
 
-#[derive(Debug, Clone, Copy)]
-struct PscWay {
-    tag: u64,
-    stamp: u64,
-    valid: bool,
-}
+/// Tag sentinel marking an empty way. Real tags are VPN prefixes
+/// (≤ 2^43 after the span shift), so they can never reach it.
+const NO_TAG: u64 = u64::MAX;
 
+/// One PSC level, stored structure-of-arrays: packed tag and stamp
+/// vectors with a precomputed set mask. An empty way holds [`NO_TAG`] and
+/// stamp 0; live stamps are always ≥ 1, so a single min-stamp pass picks
+/// the first free way in index order, then the LRU way.
 #[derive(Debug, Clone)]
 struct PscLevel {
     ways_per_set: usize,
-    sets: usize,
-    ways: Vec<PscWay>,
+    /// `sets - 1`; the constructor asserts a power-of-two set count.
+    set_mask: usize,
+    tags: Vec<u64>,
+    stamps: Vec<u64>,
     tick: u64,
 }
 
@@ -100,34 +103,26 @@ impl PscLevel {
         );
         Self {
             ways_per_set,
-            sets,
-            ways: vec![
-                PscWay {
-                    tag: 0,
-                    stamp: 0,
-                    valid: false
-                };
-                entries
-            ],
+            set_mask: sets - 1,
+            tags: vec![NO_TAG; entries],
+            stamps: vec![0; entries],
             tick: 0,
         }
     }
 
     fn range(&self, tag: u64) -> std::ops::Range<usize> {
-        let set = (tag as usize) & (self.sets - 1);
-        let start = set * self.ways_per_set;
+        let start = ((tag as usize) & self.set_mask) * self.ways_per_set;
         start..start + self.ways_per_set
     }
 
     fn lookup(&mut self, tag: u64) -> bool {
         self.tick += 1;
-        let tick = self.tick;
+        debug_assert_ne!(tag, NO_TAG);
         let range = self.range(tag);
-        for way in &mut self.ways[range] {
-            if way.valid && way.tag == tag {
-                way.stamp = tick;
-                return true;
-            }
+        let start = range.start;
+        if let Some(w) = self.tags[range].iter().position(|&t| t == tag) {
+            self.stamps[start + w] = self.tick;
+            return true;
         }
         false
     }
@@ -135,43 +130,36 @@ impl PscLevel {
     fn fill(&mut self, tag: u64) {
         self.tick += 1;
         let tick = self.tick;
+        debug_assert_ne!(tag, NO_TAG);
         let range = self.range(tag);
-        for way in &mut self.ways[range.clone()] {
-            if way.valid && way.tag == tag {
-                way.stamp = tick;
-                return;
+        let tags = &mut self.tags[range.clone()];
+        let stamps = &mut self.stamps[range];
+        // Refresh on residency, otherwise overwrite the min-stamp way
+        // (first free way if one exists, LRU way otherwise).
+        let mut victim = 0;
+        let mut victim_stamp = stamps[0];
+        let mut hit = None;
+        for (w, (&t, &s)) in tags.iter().zip(stamps.iter()).enumerate() {
+            if t == tag {
+                hit = Some(w);
+                break;
+            }
+            if s < victim_stamp {
+                victim_stamp = s;
+                victim = w;
             }
         }
-        for way in &mut self.ways[range.clone()] {
-            if !way.valid {
-                *way = PscWay {
-                    tag,
-                    stamp: tick,
-                    valid: true,
-                };
-                return;
-            }
+        if let Some(w) = hit {
+            stamps[w] = tick;
+            return;
         }
-        let victim = {
-            let set = &self.ways[range.clone()];
-            let (i, _) = set
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, w)| w.stamp)
-                .expect("non-empty set");
-            range.start + i
-        };
-        self.ways[victim] = PscWay {
-            tag,
-            stamp: tick,
-            valid: true,
-        };
+        tags[victim] = tag;
+        stamps[victim] = tick;
     }
 
     fn flush(&mut self) {
-        for way in &mut self.ways {
-            way.valid = false;
-        }
+        self.tags.fill(NO_TAG);
+        self.stamps.fill(0);
     }
 }
 

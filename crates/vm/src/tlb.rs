@@ -48,19 +48,20 @@ impl TlbConfig {
     }
 }
 
-#[derive(Debug, Clone, Copy)]
-struct TlbWay {
-    vpn: VirtPage,
-    pfn: PhysPage,
-    /// Whether the entry translates an instruction page (for contention
-    /// accounting: instruction entries evicting data entries and vice
-    /// versa, §1).
-    instruction: bool,
-    stamp: u64,
-    valid: bool,
-}
+/// VPN sentinel marking an empty way. Real VPNs come from 64-bit virtual
+/// addresses shifted right by the page bits, so they can never reach it.
+const NO_VPN: u64 = u64::MAX;
 
 /// A set-associative, LRU TLB.
+///
+/// Entries are stored structure-of-arrays (tags, translations, stamps,
+/// class flags in separate packed vectors) so a set probe touches one
+/// cache line of tags instead of striding over five-field structs.
+/// Validity is encoded in the arrays themselves: an empty way holds the
+/// [`NO_VPN`] tag and stamp 0, and live stamps are always ≥ 1 (the tick
+/// pre-increments from 0), so the victim scan is a single min-stamp pass —
+/// free ways sort below every live way and ties resolve to the lowest
+/// index, reproducing the classic "first free way, else LRU" order.
 ///
 /// # Examples
 ///
@@ -77,8 +78,22 @@ struct TlbWay {
 #[derive(Debug, Clone)]
 pub struct Tlb {
     cfg: TlbConfig,
-    ways: Vec<TlbWay>,
+    /// `sets - 1`; set counts are asserted to be powers of two.
+    set_mask: usize,
+    vpns: Vec<u64>,
+    pfns: Vec<u64>,
+    stamps: Vec<u64>,
+    /// Whether the entry translates an instruction page (for contention
+    /// accounting: instruction entries evicting data entries and vice
+    /// versa, §1).
+    instr: Vec<bool>,
     tick: u64,
+    /// Index of the most recently hit/inserted way, as a one-entry memo.
+    /// Sound without invalidation hooks: a VPN only ever resides in its
+    /// own set, so `vpns[last_idx] == key` proves `last_idx` is the live
+    /// way for `key`, and the memo path writes the same stamp the scan
+    /// would.
+    last_idx: usize,
     /// Valid instruction entries evicted by data fills (contention metric).
     pub instr_evicted_by_data: u64,
     /// Valid data entries evicted by instruction fills (contention metric).
@@ -103,17 +118,13 @@ impl Tlb {
         );
         Self {
             cfg,
-            ways: vec![
-                TlbWay {
-                    vpn: VirtPage::new(0),
-                    pfn: PhysPage::new(0),
-                    instruction: false,
-                    stamp: 0,
-                    valid: false,
-                };
-                cfg.entries
-            ],
+            set_mask: cfg.sets() - 1,
+            vpns: vec![NO_VPN; cfg.entries],
+            pfns: vec![0; cfg.entries],
+            stamps: vec![0; cfg.entries],
+            instr: vec![false; cfg.entries],
             tick: 0,
+            last_idx: 0,
             instr_evicted_by_data: 0,
             data_evicted_by_instr: 0,
         }
@@ -126,30 +137,39 @@ impl Tlb {
 
     #[inline]
     fn set_range(&self, vpn: VirtPage) -> std::ops::Range<usize> {
-        let set = (vpn.raw() as usize) & (self.cfg.sets() - 1);
-        let start = set * self.cfg.ways;
+        let start = ((vpn.raw() as usize) & self.set_mask) * self.cfg.ways;
         start..start + self.cfg.ways
     }
 
     /// Looks up `vpn`, promoting on hit; returns the translation.
     pub fn lookup(&mut self, vpn: VirtPage) -> Option<PhysPage> {
         self.tick += 1;
-        let tick = self.tick;
+        let key = vpn.raw();
+        debug_assert_ne!(key, NO_VPN);
+        // Fast path: instruction fetch looks up the same page for long
+        // runs of consecutive instructions, so the previous hit's way
+        // usually answers with a single compare.
+        let li = self.last_idx;
+        if self.vpns[li] == key {
+            self.stamps[li] = self.tick;
+            return Some(PhysPage::new(self.pfns[li]));
+        }
         let range = self.set_range(vpn);
-        for way in &mut self.ways[range] {
-            if way.valid && way.vpn == vpn {
-                way.stamp = tick;
-                return Some(way.pfn);
-            }
+        // One slice per probe: the tag scan compiles to a straight run
+        // over contiguous u64s with no per-way bounds checks.
+        let start = range.start;
+        if let Some(w) = self.vpns[range].iter().position(|&v| v == key) {
+            self.stamps[start + w] = self.tick;
+            self.last_idx = start + w;
+            return Some(PhysPage::new(self.pfns[start + w]));
         }
         None
     }
 
     /// Whether `vpn` is resident, without disturbing LRU state.
     pub fn contains(&self, vpn: VirtPage) -> bool {
-        self.ways[self.set_range(vpn)]
-            .iter()
-            .any(|w| w.valid && w.vpn == vpn)
+        let key = vpn.raw();
+        self.vpns[self.set_range(vpn)].contains(&key)
     }
 
     /// Installs a translation as MRU; returns the evicted VPN, if any.
@@ -158,58 +178,60 @@ impl Tlb {
     pub fn insert(&mut self, vpn: VirtPage, pfn: PhysPage, instruction: bool) -> Option<VirtPage> {
         self.tick += 1;
         let tick = self.tick;
+        let key = vpn.raw();
+        debug_assert_ne!(key, NO_VPN);
         let range = self.set_range(vpn);
-        for way in &mut self.ways[range.clone()] {
-            if way.valid && way.vpn == vpn {
-                way.stamp = tick;
-                way.pfn = pfn;
-                way.instruction = instruction;
-                return None;
+        let start = range.start;
+        let vpns = &mut self.vpns[range.clone()];
+        let stamps = &mut self.stamps[range];
+        // Refresh a resident entry, and find the victim in the same pass:
+        // the min-stamp way. Empty ways carry stamp 0 while live stamps
+        // are ≥ 1, so a free way always wins and ties pick the lowest
+        // index — exactly the first-free-way-else-LRU order.
+        let mut victim = 0;
+        let mut victim_stamp = stamps[0];
+        let mut hit = None;
+        for (w, (&v, &s)) in vpns.iter().zip(stamps.iter()).enumerate() {
+            if v == key {
+                hit = Some(w);
+                break;
+            }
+            if s < victim_stamp {
+                victim_stamp = s;
+                victim = w;
             }
         }
-        for way in &mut self.ways[range.clone()] {
-            if !way.valid {
-                *way = TlbWay {
-                    vpn,
-                    pfn,
-                    instruction,
-                    stamp: tick,
-                    valid: true,
-                };
-                return None;
+        if let Some(w) = hit {
+            stamps[w] = tick;
+            self.pfns[start + w] = pfn.raw();
+            self.instr[start + w] = instruction;
+            self.last_idx = start + w;
+            return None;
+        }
+        let evicted = (victim_stamp != 0).then(|| {
+            if self.instr[start + victim] && !instruction {
+                self.instr_evicted_by_data += 1;
+            } else if !self.instr[start + victim] && instruction {
+                self.data_evicted_by_instr += 1;
             }
-        }
-        let victim_idx = {
-            let set = &self.ways[range.clone()];
-            let (i, _) = set
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, w)| w.stamp)
-                .expect("non-empty set");
-            range.start + i
-        };
-        let victim = self.ways[victim_idx];
-        if victim.instruction && !instruction {
-            self.instr_evicted_by_data += 1;
-        } else if !victim.instruction && instruction {
-            self.data_evicted_by_instr += 1;
-        }
-        self.ways[victim_idx] = TlbWay {
-            vpn,
-            pfn,
-            instruction,
-            stamp: tick,
-            valid: true,
-        };
-        Some(victim.vpn)
+            VirtPage::new(vpns[victim])
+        });
+        vpns[victim] = key;
+        stamps[victim] = tick;
+        self.pfns[start + victim] = pfn.raw();
+        self.instr[start + victim] = instruction;
+        self.last_idx = start + victim;
+        evicted
     }
 
     /// Removes a translation (TLB shootdown); returns whether it was present.
     pub fn invalidate(&mut self, vpn: VirtPage) -> bool {
+        let key = vpn.raw();
         let range = self.set_range(vpn);
-        for way in &mut self.ways[range] {
-            if way.valid && way.vpn == vpn {
-                way.valid = false;
+        for i in range {
+            if self.vpns[i] == key {
+                self.vpns[i] = NO_VPN;
+                self.stamps[i] = 0;
                 return true;
             }
         }
@@ -218,14 +240,13 @@ impl Tlb {
 
     /// Empties the TLB (context switch).
     pub fn flush(&mut self) {
-        for way in &mut self.ways {
-            way.valid = false;
-        }
+        self.vpns.fill(NO_VPN);
+        self.stamps.fill(0);
     }
 
     /// Number of valid entries.
     pub fn occupancy(&self) -> usize {
-        self.ways.iter().filter(|w| w.valid).count()
+        self.vpns.iter().filter(|&&v| v != NO_VPN).count()
     }
 }
 

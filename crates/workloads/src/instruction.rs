@@ -38,6 +38,25 @@ pub trait InstructionStream: Send {
     /// Produces the next instruction.
     fn next_instruction(&mut self) -> TraceInstruction;
 
+    /// Appends the next `n` instructions to `out`.
+    ///
+    /// Semantically identical to calling [`next_instruction`] `n` times
+    /// (the default implementation does exactly that), but lets the
+    /// simulator amortize the per-instruction virtual call over a whole
+    /// block: the default body is monomorphized per implementor, so its
+    /// inner `next_instruction` calls dispatch statically. Implementors
+    /// with cheap bulk paths (e.g. trace replay) override it.
+    ///
+    /// `out` is not cleared; the block is appended to whatever it holds.
+    ///
+    /// [`next_instruction`]: InstructionStream::next_instruction
+    fn fill_block(&mut self, out: &mut Vec<TraceInstruction>, n: usize) {
+        out.reserve(n);
+        for _ in 0..n {
+            out.push(self.next_instruction());
+        }
+    }
+
     /// The contiguous virtual code region `(first page, page count)` this
     /// stream fetches from; the simulator maps it before running.
     fn code_region(&self) -> (VirtPage, u64);

@@ -165,6 +165,9 @@ pub struct ServerWorkload {
     warm_due: Vec<f64>,
     phase: u64,
     instructions: u64,
+    /// Instructions left in the current phase; counts down from
+    /// `phase_len` so the phase boundary needs no per-instruction modulo.
+    phase_left: u64,
     /// Currently executing chain: (class, index) where class 0 = hot,
     /// 1 = warm, 2 = cold.
     chain: (u8, usize),
@@ -198,6 +201,7 @@ impl ServerWorkload {
             warm_due: Vec::new(),
             phase: 0,
             instructions: 0,
+            phase_left: cfg.phase_len,
             chain: (0, 0),
             pos: 0,
             remaining: 0,
@@ -433,13 +437,16 @@ impl InstructionStream for ServerWorkload {
     }
 
     fn next_instruction(&mut self) -> TraceInstruction {
-        // Phase rotation.
-        if self.instructions > 0 && self.instructions.is_multiple_of(self.cfg.phase_len) {
+        // Phase rotation (`phase_left` counts down from `phase_len`, so
+        // this fires exactly when `instructions % phase_len == 0`).
+        if self.phase_left == 0 {
+            self.phase_left = self.cfg.phase_len;
             let next_phase = (self.phase + 1) % self.cfg.phases;
             if next_phase != self.phase {
                 self.build_phase_chains(next_phase);
             }
         }
+        self.phase_left -= 1;
         self.instructions += 1;
 
         // Page transition: advance down the chain, or start a new chain.
@@ -469,6 +476,16 @@ impl InstructionStream for ServerWorkload {
         TraceInstruction { pc, mem }
     }
 
+    /// Native block fill: one concrete-typed loop, so the chain and RNG
+    /// state stay hot across the whole block instead of being re-fetched
+    /// through a `Box<dyn InstructionStream>` per instruction.
+    fn fill_block(&mut self, out: &mut Vec<TraceInstruction>, n: usize) {
+        out.reserve(n);
+        for _ in 0..n {
+            out.push(self.next_instruction());
+        }
+    }
+
     fn code_region(&self) -> (VirtPage, u64) {
         (self.cfg.code_base, self.cfg.code_pages)
     }
@@ -494,6 +511,18 @@ mod tests {
         for _ in 0..10_000 {
             assert_eq!(a.next_instruction(), b.next_instruction());
         }
+    }
+
+    #[test]
+    fn fill_block_matches_next_instruction() {
+        let mut by_one = workload(7);
+        let mut by_block = workload(7);
+        let expected: Vec<TraceInstruction> =
+            (0..5000).map(|_| by_one.next_instruction()).collect();
+        let mut block = Vec::new();
+        by_block.fill_block(&mut block, 2000);
+        by_block.fill_block(&mut block, 3000);
+        assert_eq!(block, expected);
     }
 
     #[test]

@@ -143,6 +143,15 @@ impl InstructionStream for SpecWorkload {
         TraceInstruction { pc, mem }
     }
 
+    /// Native block fill: a concrete-typed loop keeping the loop cursor
+    /// and RNG in registers across the block.
+    fn fill_block(&mut self, out: &mut Vec<TraceInstruction>, n: usize) {
+        out.reserve(n);
+        for _ in 0..n {
+            out.push(self.next_instruction());
+        }
+    }
+
     fn code_region(&self) -> (VirtPage, u64) {
         (self.cfg.code_base, self.cfg.code_pages)
     }
@@ -164,6 +173,17 @@ mod tests {
         for _ in 0..5_000 {
             assert_eq!(a.next_instruction(), b.next_instruction());
         }
+    }
+
+    #[test]
+    fn fill_block_matches_next_instruction() {
+        let mut by_one = SpecWorkload::new(SpecWorkloadConfig::spec_like("s", 5));
+        let mut by_block = SpecWorkload::new(SpecWorkloadConfig::spec_like("s", 5));
+        let expected: Vec<TraceInstruction> =
+            (0..5000).map(|_| by_one.next_instruction()).collect();
+        let mut block = Vec::new();
+        by_block.fill_block(&mut block, 5000);
+        assert_eq!(block, expected);
     }
 
     #[test]

@@ -255,6 +255,26 @@ impl InstructionStream for TraceReader {
         instr
     }
 
+    /// Native block fill: bulk slice copies out of the record buffer,
+    /// wrapping (and counting a loop) exactly where [`next_instruction`]
+    /// would.
+    ///
+    /// [`next_instruction`]: InstructionStream::next_instruction
+    fn fill_block(&mut self, out: &mut Vec<TraceInstruction>, n: usize) {
+        out.reserve(n);
+        let mut left = n;
+        while left > 0 {
+            let take = left.min(self.records.len() - self.cursor);
+            out.extend_from_slice(&self.records[self.cursor..self.cursor + take]);
+            self.cursor += take;
+            if self.cursor == self.records.len() {
+                self.cursor = 0;
+                self.loops += 1;
+            }
+            left -= take;
+        }
+    }
+
     fn code_region(&self) -> (VirtPage, u64) {
         self.code_region
     }
@@ -338,6 +358,21 @@ mod tests {
         let bytes = writer.finish().expect("flush");
         let err = TraceReader::read(&bytes[..], "t".into()).expect_err("must fail");
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn fill_block_matches_next_instruction_across_wraps() {
+        let (bytes, _) = record_to_vec(17);
+        let mut by_one = TraceReader::read(&bytes[..], "t".into()).expect("parse");
+        let mut by_block = TraceReader::read(&bytes[..], "t".into()).expect("parse");
+        // 50 > 2×17: the block fill must wrap twice, exactly like the
+        // instruction-at-a-time path.
+        let expected: Vec<TraceInstruction> = (0..50).map(|_| by_one.next_instruction()).collect();
+        let mut block = Vec::new();
+        by_block.fill_block(&mut block, 50);
+        assert_eq!(block, expected);
+        assert_eq!(by_block.loops, by_one.loops);
+        assert_eq!(by_block.cursor, by_one.cursor);
     }
 
     #[test]
