@@ -28,6 +28,12 @@ struct FigureRun {
     name: &'static str,
     instructions: u64,
     seconds: f64,
+    /// Wall time the figure's simulators spent generating instructions
+    /// (`fill_block` refills), summed over its runs.
+    workload_gen_seconds: f64,
+    /// Wall time inside `Simulator::run` minus workload generation — the
+    /// lookup/walk/retire simulation proper.
+    simulate_seconds: f64,
 }
 
 impl FigureRun {
@@ -73,14 +79,22 @@ fn run_figures(scale: &Scale) -> Vec<FigureRun> {
         run(&runner, scale);
         let seconds = start.elapsed().as_secs_f64();
         let instructions = runner.instructions_simulated();
+        // Each figure owns a fresh runner, so its phase totals are
+        // exactly this figure's simulations.
+        let phases = runner.phase_totals();
         let fig = FigureRun {
             name,
             instructions,
             seconds,
+            workload_gen_seconds: phases.workload_gen(),
+            simulate_seconds: phases.simulate(),
         };
         eprintln!(
-            "[simbench] {name}: {instructions} instructions in {seconds:.3} s = {:.2} MIPS",
-            fig.mips()
+            "[simbench] {name}: {instructions} instructions in {seconds:.3} s = {:.2} MIPS \
+             (workload-gen {:.3} s, simulate {:.3} s)",
+            fig.mips(),
+            fig.workload_gen_seconds,
+            fig.simulate_seconds,
         );
         runs.push(fig);
     }
@@ -91,7 +105,7 @@ fn run_figures(scale: &Scale) -> Vec<FigureRun> {
 /// JSON dependency; this mirrors `morrigan_runner::json`).
 fn render(scale: &Scale, runs: &[FigureRun]) -> String {
     let mut out = String::with_capacity(4096);
-    out.push_str("{\n  \"schema\": \"morrigan-bench-simloop-v1\",\n");
+    out.push_str("{\n  \"schema\": \"morrigan-bench-simloop-v2\",\n");
     out.push_str(&format!(
         "  \"scale\": {{\"warmup\": {}, \"measure\": {}, \"workloads\": {}, \"smt_pairs\": {}}},\n",
         scale.warmup, scale.measure, scale.workloads, scale.smt_pairs
@@ -99,19 +113,29 @@ fn render(scale: &Scale, runs: &[FigureRun]) -> String {
     out.push_str("  \"figures\": [\n");
     for (i, f) in runs.iter().enumerate() {
         out.push_str(&format!(
-            "    {{\"figure\": \"{}\", \"instructions\": {}, \"seconds\": {}, \"mips\": {}}}{}\n",
+            "    {{\"figure\": \"{}\", \"instructions\": {}, \"seconds\": {}, \
+             \"workload_gen_seconds\": {}, \"simulate_seconds\": {}, \"mips\": {}}}{}\n",
             f.name,
             f.instructions,
             json_f64(f.seconds),
+            json_f64(f.workload_gen_seconds),
+            json_f64(f.simulate_seconds),
             json_f64(f.mips()),
             if i + 1 < runs.len() { "," } else { "" }
         ));
     }
     out.push_str("  ],\n");
+    // `--check` parses the LAST "total" object for its "mips" — this
+    // object must stay last in the document and keep that key.
     let (instructions, seconds) = totals(runs);
+    let workload_gen: f64 = runs.iter().map(|f| f.workload_gen_seconds).sum();
+    let simulate: f64 = runs.iter().map(|f| f.simulate_seconds).sum();
     out.push_str(&format!(
-        "  \"total\": {{\"instructions\": {instructions}, \"seconds\": {}, \"mips\": {}}}\n}}\n",
+        "  \"total\": {{\"instructions\": {instructions}, \"seconds\": {}, \
+         \"workload_gen_seconds\": {}, \"simulate_seconds\": {}, \"mips\": {}}}\n}}\n",
         json_f64(seconds),
+        json_f64(workload_gen),
+        json_f64(simulate),
         json_f64(instructions as f64 / seconds / 1e6)
     ));
     out

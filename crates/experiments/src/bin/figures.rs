@@ -6,20 +6,31 @@
 //! figures                         # run everything at the default scale
 //! figures fig15 fig16             # run a subset
 //! figures --json out.json fig15   # also write machine-readable records
+//! figures --trace t.json fig02    # also write an event trace (Perfetto)
+//! figures --interval 10000 ...    # per-epoch time-series in the JSON
 //! MORRIGAN_FULL=1 figures         # paper-scale run lengths (slow)
 //! MORRIGAN_THREADS=4 figures      # worker-pool size override
 //! MORRIGAN_VERBOSE=1 figures      # per-simulation progress on stderr
+//! MORRIGAN_TRACE=t.json figures   # --trace via the environment
+//! MORRIGAN_INTERVAL=10000 figures # --interval via the environment
 //! ```
 //!
 //! All figures share one [`Runner`], so simulations they have in common
 //! (notably the no-prefetch baselines and the Fig 5–8 miss-stream runs)
 //! are executed once and served from the result cache afterwards.
+//!
+//! `--trace` re-executes the *first* record of the first figure run with
+//! a ring-buffer event recorder attached and writes the capture in the
+//! format the extension selects: `.json` for Chrome `trace_event` (open
+//! in Perfetto / `chrome://tracing`), `.jsonl` for flat JSON-lines. The
+//! traced run is asserted bitwise-identical to the untraced one.
 
 use std::process::ExitCode;
 use std::sync::Arc;
 
 use morrigan_experiments as exp;
 use morrigan_experiments::{RunRecord, Runner, Scale};
+use morrigan_obs::{to_chrome_trace, to_jsonl, DEFAULT_TRACE_CAPACITY};
 
 /// Every figure name the binary accepts, in run order.
 const FIGURES: [&str; 18] = [
@@ -51,22 +62,77 @@ fn closest_figure(name: &str) -> &'static str {
         .expect("FIGURES is non-empty")
 }
 
+/// Every flag the binary accepts, for the "did you mean" hint on
+/// unknown `--…` arguments.
+const FLAGS: [&str; 5] = ["--json", "--trace", "--interval", "--help", "-h"];
+
+fn closest_flag(arg: &str) -> &'static str {
+    FLAGS
+        .iter()
+        .min_by_key(|candidate| edit_distance(arg, candidate))
+        .expect("FLAGS is non-empty")
+}
+
+/// The export format `--trace` selects, by file extension.
+enum TraceFormat {
+    /// `.json`: Chrome `trace_event` — loads in Perfetto.
+    Chrome,
+    /// `.jsonl`: one flat JSON object per event.
+    Jsonl,
+}
+
+/// Resolves the trace format from the requested path's extension.
+fn trace_format(path: &str) -> Result<TraceFormat, String> {
+    if path.ends_with(".jsonl") {
+        Ok(TraceFormat::Jsonl)
+    } else if path.ends_with(".json") {
+        Ok(TraceFormat::Chrome)
+    } else {
+        Err(format!(
+            "--trace path '{path}' must end in .json (Chrome trace_event, for Perfetto) \
+             or .jsonl (flat JSON lines)"
+        ))
+    }
+}
+
+/// Parses an `--interval` value: a positive integer epoch length.
+fn parse_interval(value: &str) -> Result<u64, String> {
+    match value.trim().parse::<u64>() {
+        Ok(0) | Err(_) => Err(format!(
+            "--interval requires a positive integer (retired instructions per epoch), \
+             got '{value}'"
+        )),
+        Ok(n) => Ok(n),
+    }
+}
+
 struct Args {
     /// Figure names to run (empty = all).
     selected: Vec<String>,
     /// Where to write the per-figure JSON document, if requested.
     json_path: Option<String>,
+    /// Where to write the event trace of the first record, if requested
+    /// (`--trace`, or `MORRIGAN_TRACE` when the flag is absent).
+    trace_path: Option<String>,
+    /// Interval-sampler epoch length (`--interval`; `MORRIGAN_INTERVAL`
+    /// is handled by [`Runner::from_env`] when the flag is absent).
+    interval: Option<u64>,
     /// `--help` was requested: print usage and exit successfully.
     help: bool,
 }
 
 fn usage() -> String {
-    format!("usage: figures [--json <path>] [{}]...", FIGURES.join("|"))
+    format!(
+        "usage: figures [--json <path>] [--trace <path>.json|.jsonl] [--interval <n>] [{}]...",
+        FIGURES.join("|")
+    )
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut selected = Vec::new();
     let mut json_path = None;
+    let mut trace_path = None;
+    let mut interval = None;
     let mut help = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -77,8 +143,28 @@ fn parse_args() -> Result<Args, String> {
                         .ok_or_else(|| "--json requires a file path".to_string())?,
                 );
             }
+            "--trace" => {
+                let path = args
+                    .next()
+                    .ok_or_else(|| "--trace requires a file path".to_string())?;
+                trace_format(&path)?;
+                trace_path = Some(path);
+            }
+            "--interval" => {
+                let value = args
+                    .next()
+                    .ok_or_else(|| "--interval requires an epoch length".to_string())?;
+                interval = Some(parse_interval(&value)?);
+            }
             "--help" | "-h" => help = true,
             name if FIGURES.contains(&name) => selected.push(arg),
+            unknown if unknown.starts_with('-') => {
+                return Err(format!(
+                    "unknown flag '{unknown}' — did you mean '{}'?\n{}",
+                    closest_flag(unknown),
+                    usage()
+                ));
+            }
             unknown => {
                 return Err(format!(
                     "unknown figure '{unknown}' — did you mean '{}'?\nknown figures: {}",
@@ -88,9 +174,19 @@ fn parse_args() -> Result<Args, String> {
             }
         }
     }
+    if trace_path.is_none() {
+        if let Ok(path) = std::env::var("MORRIGAN_TRACE") {
+            if !path.is_empty() {
+                trace_format(&path)?;
+                trace_path = Some(path);
+            }
+        }
+    }
     Ok(Args {
         selected,
         json_path,
+        trace_path,
+        interval,
         help,
     })
 }
@@ -109,7 +205,10 @@ fn main() -> ExitCode {
     }
 
     let scale = Scale::from_env();
-    let runner = Runner::from_env();
+    let mut runner = Runner::from_env();
+    if args.interval.is_some() {
+        runner = runner.with_interval(args.interval);
+    }
     let want = |name: &str| args.selected.is_empty() || args.selected.iter().any(|a| a == name);
     eprintln!(
         "scale: {} warmup + {} measured instructions, {} workloads, {} SMT pairs ({} worker threads)",
@@ -172,5 +271,47 @@ fn main() -> ExitCode {
         eprintln!("wrote {path}");
     }
 
+    if let Some(path) = &args.trace_path {
+        if let Err(message) = write_trace(&runner, path) {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    }
+
     ExitCode::SUCCESS
+}
+
+/// Re-executes the first journaled record's spec with a trace recorder
+/// attached and writes the capture to `path` in the extension-selected
+/// format. Tracing must not perturb the simulation: the traced metrics
+/// are asserted identical to the journaled ones.
+fn write_trace(runner: &Runner, path: &str) -> Result<(), String> {
+    let first = runner
+        .journal_since(0)
+        .into_iter()
+        .next()
+        .ok_or_else(|| "--trace: no simulation ran, nothing to trace".to_string())?;
+    eprintln!(
+        "tracing {} / {}...",
+        first.spec.workload.name(),
+        first.spec.prefetcher.name()
+    );
+    let (record, trace) = first
+        .spec
+        .execute_traced(runner.interval(), DEFAULT_TRACE_CAPACITY);
+    assert_eq!(
+        record.metrics, first.metrics,
+        "tracing must not perturb the simulation"
+    );
+    let rendered = match trace_format(path)? {
+        TraceFormat::Chrome => to_chrome_trace(&trace),
+        TraceFormat::Jsonl => to_jsonl(&trace),
+    };
+    std::fs::write(path, rendered).map_err(|error| format!("failed to write {path}: {error}"))?;
+    eprintln!(
+        "wrote {path} ({} events captured, {} dropped by the ring)",
+        trace.len(),
+        trace.dropped()
+    );
+    Ok(())
 }

@@ -132,6 +132,22 @@ impl std::ops::Sub for LevelStats {
     }
 }
 
+impl std::ops::Add for LevelStats {
+    type Output = LevelStats;
+
+    /// Field-wise sum, the inverse of [`Sub`](std::ops::Sub): summing the
+    /// interval sampler's epoch deltas reconstitutes the window totals.
+    fn add(self, rhs: LevelStats) -> LevelStats {
+        LevelStats {
+            ifetch: self.ifetch + rhs.ifetch,
+            data: self.data + rhs.data,
+            demand_walk: self.demand_walk + rhs.demand_walk,
+            prefetch_walk: self.prefetch_walk + rhs.prefetch_walk,
+            iprefetch: self.iprefetch + rhs.iprefetch,
+        }
+    }
+}
+
 impl CounterSet for LevelStats {
     fn counters(&self) -> Vec<(&'static str, u64)> {
         vec![

@@ -1,0 +1,213 @@
+//! The event taxonomy: every lifecycle moment the simulation stack can
+//! narrate, stamped with the cycle at which it happened and the virtual
+//! page it concerns.
+//!
+//! The taxonomy deliberately mirrors the audit layer's conservation
+//! laws: each event kind corresponds to exactly one counter in
+//! `MmuStats`/`WalkerStats`/`PbStats`, so a trace can be *proved*
+//! complete by tallying it (see [`EventCounts`]) and comparing against
+//! the end-of-run statistics. The reconciliation test in
+//! `crates/sim/tests/trace_reconciliation.rs` pins that equality.
+
+/// Which translation demand class a page walk serves. Mirrors the vm
+/// crate's `WalkKind`; duplicated here so `morrigan-obs` stays
+/// dependency-free (vm depends on obs, not the other way around).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WalkClass {
+    /// A demand instruction-side walk (iSTLB miss, no PB cover).
+    DemandInstruction,
+    /// A demand data-side walk (dSTLB miss).
+    DemandData,
+    /// A speculative walk issued on behalf of a prefetcher.
+    Prefetch,
+}
+
+impl WalkClass {
+    /// All classes, in [`Self::index`] order.
+    pub const ALL: [WalkClass; 3] = [
+        WalkClass::DemandInstruction,
+        WalkClass::DemandData,
+        WalkClass::Prefetch,
+    ];
+
+    /// Dense index for per-class counter arrays.
+    pub fn index(self) -> usize {
+        match self {
+            WalkClass::DemandInstruction => 0,
+            WalkClass::DemandData => 1,
+            WalkClass::Prefetch => 2,
+        }
+    }
+
+    /// Stable lowercase name used by the exporters.
+    pub fn name(self) -> &'static str {
+        match self {
+            WalkClass::DemandInstruction => "demand_instr",
+            WalkClass::DemandData => "demand_data",
+            WalkClass::Prefetch => "prefetch",
+        }
+    }
+}
+
+/// Outcome of a prefetch-buffer probe on the iSTLB miss path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PbProbeOutcome {
+    /// The entry was resident and its fill had already completed.
+    HitReady,
+    /// The entry was resident but its fill was still in flight; the
+    /// miss pays the remaining latency.
+    HitInflight,
+    /// No entry; a demand walk follows.
+    Miss,
+}
+
+impl PbProbeOutcome {
+    /// Stable lowercase name used by the exporters.
+    pub fn name(self) -> &'static str {
+        match self {
+            PbProbeOutcome::HitReady => "hit_ready",
+            PbProbeOutcome::HitInflight => "hit_inflight",
+            PbProbeOutcome::Miss => "miss",
+        }
+    }
+}
+
+/// Outcome of an I-cache prefetcher crossing into a new page.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IcacheCrossOutcome {
+    /// The target page's translation was already available (same page,
+    /// TLB/PB resident, or translation cost disabled).
+    Ready,
+    /// The crossing triggered a speculative translation walk.
+    WalkIssued,
+    /// The crossing wanted a walk but the MMU suppressed it (already
+    /// resident or the page faults).
+    Suppressed,
+}
+
+impl IcacheCrossOutcome {
+    /// Stable lowercase name used by the exporters.
+    pub fn name(self) -> &'static str {
+        match self {
+            IcacheCrossOutcome::Ready => "ready",
+            IcacheCrossOutcome::WalkIssued => "walk_issued",
+            IcacheCrossOutcome::Suppressed => "suppressed",
+        }
+    }
+}
+
+/// What happened. Kinds marked with a duration (only
+/// [`EventKind::WalkComplete`]) render as Chrome "complete" spans; the
+/// rest render as instants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// An instruction translation missed iTLB *and* STLB; the composite
+    /// prefetcher's coverage question starts here.
+    IstlbMiss,
+    /// The prefetch buffer was probed on the iSTLB miss path.
+    PbProbe(PbProbeOutcome),
+    /// A PB hit promoted its entry into STLB + iTLB.
+    PbPromote,
+    /// A translation was staged into the prefetch buffer.
+    PbFill,
+    /// A PB entry was discarded unused (capacity eviction or flush).
+    PbEvict,
+    /// The prefetch engine issued a speculative translation.
+    PrefetchIssue,
+    /// A page walk entered the walker.
+    WalkIssue {
+        /// Demand class of the walk.
+        class: WalkClass,
+        /// Steps skipped thanks to a paging-structure-cache hit
+        /// (0 = PSC miss, walked all four levels; 3 = PD hit, one ref).
+        psc_skip: u8,
+    },
+    /// A page walk finished; `cycle` is the completion cycle, so the
+    /// walk occupied `[cycle - duration, cycle]`.
+    WalkComplete {
+        /// Demand class of the walk.
+        class: WalkClass,
+        /// Memory references the walk performed.
+        refs: u8,
+        /// Cycles from issue to completion.
+        duration: u32,
+    },
+    /// The I-cache prefetcher crossed a page boundary.
+    IcacheCross(IcacheCrossOutcome),
+}
+
+/// One traced event: a kind stamped with cycle and virtual page number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Simulated cycle at which the event (or its completion) happened.
+    pub cycle: u64,
+    /// Raw virtual page number the event concerns.
+    pub vpn: u64,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+/// Exact per-kind totals for a trace. Maintained by tallying every
+/// event *before* it enters the ring, so the totals stay exact even
+/// after the ring wraps and drops old events — which is what makes the
+/// audit reconciliation independent of ring capacity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EventCounts {
+    pub istlb_miss: u64,
+    pub pb_probe_hit_ready: u64,
+    pub pb_probe_hit_inflight: u64,
+    pub pb_probe_miss: u64,
+    pub pb_promote: u64,
+    pub pb_fill: u64,
+    pub pb_evict: u64,
+    pub prefetch_issue: u64,
+    /// Indexed by [`WalkClass::index`].
+    pub walk_issue: [u64; 3],
+    /// Indexed by [`WalkClass::index`].
+    pub walk_complete: [u64; 3],
+    pub icache_cross_ready: u64,
+    pub icache_cross_walk_issued: u64,
+    pub icache_cross_suppressed: u64,
+}
+
+impl EventCounts {
+    /// Adds one event to the tally.
+    pub fn tally(&mut self, event: &TraceEvent) {
+        match event.kind {
+            EventKind::IstlbMiss => self.istlb_miss += 1,
+            EventKind::PbProbe(PbProbeOutcome::HitReady) => self.pb_probe_hit_ready += 1,
+            EventKind::PbProbe(PbProbeOutcome::HitInflight) => self.pb_probe_hit_inflight += 1,
+            EventKind::PbProbe(PbProbeOutcome::Miss) => self.pb_probe_miss += 1,
+            EventKind::PbPromote => self.pb_promote += 1,
+            EventKind::PbFill => self.pb_fill += 1,
+            EventKind::PbEvict => self.pb_evict += 1,
+            EventKind::PrefetchIssue => self.prefetch_issue += 1,
+            EventKind::WalkIssue { class, .. } => self.walk_issue[class.index()] += 1,
+            EventKind::WalkComplete { class, .. } => self.walk_complete[class.index()] += 1,
+            EventKind::IcacheCross(IcacheCrossOutcome::Ready) => self.icache_cross_ready += 1,
+            EventKind::IcacheCross(IcacheCrossOutcome::WalkIssued) => {
+                self.icache_cross_walk_issued += 1
+            }
+            EventKind::IcacheCross(IcacheCrossOutcome::Suppressed) => {
+                self.icache_cross_suppressed += 1
+            }
+        }
+    }
+
+    /// Total events tallied across every kind.
+    pub fn total(&self) -> u64 {
+        self.istlb_miss
+            + self.pb_probe_hit_ready
+            + self.pb_probe_hit_inflight
+            + self.pb_probe_miss
+            + self.pb_promote
+            + self.pb_fill
+            + self.pb_evict
+            + self.prefetch_issue
+            + self.walk_issue.iter().sum::<u64>()
+            + self.walk_complete.iter().sum::<u64>()
+            + self.icache_cross_ready
+            + self.icache_cross_walk_issued
+            + self.icache_cross_suppressed
+    }
+}

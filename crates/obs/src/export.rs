@@ -1,0 +1,163 @@
+//! Trace exporters: JSONL for ad-hoc scripting and Chrome
+//! `trace_event` JSON so a run opens directly in Perfetto or
+//! `chrome://tracing`.
+//!
+//! The workspace deliberately carries no JSON dependency; both
+//! exporters hand-render their (entirely numeric/ASCII) documents.
+
+use crate::event::{EventKind, WalkClass};
+use crate::recorder::TraceRecorder;
+
+/// Chrome trace thread lanes, one per pipeline station.
+const TID_TRANSLATION: u32 = 0;
+const TID_WALKER: u32 = 1;
+const TID_PREFETCH: u32 = 2;
+const TID_ICACHE: u32 = 3;
+
+fn lane(kind: &EventKind) -> u32 {
+    match kind {
+        EventKind::IstlbMiss | EventKind::PbProbe(_) | EventKind::PbPromote => TID_TRANSLATION,
+        EventKind::WalkIssue { .. } | EventKind::WalkComplete { .. } => TID_WALKER,
+        EventKind::PbFill | EventKind::PbEvict | EventKind::PrefetchIssue => TID_PREFETCH,
+        EventKind::IcacheCross(_) => TID_ICACHE,
+    }
+}
+
+/// Short human-facing event name shown on the timeline.
+fn display_name(kind: &EventKind) -> String {
+    match kind {
+        EventKind::IstlbMiss => "istlb_miss".into(),
+        EventKind::PbProbe(outcome) => format!("pb_probe_{}", outcome.name()),
+        EventKind::PbPromote => "pb_promote".into(),
+        EventKind::PbFill => "pb_fill".into(),
+        EventKind::PbEvict => "pb_evict".into(),
+        EventKind::PrefetchIssue => "prefetch_issue".into(),
+        EventKind::WalkIssue { class, .. } => format!("walk_issue_{}", class.name()),
+        EventKind::WalkComplete { class, .. } => format!("walk_{}", class.name()),
+        EventKind::IcacheCross(outcome) => format!("icache_cross_{}", outcome.name()),
+    }
+}
+
+fn walk_class_lane_offset(class: WalkClass) -> u32 {
+    // Walk spans of different classes routinely overlap in time (the
+    // walker has multiple slots); giving each class its own sub-lane
+    // keeps the Perfetto rendering legible.
+    class.index() as u32
+}
+
+/// Renders the retained events as Chrome `trace_event` JSON (the
+/// "JSON object format": `{"traceEvents": [...], ...}`).
+///
+/// Simulated cycles are rendered one-cycle-per-microsecond, the scale
+/// Perfetto's timeline is most comfortable at. `WalkComplete` events
+/// become `"X"` complete spans covering the walk's issue-to-completion
+/// window; everything else becomes an `"i"` instant. Metadata records
+/// name the process and the per-station thread lanes.
+pub fn to_chrome_trace(trace: &TraceRecorder) -> String {
+    let mut out = String::with_capacity(128 + trace.len() * 96);
+    out.push_str("{\"traceEvents\":[\n");
+    out.push_str(
+        "{\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":\"process_name\",\
+         \"args\":{\"name\":\"morrigan-sim\"}},\n",
+    );
+    for (tid, name) in [
+        (TID_TRANSLATION, "translation"),
+        (TID_WALKER, "walker (demand_instr)"),
+        (TID_PREFETCH, "prefetch-buffer"),
+        (TID_ICACHE, "icache-prefetch"),
+    ] {
+        out.push_str(&format!(
+            "{{\"ph\":\"M\",\"pid\":1,\"tid\":{tid},\"name\":\"thread_name\",\
+             \"args\":{{\"name\":\"{name}\"}}}},\n"
+        ));
+    }
+    // Extra walker sub-lanes for data/prefetch walks, declared lazily
+    // here so the metadata block stays self-contained.
+    for class in [WalkClass::DemandData, WalkClass::Prefetch] {
+        out.push_str(&format!(
+            "{{\"ph\":\"M\",\"pid\":1,\"tid\":{},\"name\":\"thread_name\",\
+             \"args\":{{\"name\":\"walker ({})\"}}}},\n",
+            TID_WALKER + 10 + walk_class_lane_offset(class),
+            class.name()
+        ));
+    }
+
+    let mut first = true;
+    for event in trace.events() {
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        let name = display_name(&event.kind);
+        match event.kind {
+            EventKind::WalkComplete {
+                class,
+                refs,
+                duration,
+            } => {
+                let tid = if class == WalkClass::DemandInstruction {
+                    TID_WALKER
+                } else {
+                    TID_WALKER + 10 + walk_class_lane_offset(class)
+                };
+                let start = event.cycle.saturating_sub(u64::from(duration));
+                out.push_str(&format!(
+                    "{{\"ph\":\"X\",\"pid\":1,\"tid\":{tid},\"ts\":{start},\
+                     \"dur\":{duration},\"name\":\"{name}\",\
+                     \"args\":{{\"vpn\":\"{:#x}\",\"refs\":{refs}}}}}",
+                    event.vpn
+                ));
+            }
+            EventKind::WalkIssue { psc_skip, .. } => {
+                out.push_str(&format!(
+                    "{{\"ph\":\"i\",\"pid\":1,\"tid\":{},\"ts\":{},\"s\":\"t\",\
+                     \"name\":\"{name}\",\"args\":{{\"vpn\":\"{:#x}\",\"psc_skip\":{psc_skip}}}}}",
+                    lane(&event.kind),
+                    event.cycle,
+                    event.vpn
+                ));
+            }
+            _ => {
+                out.push_str(&format!(
+                    "{{\"ph\":\"i\",\"pid\":1,\"tid\":{},\"ts\":{},\"s\":\"t\",\
+                     \"name\":\"{name}\",\"args\":{{\"vpn\":\"{:#x}\"}}}}",
+                    lane(&event.kind),
+                    event.cycle,
+                    event.vpn
+                ));
+            }
+        }
+    }
+    out.push_str("\n],\"displayTimeUnit\":\"ms\",");
+    out.push_str(&format!(
+        "\"otherData\":{{\"dropped_events\":{},\"total_events\":{}}}}}\n",
+        trace.dropped(),
+        trace.counts().total()
+    ));
+    out
+}
+
+/// Renders the retained events as JSON Lines: one flat object per
+/// event, oldest first, friendly to `jq`/pandas.
+pub fn to_jsonl(trace: &TraceRecorder) -> String {
+    let mut out = String::with_capacity(trace.len() * 80);
+    for event in trace.events() {
+        out.push_str(&format!(
+            "{{\"cycle\":{},\"vpn\":\"{:#x}\",\"event\":\"{}\"",
+            event.cycle,
+            event.vpn,
+            display_name(&event.kind)
+        ));
+        match event.kind {
+            EventKind::WalkIssue { psc_skip, .. } => {
+                out.push_str(&format!(",\"psc_skip\":{psc_skip}"));
+            }
+            EventKind::WalkComplete { refs, duration, .. } => {
+                out.push_str(&format!(",\"refs\":{refs},\"duration\":{duration}"));
+            }
+            _ => {}
+        }
+        out.push_str("}\n");
+    }
+    out
+}

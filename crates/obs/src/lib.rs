@@ -1,0 +1,228 @@
+//! Observability for the Morrigan reproduction: zero-cost-when-disabled
+//! event tracing, trace exporters, and host-side phase profiling.
+//!
+//! The crate is deliberately dependency-free (it sits *below* the vm
+//! crate in the dependency graph) and exposes three layers:
+//!
+//! 1. **Events + recorders** ([`TraceEvent`], [`Recorder`],
+//!    [`NullRecorder`], [`TraceRecorder`]): the simulation stack is
+//!    generic over a recorder; with the default [`NullRecorder`] every
+//!    emission site monomorphizes to nothing, so a non-traced run pays
+//!    zero cost. [`TraceRecorder`] keeps a bounded ring of recent
+//!    events plus *exact* per-kind totals ([`EventCounts`]) that stay
+//!    correct even after the ring wraps — the reconciliation tests
+//!    compare those totals against the audit layer's counters.
+//! 2. **Exporters** ([`to_chrome_trace`], [`to_jsonl`]): render a
+//!    trace as Chrome `trace_event` JSON (opens in Perfetto /
+//!    `chrome://tracing`) or JSON Lines.
+//! 3. **Phase profiling** ([`Phase`], [`PhaseProfile`]): wall-time
+//!    buckets answering "where do the host seconds go" — workload
+//!    generation vs. lookups vs. walks vs. cache accesses.
+//!
+//! ```
+//! use morrigan_obs::{EventKind, Recorder, TraceEvent, TraceRecorder};
+//!
+//! let mut trace = TraceRecorder::with_capacity(16);
+//! trace.record(TraceEvent { cycle: 7, vpn: 0x51d, kind: EventKind::IstlbMiss });
+//! assert_eq!(trace.counts().istlb_miss, 1);
+//! assert!(morrigan_obs::to_jsonl(&trace).contains("istlb_miss"));
+//! ```
+
+mod event;
+mod export;
+mod phase;
+mod recorder;
+
+pub use event::{
+    EventCounts, EventKind, IcacheCrossOutcome, PbProbeOutcome, TraceEvent, WalkClass,
+};
+pub use export::{to_chrome_trace, to_jsonl};
+pub use phase::{Phase, PhaseProfile};
+pub use recorder::{NullRecorder, Recorder, TraceRecorder, DEFAULT_TRACE_CAPACITY};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(cycle: u64, kind: EventKind) -> TraceEvent {
+        TraceEvent {
+            cycle,
+            vpn: 0x1000 + cycle,
+            kind,
+        }
+    }
+
+    #[test]
+    fn null_recorder_is_disabled() {
+        assert!(!NullRecorder::ENABLED);
+        let mut r = NullRecorder;
+        r.record(ev(1, EventKind::IstlbMiss));
+    }
+
+    #[test]
+    fn ring_preserves_order_and_counts_after_wrap() {
+        let mut trace = TraceRecorder::with_capacity(4);
+        for cycle in 0..10 {
+            trace.record(ev(cycle, EventKind::PbFill));
+        }
+        assert_eq!(trace.len(), 4);
+        assert_eq!(trace.dropped(), 6);
+        // The ring retains only the newest four, oldest first…
+        let cycles: Vec<u64> = trace.events().map(|e| e.cycle).collect();
+        assert_eq!(cycles, vec![6, 7, 8, 9]);
+        // …but the totals cover all ten.
+        assert_eq!(trace.counts().pb_fill, 10);
+        assert_eq!(trace.counts().total(), 10);
+    }
+
+    #[test]
+    fn counts_cover_every_kind() {
+        let mut trace = TraceRecorder::with_capacity(64);
+        let kinds = [
+            EventKind::IstlbMiss,
+            EventKind::PbProbe(PbProbeOutcome::HitReady),
+            EventKind::PbProbe(PbProbeOutcome::HitInflight),
+            EventKind::PbProbe(PbProbeOutcome::Miss),
+            EventKind::PbPromote,
+            EventKind::PbFill,
+            EventKind::PbEvict,
+            EventKind::PrefetchIssue,
+            EventKind::WalkIssue {
+                class: WalkClass::DemandInstruction,
+                psc_skip: 2,
+            },
+            EventKind::WalkIssue {
+                class: WalkClass::DemandData,
+                psc_skip: 0,
+            },
+            EventKind::WalkIssue {
+                class: WalkClass::Prefetch,
+                psc_skip: 3,
+            },
+            EventKind::WalkComplete {
+                class: WalkClass::DemandInstruction,
+                refs: 4,
+                duration: 100,
+            },
+            EventKind::WalkComplete {
+                class: WalkClass::DemandData,
+                refs: 2,
+                duration: 50,
+            },
+            EventKind::WalkComplete {
+                class: WalkClass::Prefetch,
+                refs: 1,
+                duration: 25,
+            },
+            EventKind::IcacheCross(IcacheCrossOutcome::Ready),
+            EventKind::IcacheCross(IcacheCrossOutcome::WalkIssued),
+            EventKind::IcacheCross(IcacheCrossOutcome::Suppressed),
+        ];
+        for (i, kind) in kinds.iter().enumerate() {
+            trace.record(ev(i as u64, *kind));
+            assert_eq!(trace.count_of(kind), 1, "kind {kind:?} not tallied");
+        }
+        assert_eq!(trace.counts().total(), kinds.len() as u64);
+        assert_eq!(trace.dropped(), 0);
+    }
+
+    /// A tiny structural check used in place of a JSON parser: every
+    /// brace and bracket closes, and quotes pair up.
+    fn assert_balanced(doc: &str) {
+        let mut depth_brace = 0i64;
+        let mut depth_bracket = 0i64;
+        let mut in_string = false;
+        for c in doc.chars() {
+            match c {
+                '"' => in_string = !in_string,
+                '{' if !in_string => depth_brace += 1,
+                '}' if !in_string => depth_brace -= 1,
+                '[' if !in_string => depth_bracket += 1,
+                ']' if !in_string => depth_bracket -= 1,
+                _ => {}
+            }
+            assert!(depth_brace >= 0 && depth_bracket >= 0);
+        }
+        assert_eq!(depth_brace, 0, "unbalanced braces");
+        assert_eq!(depth_bracket, 0, "unbalanced brackets");
+        assert!(!in_string, "unbalanced quotes");
+    }
+
+    #[test]
+    fn chrome_trace_is_structured_and_spans_walks() {
+        let mut trace = TraceRecorder::with_capacity(64);
+        trace.record(ev(100, EventKind::IstlbMiss));
+        trace.record(ev(
+            160,
+            EventKind::WalkComplete {
+                class: WalkClass::DemandInstruction,
+                refs: 4,
+                duration: 60,
+            },
+        ));
+        let doc = to_chrome_trace(&trace);
+        assert_balanced(&doc);
+        assert!(doc.contains("\"traceEvents\""));
+        assert!(doc.contains("\"ph\":\"M\""), "metadata records present");
+        assert!(doc.contains("\"ph\":\"i\""), "instant for the miss");
+        // The walk renders as a complete span starting at issue time.
+        assert!(doc.contains("\"ph\":\"X\""));
+        assert!(doc.contains("\"ts\":100,\"dur\":60"));
+        assert!(doc.contains("morrigan-sim"));
+    }
+
+    #[test]
+    fn jsonl_emits_one_line_per_event() {
+        let mut trace = TraceRecorder::with_capacity(8);
+        trace.record(ev(1, EventKind::PbFill));
+        trace.record(ev(
+            2,
+            EventKind::WalkIssue {
+                class: WalkClass::Prefetch,
+                psc_skip: 1,
+            },
+        ));
+        trace.record(ev(3, EventKind::IcacheCross(IcacheCrossOutcome::Ready)));
+        let doc = to_jsonl(&trace);
+        assert_eq!(doc.lines().count(), 3);
+        for line in doc.lines() {
+            assert_balanced(line);
+        }
+        assert!(doc.contains("\"event\":\"walk_issue_prefetch\""));
+        assert!(doc.contains("\"psc_skip\":1"));
+    }
+
+    #[test]
+    fn phase_profile_math() {
+        let mut p = PhaseProfile::new();
+        p.add(Phase::WorkloadGen, 2.0);
+        p.add(Phase::Walk, 1.0);
+        p.add_total(5.0);
+        assert_eq!(p.workload_gen(), 2.0);
+        assert_eq!(p.simulate(), 3.0);
+        assert_eq!(p.other(), 2.0);
+        assert!(!p.fine());
+
+        let mut q = PhaseProfile::new();
+        q.set_fine(true);
+        q.add(Phase::Lookup, 0.5);
+        q.add_total(1.0);
+
+        let mut merged = PhaseProfile::new();
+        merged.merge(&q);
+        assert!(merged.fine(), "merge into empty adopts fine-ness");
+        merged.merge(&p);
+        assert!(!merged.fine(), "coarse-only run clears fine-ness");
+        assert_eq!(merged.total(), 6.0);
+        assert_eq!(merged.seconds(Phase::Lookup), 0.5);
+        assert_eq!(merged.workload_gen(), 2.0);
+    }
+
+    #[test]
+    fn other_clamps_at_zero() {
+        let mut p = PhaseProfile::new();
+        p.add(Phase::Walk, 2.0);
+        p.add_total(1.5);
+        assert_eq!(p.other(), 0.0);
+    }
+}

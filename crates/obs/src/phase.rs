@@ -1,0 +1,141 @@
+//! Host-side phase profiling: where a simulation's *wall time* goes.
+//!
+//! PR 3 ended with a guess ("remaining cost is workload generation and
+//! host-memory-bound set indexing"); this module makes the split
+//! measurable. The contract keeps the bench gate honest:
+//!
+//! * the coarse split (workload-gen vs. everything else) is always on —
+//!   it is timed at `fill_block` refill granularity, two `Instant`
+//!   reads per 1024 instructions, far below measurement noise;
+//! * fine buckets (lookup/walk/cache/icache-prefetch, which would need
+//!   per-step timing) only tick when explicitly enabled via
+//!   `MORRIGAN_PROFILE=1` or `Simulator::set_phase_profiling(true)`.
+
+/// Wall-time bucket a slice of host time is attributed to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Generating instructions (`fill_block` refills).
+    WorkloadGen,
+    /// TLB lookups that hit without a page walk.
+    Lookup,
+    /// Translations that went to the page walker (demand or prefetch).
+    Walk,
+    /// Cache-hierarchy accesses (I-fetch and data).
+    CacheAccess,
+    /// The I-cache prefetcher and its page-crossing translations.
+    IcachePrefetch,
+}
+
+impl Phase {
+    /// All phases, in [`Self::index`] order.
+    pub const ALL: [Phase; 5] = [
+        Phase::WorkloadGen,
+        Phase::Lookup,
+        Phase::Walk,
+        Phase::CacheAccess,
+        Phase::IcachePrefetch,
+    ];
+
+    /// Dense index into [`PhaseProfile`]'s bucket array.
+    pub fn index(self) -> usize {
+        match self {
+            Phase::WorkloadGen => 0,
+            Phase::Lookup => 1,
+            Phase::Walk => 2,
+            Phase::CacheAccess => 3,
+            Phase::IcachePrefetch => 4,
+        }
+    }
+
+    /// Stable lowercase name used in JSON reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::WorkloadGen => "workload_gen",
+            Phase::Lookup => "lookup",
+            Phase::Walk => "walk",
+            Phase::CacheAccess => "cache_access",
+            Phase::IcachePrefetch => "icache_prefetch",
+        }
+    }
+}
+
+/// Accumulated wall seconds per phase for one or more runs.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PhaseProfile {
+    buckets: [f64; 5],
+    total: f64,
+    fine: bool,
+}
+
+impl PhaseProfile {
+    /// An empty profile.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether the fine buckets (everything except workload-gen) were
+    /// actually timed; false means only the coarse split is meaningful.
+    pub fn fine(&self) -> bool {
+        self.fine
+    }
+
+    /// Marks the fine buckets as timed.
+    pub fn set_fine(&mut self, fine: bool) {
+        self.fine = fine;
+    }
+
+    /// Adds wall seconds to one bucket.
+    pub fn add(&mut self, phase: Phase, seconds: f64) {
+        self.buckets[phase.index()] += seconds;
+    }
+
+    /// Adds to the run's total wall time (timed around the whole loop,
+    /// independent of the buckets).
+    pub fn add_total(&mut self, seconds: f64) {
+        self.total += seconds;
+    }
+
+    /// Seconds attributed to one bucket.
+    pub fn seconds(&self, phase: Phase) -> f64 {
+        self.buckets[phase.index()]
+    }
+
+    /// Total wall seconds across the profiled region.
+    pub fn total(&self) -> f64 {
+        self.total
+    }
+
+    /// Wall time not attributed to any bucket — retire bookkeeping,
+    /// ROB management, and everything else between the timed sites.
+    /// Clamped at zero because timer granularity can make the buckets
+    /// nominally overshoot a tiny total.
+    pub fn other(&self) -> f64 {
+        (self.total - self.buckets.iter().sum::<f64>()).max(0.0)
+    }
+
+    /// Seconds spent generating workload instructions.
+    pub fn workload_gen(&self) -> f64 {
+        self.seconds(Phase::WorkloadGen)
+    }
+
+    /// Seconds spent simulating (total minus workload generation).
+    pub fn simulate(&self) -> f64 {
+        (self.total - self.workload_gen()).max(0.0)
+    }
+
+    /// Folds another profile into this one. `fine` survives only if
+    /// every merged profile timed its fine buckets (a merge into an
+    /// empty profile simply adopts the source's fine-ness).
+    pub fn merge(&mut self, other: &PhaseProfile) {
+        let was_empty = self.total == 0.0;
+        for i in 0..self.buckets.len() {
+            self.buckets[i] += other.buckets[i];
+        }
+        self.total += other.total;
+        self.fine = if was_empty {
+            other.fine
+        } else {
+            self.fine && other.fine
+        };
+    }
+}

@@ -1,0 +1,155 @@
+//! The recorder abstraction: how the simulation stack emits events
+//! without paying for them when nobody is listening.
+//!
+//! `Mmu<R>` and `Simulator<R>` are generic over a [`Recorder`]; every
+//! emission site is guarded by `if R::ENABLED { ... }`. With the
+//! default [`NullRecorder`], `ENABLED` is a compile-time `false`, so
+//! monomorphization deletes the event construction *and* the guard —
+//! the disabled hot path is byte-for-byte the pre-observability one.
+//! [`TraceRecorder`] keeps the most recent events in a ring buffer and
+//! exact per-kind totals regardless of how much the ring dropped.
+
+use crate::event::{EventCounts, EventKind, TraceEvent};
+
+/// Sink for [`TraceEvent`]s. Implementations choose what to retain;
+/// the `ENABLED` constant lets emission sites compile away entirely.
+pub trait Recorder {
+    /// Whether emission sites should construct events at all. Guard
+    /// every `record` call with `if R::ENABLED` so the disabled path
+    /// costs nothing.
+    const ENABLED: bool;
+
+    /// Accepts one event. Called only when [`Self::ENABLED`] is true
+    /// (guarded at the emission site), but implementations must remain
+    /// correct if called anyway.
+    fn record(&mut self, event: TraceEvent);
+}
+
+/// The default recorder: nothing is captured, nothing is paid.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NullRecorder;
+
+impl Recorder for NullRecorder {
+    const ENABLED: bool = false;
+
+    #[inline(always)]
+    fn record(&mut self, _event: TraceEvent) {}
+}
+
+/// Default ring capacity: ~1M events, a few tens of MB, enough to hold
+/// every event of a quick-scale figure window without wrapping.
+pub const DEFAULT_TRACE_CAPACITY: usize = 1 << 20;
+
+/// A bounded ring of the most recent events plus exact totals.
+///
+/// When the ring is full the oldest event is overwritten and counted in
+/// [`TraceRecorder::dropped`]. Totals in [`TraceRecorder::counts`] are
+/// tallied *before* insertion, so they cover every event ever recorded
+/// — dropped or retained — which keeps audit reconciliation exact at
+/// any capacity.
+#[derive(Debug, Clone)]
+pub struct TraceRecorder {
+    ring: Vec<TraceEvent>,
+    capacity: usize,
+    /// Index of the oldest event once the ring has wrapped.
+    head: usize,
+    counts: EventCounts,
+    dropped: u64,
+}
+
+impl TraceRecorder {
+    /// A recorder with [`DEFAULT_TRACE_CAPACITY`].
+    pub fn new() -> Self {
+        Self::with_capacity(DEFAULT_TRACE_CAPACITY)
+    }
+
+    /// A recorder retaining at most `capacity` events (`capacity > 0`).
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity > 0, "trace ring capacity must be positive");
+        Self {
+            ring: Vec::new(),
+            capacity,
+            head: 0,
+            counts: EventCounts::default(),
+            dropped: 0,
+        }
+    }
+
+    /// Exact per-kind totals over every event ever recorded.
+    pub fn counts(&self) -> &EventCounts {
+        &self.counts
+    }
+
+    /// Events overwritten after the ring filled.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Events currently retained.
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// True when nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// Retained events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.ring[self.head..]
+            .iter()
+            .chain(self.ring[..self.head].iter())
+    }
+
+    /// Convenience: how many events of one kind were tallied. Used by
+    /// tests; sums probe/walk/cross sub-kinds where the argument kind
+    /// carries payload the caller doesn't care about.
+    pub fn count_of(&self, kind: &EventKind) -> u64 {
+        use crate::event::{IcacheCrossOutcome, PbProbeOutcome};
+        match kind {
+            EventKind::IstlbMiss => self.counts.istlb_miss,
+            EventKind::PbProbe(PbProbeOutcome::HitReady) => self.counts.pb_probe_hit_ready,
+            EventKind::PbProbe(PbProbeOutcome::HitInflight) => self.counts.pb_probe_hit_inflight,
+            EventKind::PbProbe(PbProbeOutcome::Miss) => self.counts.pb_probe_miss,
+            EventKind::PbPromote => self.counts.pb_promote,
+            EventKind::PbFill => self.counts.pb_fill,
+            EventKind::PbEvict => self.counts.pb_evict,
+            EventKind::PrefetchIssue => self.counts.prefetch_issue,
+            EventKind::WalkIssue { class, .. } => self.counts.walk_issue[class.index()],
+            EventKind::WalkComplete { class, .. } => self.counts.walk_complete[class.index()],
+            EventKind::IcacheCross(IcacheCrossOutcome::Ready) => self.counts.icache_cross_ready,
+            EventKind::IcacheCross(IcacheCrossOutcome::WalkIssued) => {
+                self.counts.icache_cross_walk_issued
+            }
+            EventKind::IcacheCross(IcacheCrossOutcome::Suppressed) => {
+                self.counts.icache_cross_suppressed
+            }
+        }
+    }
+}
+
+impl Default for TraceRecorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Recorder for TraceRecorder {
+    const ENABLED: bool = true;
+
+    #[inline]
+    fn record(&mut self, event: TraceEvent) {
+        self.counts.tally(&event);
+        if self.ring.len() < self.capacity {
+            self.ring.push(event);
+        } else {
+            self.ring[self.head] = event;
+            self.head += 1;
+            if self.head == self.capacity {
+                self.head = 0;
+            }
+            self.dropped += 1;
+        }
+    }
+}

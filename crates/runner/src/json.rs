@@ -9,7 +9,7 @@
 
 use std::sync::Arc;
 
-use morrigan_sim::{IcachePrefetcherKind, Metrics};
+use morrigan_sim::{IcachePrefetcherKind, IntervalSample, Metrics};
 
 use crate::spec::{RunRecord, WorkloadSpec};
 
@@ -164,6 +164,40 @@ fn metrics_json(m: &Metrics) -> String {
     ])
 }
 
+/// Renders the interval sampler's time-series as a JSON array: one
+/// compact object per epoch with its bounds and the headline per-epoch
+/// rates (full metrics stay at the record level; the epochs carry what a
+/// time-series plot needs).
+fn intervals_json(samples: &[IntervalSample]) -> String {
+    let epochs = samples
+        .iter()
+        .map(|s| {
+            obj(vec![
+                kv("start_instruction", s.start_instruction.to_string()),
+                kv("end_instruction", s.end_instruction.to_string()),
+                kv("start_cycle", s.start_cycle.to_string()),
+                kv("end_cycle", s.end_cycle.to_string()),
+                kv("cycles", s.metrics.cycles.to_string()),
+                kv("ipc", json_f64(s.metrics.ipc())),
+                kv("istlb_mpki", json_f64(s.metrics.istlb_mpki())),
+                kv("l1i_mpki", json_f64(s.metrics.l1i_mpki())),
+                kv("coverage", json_f64(s.metrics.coverage())),
+                kv(
+                    "istlb_stall_cycles",
+                    s.metrics.istlb_stall_cycles.to_string(),
+                ),
+                kv("istlb_misses", s.metrics.mmu.istlb_misses.to_string()),
+                kv(
+                    "prefetches_issued",
+                    s.metrics.mmu.prefetches_issued.to_string(),
+                ),
+            ])
+        })
+        .collect::<Vec<_>>()
+        .join(", ");
+    format!("[{epochs}]")
+}
+
 /// Renders one record as a JSON object.
 pub fn record_json(record: &RunRecord) -> String {
     let spec = &record.spec;
@@ -239,6 +273,14 @@ pub fn record_json(record: &RunRecord) -> String {
         kv("metrics", metrics_json(&record.metrics)),
         kv("miss_stream", miss_stream),
         kv("audit", audit),
+        kv(
+            "intervals",
+            if record.intervals.is_empty() {
+                "null".to_string()
+            } else {
+                intervals_json(&record.intervals)
+            },
+        ),
     ])
 }
 
@@ -296,7 +338,7 @@ mod tests {
             PrefetcherKind::None,
         );
         let record = Arc::new(spec.execute());
-        let doc = figures_document(&[("fig99".to_string(), vec![record])]);
+        let doc = figures_document(&[("fig99".to_string(), vec![Arc::clone(&record)])]);
         assert_eq!(
             doc.matches('{').count(),
             doc.matches('}').count(),
@@ -308,8 +350,13 @@ mod tests {
         assert!(doc.contains("\"prefetcher\": \"baseline\""));
         assert!(doc.contains("\"instructions\": 30000"));
         assert!(doc.contains("\"miss_stream\": null"));
-        // Debug builds audit every run; the clean report rides along.
-        assert!(doc.contains("\"audit\": {\"context\":"));
-        assert!(doc.contains("\"violations\": []"));
+        // Debug builds audit every run; release only under MORRIGAN_AUDIT=1.
+        // Key off the record so the test holds in both profiles.
+        if record.audit.is_some() {
+            assert!(doc.contains("\"audit\": {\"context\":"));
+            assert!(doc.contains("\"violations\": []"));
+        } else {
+            assert!(doc.contains("\"audit\": null"));
+        }
     }
 }

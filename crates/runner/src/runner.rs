@@ -4,6 +4,8 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
+use morrigan_obs::PhaseProfile;
+
 use crate::spec::{RunRecord, RunSpec};
 
 /// Executes [`RunSpec`] batches on a pool of worker threads, memoizing
@@ -24,6 +26,11 @@ use crate::spec::{RunRecord, RunSpec};
 pub struct Runner {
     threads: usize,
     verbose: bool,
+    /// Interval-sampler epoch length applied to every executed spec;
+    /// `None` (the default) disables sampling. Part of the cache key
+    /// contract: it is fixed at construction, so every cached record was
+    /// produced under the same sampling setting.
+    interval: Option<u64>,
     cache: Mutex<HashMap<String, Arc<RunRecord>>>,
     /// Records every record handed out, in request order, across batches.
     /// Lets callers attribute records to request ranges (the `figures`
@@ -32,6 +39,9 @@ pub struct Runner {
     sims_executed: AtomicU64,
     cache_hits: AtomicU64,
     instructions_simulated: AtomicU64,
+    /// Host wall-time phase split summed over every *executed* simulation
+    /// (cached records add nothing — no simulation ran).
+    phase_totals: Mutex<PhaseProfile>,
 }
 
 impl Runner {
@@ -40,31 +50,66 @@ impl Runner {
         Runner {
             threads: threads.max(1),
             verbose: false,
+            interval: None,
             cache: Mutex::new(HashMap::new()),
             journal: Mutex::new(Vec::new()),
             sims_executed: AtomicU64::new(0),
             cache_hits: AtomicU64::new(0),
             instructions_simulated: AtomicU64::new(0),
+            phase_totals: Mutex::new(PhaseProfile::new()),
         }
     }
 
     /// A runner configured from the environment: worker count from
     /// `MORRIGAN_THREADS` if set (falling back to
     /// [`std::thread::available_parallelism`]), per-job narration when
-    /// `MORRIGAN_VERBOSE=1`.
+    /// `MORRIGAN_VERBOSE=1`, interval sampling from `MORRIGAN_INTERVAL`
+    /// (a positive epoch length in retired instructions).
     pub fn from_env() -> Self {
         let fallback = std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1);
         let threads =
             threads_from_env_value(std::env::var("MORRIGAN_THREADS").ok().as_deref(), fallback);
-        Runner::new(threads).verbose(std::env::var("MORRIGAN_VERBOSE").is_ok_and(|v| v == "1"))
+        let interval = interval_from_env_value(std::env::var("MORRIGAN_INTERVAL").ok().as_deref());
+        Runner::new(threads)
+            .verbose(std::env::var("MORRIGAN_VERBOSE").is_ok_and(|v| v == "1"))
+            .with_interval(interval)
     }
 
     /// Enables or disables per-job progress narration on stderr.
     pub fn verbose(mut self, verbose: bool) -> Self {
         self.verbose = verbose;
         self
+    }
+
+    /// Sets the interval-sampler epoch length applied to every spec this
+    /// runner executes (`None` disables sampling).
+    ///
+    /// Construction-time only, so the result cache stays sound: all
+    /// cached records share one sampling configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics on `Some(0)`.
+    pub fn with_interval(mut self, interval: Option<u64>) -> Self {
+        assert!(
+            interval != Some(0),
+            "sampling interval must be positive when set"
+        );
+        self.interval = interval;
+        self
+    }
+
+    /// The interval-sampler epoch length applied to executed specs.
+    pub fn interval(&self) -> Option<u64> {
+        self.interval
+    }
+
+    /// The host wall-time phase split summed over every simulation this
+    /// runner actually executed (cache hits contribute nothing).
+    pub fn phase_totals(&self) -> PhaseProfile {
+        *self.phase_totals.lock().unwrap()
     }
 
     /// The worker count used for batches.
@@ -152,12 +197,13 @@ impl Runner {
                         spec.prefetcher.name()
                     );
                 }
-                let record = spec.execute();
+                let record = spec.execute_observed(self.interval);
                 self.sims_executed.fetch_add(1, Ordering::Relaxed);
                 self.instructions_simulated.fetch_add(
                     spec.sim.warmup_instructions + spec.sim.measure_instructions,
                     Ordering::Relaxed,
                 );
+                self.phase_totals.lock().unwrap().merge(&record.phases);
                 *slots[j].lock().unwrap() = Some(record);
             };
 
@@ -196,6 +242,14 @@ fn threads_from_env_value(value: Option<&str>, fallback: usize) -> usize {
         .and_then(|v| v.trim().parse::<usize>().ok())
         .unwrap_or(fallback)
         .max(1)
+}
+
+/// Resolves the sampling interval from a `MORRIGAN_INTERVAL` value:
+/// unset, unparsable, or zero values disable sampling.
+fn interval_from_env_value(value: Option<&str>) -> Option<u64> {
+    value
+        .and_then(|v| v.trim().parse::<u64>().ok())
+        .filter(|&n| n > 0)
 }
 
 #[cfg(test)]

@@ -11,7 +11,8 @@ use morrigan_baselines::{
     ArbitraryStridePrefetcher, AspConfig, DistancePrefetcher, DpConfig, MarkovPrefetcher,
     MorriganMono, MpConfig, SequentialPrefetcher, UnboundedMarkov,
 };
-use morrigan_sim::{Metrics, SimConfig, Simulator, SystemConfig};
+use morrigan_obs::{PhaseProfile, TraceRecorder};
+use morrigan_sim::{IntervalSample, Metrics, SimConfig, Simulator, SystemConfig};
 use morrigan_types::prefetcher::NullPrefetcher;
 use morrigan_types::{AuditReport, TlbPrefetcher};
 use morrigan_vm::MissStreamStats;
@@ -268,10 +269,50 @@ impl RunSpec {
     /// Used by the [`Runner`](crate::Runner)'s workers; callable directly
     /// when no pooling or caching is wanted.
     pub fn execute(&self) -> RunRecord {
+        self.execute_observed(None)
+    }
+
+    /// [`RunSpec::execute`] with the interval sampler enabled when
+    /// `interval` is `Some(n)`: the record's `intervals` carries one
+    /// [`IntervalSample`] per `n` retired instructions of the window.
+    pub fn execute_observed(&self, interval: Option<u64>) -> RunRecord {
         let prefetcher = self.prefetcher.build();
         let streams = self.workload.build_streams();
         let mut simulator = Simulator::new_smt(self.system, streams, prefetcher);
+        simulator.set_interval(interval);
         let metrics = simulator.run(self.sim);
+        self.finish(&simulator, metrics)
+    }
+
+    /// Executes this spec with a ring-buffer [`TraceRecorder`] of
+    /// `capacity` events attached, returning the record together with the
+    /// captured trace (ready for `morrigan_obs::to_chrome_trace` /
+    /// `to_jsonl`). Tracing runs through the same deterministic step
+    /// sequence, so the record's metrics equal `execute`'s exactly.
+    pub fn execute_traced(
+        &self,
+        interval: Option<u64>,
+        capacity: usize,
+    ) -> (RunRecord, TraceRecorder) {
+        let prefetcher = self.prefetcher.build();
+        let streams = self.workload.build_streams();
+        let mut simulator = Simulator::with_recorder(
+            self.system,
+            streams,
+            prefetcher,
+            TraceRecorder::with_capacity(capacity),
+        );
+        simulator.set_interval(interval);
+        let metrics = simulator.run(self.sim);
+        let record = self.finish(&simulator, metrics);
+        (record, simulator.into_recorder())
+    }
+
+    fn finish<R: morrigan_obs::Recorder>(
+        &self,
+        simulator: &Simulator<R>,
+        metrics: Metrics,
+    ) -> RunRecord {
         let miss_stream = self
             .system
             .mmu
@@ -282,6 +323,8 @@ impl RunSpec {
             metrics,
             miss_stream,
             audit: simulator.audit_report().cloned(),
+            intervals: simulator.interval_samples().to_vec(),
+            phases: *simulator.phase_profile(),
         }
     }
 }
@@ -301,6 +344,14 @@ pub struct RunRecord {
     /// release). A present report is always clean — the simulator panics
     /// on a violated law instead of returning metrics.
     pub audit: Option<AuditReport>,
+    /// The interval sampler's epoch time-series, non-empty iff the record
+    /// was produced by [`RunSpec::execute_observed`] with an interval (or
+    /// a [`Runner`](crate::Runner) configured with one).
+    pub intervals: Vec<IntervalSample>,
+    /// Host wall-time phase split of this run. Wall-clock, therefore
+    /// nondeterministic — deliberately *not* part of the record's JSON
+    /// rendering; the runner aggregates it for the throughput bench.
+    pub phases: PhaseProfile,
 }
 
 #[cfg(test)]

@@ -63,6 +63,8 @@ fn execute_unbatched(spec: &RunSpec) -> RunRecord {
         metrics,
         miss_stream,
         audit: simulator.audit_report().cloned(),
+        intervals: simulator.interval_samples().to_vec(),
+        phases: *simulator.phase_profile(),
     }
 }
 

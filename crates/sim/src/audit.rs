@@ -18,6 +18,7 @@
 //! panics with the rendered report if any law is violated.
 
 use morrigan_mem::{MemLevel, MemoryHierarchy};
+use morrigan_obs::Recorder;
 use morrigan_types::AuditReport;
 use morrigan_vm::{Mmu, PrefetchPlacement};
 
@@ -25,7 +26,12 @@ use crate::metrics::Metrics;
 
 /// Checks every cumulative conservation law against the live MMU and
 /// memory hierarchy at checkpoint `at`, appending results to `report`.
-pub fn audit_state(report: &mut AuditReport, at: &str, mmu: &Mmu, mem: &MemoryHierarchy) {
+pub fn audit_state<R: Recorder>(
+    report: &mut AuditReport,
+    at: &str,
+    mmu: &Mmu<R>,
+    mem: &MemoryHierarchy,
+) {
     let s = &mmu.stats;
     let w = mmu.walker_stats();
     let pb = mmu.prefetch_buffer();

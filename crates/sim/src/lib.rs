@@ -54,5 +54,5 @@ mod simulator;
 
 pub use audit::{audit_metrics, audit_state};
 pub use config::{CoreConfig, IcachePrefetcherKind, SimConfig, SystemConfig};
-pub use metrics::Metrics;
+pub use metrics::{IntervalSample, Metrics};
 pub use simulator::Simulator;

@@ -108,6 +108,56 @@ impl Metrics {
     }
 }
 
+impl std::ops::Add for Metrics {
+    type Output = Metrics;
+
+    /// Field-wise sum: interval-sampler epochs are snapshot differences,
+    /// so adding them reconstitutes the window metrics exactly (the
+    /// sampler keeps `cycles` as the raw difference for this reason).
+    fn add(self, rhs: Metrics) -> Metrics {
+        let mut walk_refs = self.walk_refs_by_level;
+        for (a, b) in walk_refs.iter_mut().zip(rhs.walk_refs_by_level) {
+            *a += b;
+        }
+        Metrics {
+            instructions: self.instructions + rhs.instructions,
+            cycles: self.cycles + rhs.cycles,
+            istlb_stall_cycles: self.istlb_stall_cycles + rhs.istlb_stall_cycles,
+            icache_stall_cycles: self.icache_stall_cycles + rhs.icache_stall_cycles,
+            mmu: self.mmu + rhs.mmu,
+            walker: self.walker + rhs.walker,
+            pb: self.pb + rhs.pb,
+            l1i_misses: self.l1i_misses + rhs.l1i_misses,
+            walk_refs_by_level: walk_refs,
+            l1i_served: self.l1i_served + rhs.l1i_served,
+            iprefetch_lines: self.iprefetch_lines + rhs.iprefetch_lines,
+            iprefetch_translation_ready: self.iprefetch_translation_ready
+                + rhs.iprefetch_translation_ready,
+            iprefetch_translation_walks: self.iprefetch_translation_walks
+                + rhs.iprefetch_translation_walks,
+        }
+    }
+}
+
+/// One epoch of the interval sampler: the [`Metrics`] delta between two
+/// snapshots taken `interval` retired instructions apart inside the
+/// measurement window, plus where the epoch sits in instructions and
+/// cycles. Attached to `RunRecord` and rendered into `--json` output.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IntervalSample {
+    /// First instruction of the epoch, relative to the window start.
+    pub start_instruction: u64,
+    /// One past the last instruction of the epoch (window-relative).
+    pub end_instruction: u64,
+    /// Absolute retire cycle at the epoch's start.
+    pub start_cycle: u64,
+    /// Absolute retire cycle at the epoch's end.
+    pub end_cycle: u64,
+    /// Counter deltas over the epoch. `metrics.cycles` is the raw cycle
+    /// difference (no `.max(1)` clamp), so epochs sum to the window.
+    pub metrics: Metrics,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,7 +1,12 @@
 //! The interval-model simulator loop.
 
+use std::time::Instant;
+
 use morrigan_icache::{FnlMma, FnlMmaConfig, ICachePrefetcher, LinePrefetch, NextLinePrefetcher};
 use morrigan_mem::{AccessClass, LevelStats, MemLevel, MemoryHierarchy};
+use morrigan_obs::{
+    EventKind, IcacheCrossOutcome, NullRecorder, Phase, PhaseProfile, Recorder, TraceEvent,
+};
 use morrigan_types::{
     check_monotonic, AuditReport, CacheLine, PhysPage, ThreadId, TlbPrefetcher, VirtPage,
     PAGE_SHIFT,
@@ -11,7 +16,7 @@ use morrigan_workloads::{InstructionStream, TraceInstruction};
 
 use crate::audit::{audit_metrics, audit_state};
 use crate::config::{IcachePrefetcherKind, SimConfig, SystemConfig};
-use crate::metrics::Metrics;
+use crate::metrics::{IntervalSample, Metrics};
 
 /// Per-thread front-end bookkeeping.
 #[derive(Debug, Clone, Copy, Default)]
@@ -45,6 +50,35 @@ struct StreamBuffer {
     cursor: usize,
 }
 
+/// Snapshot subtraction over a `[start, end)` window. Used for both the
+/// full measurement window and each sampler epoch; `cycles` keeps the
+/// raw difference (possibly zero for degenerate epochs) so that epoch
+/// metrics sum *exactly* to the window metrics — the run-level caller
+/// applies its `.max(1)` after.
+fn window_metrics(start: &Snapshot, end: &Snapshot) -> Metrics {
+    let walk_refs = [
+        end.walk_refs[0] - start.walk_refs[0],
+        end.walk_refs[1] - start.walk_refs[1],
+        end.walk_refs[2] - start.walk_refs[2],
+        end.walk_refs[3] - start.walk_refs[3],
+    ];
+    Metrics {
+        instructions: end.retired - start.retired,
+        cycles: end.last_retire - start.last_retire,
+        istlb_stall_cycles: end.istlb_stall - start.istlb_stall,
+        icache_stall_cycles: end.icache_stall - start.icache_stall,
+        mmu: end.mmu - start.mmu,
+        walker: end.walker - start.walker,
+        pb: end.pb - start.pb,
+        l1i_misses: end.l1i_misses - start.l1i_misses,
+        walk_refs_by_level: walk_refs,
+        l1i_served: end.l1i_served - start.l1i_served,
+        iprefetch_lines: end.iprefetch_lines - start.iprefetch_lines,
+        iprefetch_translation_ready: end.iprefetch_ready - start.iprefetch_ready,
+        iprefetch_translation_walks: end.iprefetch_walks - start.iprefetch_walks,
+    }
+}
+
 /// Counter snapshot used to subtract warmup from measurement.
 #[derive(Debug, Clone, Copy)]
 struct Snapshot {
@@ -64,10 +98,14 @@ struct Snapshot {
 }
 
 /// The trace-driven simulator (see the crate docs for the timing model).
-pub struct Simulator {
+///
+/// Generic over a trace [`Recorder`]: the default [`NullRecorder`]
+/// compiles every emission site away (the non-traced hot path is
+/// unchanged); [`Simulator::with_recorder`] attaches a real sink.
+pub struct Simulator<R: Recorder = NullRecorder> {
     system: SystemConfig,
     mem: MemoryHierarchy,
-    mmu: Mmu,
+    mmu: Mmu<R>,
     icache_pref: Option<Box<dyn ICachePrefetcher>>,
     icache_translation_cost: bool,
     workloads: Vec<Box<dyn InstructionStream>>,
@@ -113,6 +151,16 @@ pub struct Simulator {
     // --- stats-invariant audit ---
     audit_enabled: bool,
     audit: Option<AuditReport>,
+    // --- interval time-series sampling ---
+    /// Epoch length in retired instructions; `None` disables sampling.
+    interval: Option<u64>,
+    intervals: Vec<IntervalSample>,
+    // --- host-side phase profiling ---
+    /// Wall-time buckets. The coarse workload-gen split is always timed
+    /// (two `Instant` reads per `fill_block` refill, noise-level); the
+    /// fine per-step buckets only tick when `profile_fine` is set.
+    phase: PhaseProfile,
+    profile_fine: bool,
     // --- scratch ---
     line_scratch: Vec<LinePrefetch>,
 }
@@ -125,7 +173,14 @@ fn audit_default() -> bool {
     cfg!(debug_assertions) || std::env::var("MORRIGAN_AUDIT").is_ok_and(|v| v == "1")
 }
 
-impl std::fmt::Debug for Simulator {
+/// Default fine-phase profiling: only when `MORRIGAN_PROFILE=1` is
+/// exported (per-step timer reads are far from free; the bench gate
+/// requires them off by default).
+fn profile_default() -> bool {
+    std::env::var("MORRIGAN_PROFILE").is_ok_and(|v| v == "1")
+}
+
+impl<R: Recorder> std::fmt::Debug for Simulator<R> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Simulator")
             .field("system", &self.system)
@@ -153,6 +208,9 @@ impl Simulator {
     /// thread) on a single core with shared TLBs, PSCs, caches, walker,
     /// PB, and prefetcher tables (§5, §6.6).
     ///
+    /// (Defined on the concrete default-recorder type so existing call
+    /// sites infer `Simulator<NullRecorder>` without turbofish.)
+    ///
     /// # Panics
     ///
     /// Panics if `workloads` is empty or the workloads' virtual regions
@@ -162,6 +220,19 @@ impl Simulator {
         system: SystemConfig,
         workloads: Vec<Box<dyn InstructionStream>>,
         prefetcher: Box<dyn TlbPrefetcher>,
+    ) -> Self {
+        Self::with_recorder(system, workloads, prefetcher, NullRecorder)
+    }
+}
+
+impl<R: Recorder> Simulator<R> {
+    /// Builds an SMT simulator whose MMU emits lifecycle trace events
+    /// into `rec` (see [`morrigan_obs`]).
+    pub fn with_recorder(
+        system: SystemConfig,
+        workloads: Vec<Box<dyn InstructionStream>>,
+        prefetcher: Box<dyn TlbPrefetcher>,
+        rec: R,
     ) -> Self {
         assert!(!workloads.is_empty(), "at least one workload required");
         let mut page_table = PageTable::new(0x0a51d);
@@ -179,7 +250,7 @@ impl Simulator {
                 page_table.map_range(base, count);
             }
         }
-        let mmu = Mmu::new(system.mmu, page_table, prefetcher);
+        let mmu = Mmu::with_recorder(system.mmu, page_table, prefetcher, rec);
         let mem = MemoryHierarchy::new(system.mem);
         let (icache_pref, cost): (Option<Box<dyn ICachePrefetcher>>, bool) = match system
             .icache_prefetcher
@@ -224,6 +295,10 @@ impl Simulator {
             iprefetch_walks: 0,
             audit_enabled: audit_default(),
             audit: None,
+            interval: None,
+            intervals: Vec::new(),
+            phase: PhaseProfile::new(),
+            profile_fine: profile_default(),
             line_scratch: Vec::with_capacity(16),
         }
     }
@@ -232,6 +307,48 @@ impl Simulator {
     /// overriding the debug/`MORRIGAN_AUDIT` default.
     pub fn set_audit(&mut self, enabled: bool) {
         self.audit_enabled = enabled;
+    }
+
+    /// Enables the interval sampler: the measurement window is cut into
+    /// epochs of `interval` retired instructions and a [`IntervalSample`]
+    /// is recorded per epoch (MPKI/stall/coverage time series).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero interval or after the run has started.
+    pub fn set_interval(&mut self, interval: Option<u64>) {
+        assert!(
+            interval != Some(0),
+            "sampling interval must be positive when set"
+        );
+        assert!(!self.ran, "interval must be set before running");
+        self.interval = interval;
+    }
+
+    /// The epoch time-series recorded by the interval sampler (empty
+    /// when sampling was not enabled).
+    pub fn interval_samples(&self) -> &[IntervalSample] {
+        &self.intervals
+    }
+
+    /// Forces fine phase profiling on or off for this run, overriding
+    /// the `MORRIGAN_PROFILE` default. Must precede [`Simulator::run`].
+    pub fn set_phase_profiling(&mut self, fine: bool) {
+        assert!(!self.ran, "phase profiling must be set before running");
+        self.profile_fine = fine;
+    }
+
+    /// Host wall-time split of the completed run. The workload-gen
+    /// bucket and the total are always populated; the remaining buckets
+    /// only when fine profiling was on (see [`PhaseProfile::fine`]).
+    pub fn phase_profile(&self) -> &PhaseProfile {
+        &self.phase
+    }
+
+    /// Consumes the simulator, returning its recorder (trace extraction
+    /// at end of run).
+    pub fn into_recorder(self) -> R {
+        self.mmu.into_recorder()
     }
 
     /// Overrides the instruction-delivery block size (default 1024).
@@ -264,13 +381,24 @@ impl Simulator {
     }
 
     /// The MMU (mid-run inspection: miss-stream stats, PB, walker).
-    pub fn mmu(&self) -> &Mmu {
+    pub fn mmu(&self) -> &Mmu<R> {
         &self.mmu
     }
 
     /// Mutable MMU access (e.g. toggling ASAP between runs).
-    pub fn mmu_mut(&mut self) -> &mut Mmu {
+    pub fn mmu_mut(&mut self) -> &mut Mmu<R> {
         &mut self.mmu
+    }
+
+    /// Emits one simulator-side trace event; compiles to nothing under
+    /// [`NullRecorder`].
+    #[inline(always)]
+    fn emit(&mut self, cycle: u64, vpn: u64, kind: EventKind) {
+        if R::ENABLED {
+            self.mmu
+                .recorder_mut()
+                .record(TraceEvent { cycle, vpn, kind });
+        }
     }
 
     fn snapshot(&self) -> Snapshot {
@@ -308,6 +436,7 @@ impl Simulator {
              for every run"
         );
         self.ran = true;
+        let run_start = Instant::now();
         let mut report = self.audit_enabled.then(|| {
             AuditReport::new(format!(
                 "{} run ({} warmup + {} measure instructions)",
@@ -324,32 +453,47 @@ impl Simulator {
         }
         self.mmu.miss_stream.break_chain();
         let start = self.snapshot();
-        for _ in 0..cfg.measure_instructions {
-            self.step();
+        match self.interval {
+            None => {
+                for _ in 0..cfg.measure_instructions {
+                    self.step();
+                }
+            }
+            Some(interval) => {
+                // Chunked measurement: identical step sequence, plus one
+                // snapshot per epoch boundary. Epoch metrics are pure
+                // snapshot differences, so they telescope: summing them
+                // reproduces the window metrics exactly (the sampler test
+                // pins this).
+                let mut done = 0u64;
+                let mut epoch_start = start;
+                while done < cfg.measure_instructions {
+                    let chunk = interval.min(cfg.measure_instructions - done);
+                    for _ in 0..chunk {
+                        self.step();
+                    }
+                    let epoch_end = self.snapshot();
+                    self.intervals.push(IntervalSample {
+                        start_instruction: done,
+                        end_instruction: done + chunk,
+                        start_cycle: epoch_start.last_retire,
+                        end_cycle: epoch_end.last_retire,
+                        metrics: window_metrics(&epoch_start, &epoch_end),
+                    });
+                    epoch_start = epoch_end;
+                    done += chunk;
+                }
+            }
         }
         let end = self.snapshot();
 
-        let walk_refs = [
-            end.walk_refs[0] - start.walk_refs[0],
-            end.walk_refs[1] - start.walk_refs[1],
-            end.walk_refs[2] - start.walk_refs[2],
-            end.walk_refs[3] - start.walk_refs[3],
-        ];
-        let metrics = Metrics {
-            instructions: end.retired - start.retired,
-            cycles: (end.last_retire - start.last_retire).max(1),
-            istlb_stall_cycles: end.istlb_stall - start.istlb_stall,
-            icache_stall_cycles: end.icache_stall - start.icache_stall,
-            mmu: end.mmu - start.mmu,
-            walker: end.walker - start.walker,
-            pb: end.pb - start.pb,
-            l1i_misses: end.l1i_misses - start.l1i_misses,
-            walk_refs_by_level: walk_refs,
-            l1i_served: end.l1i_served - start.l1i_served,
-            iprefetch_lines: end.iprefetch_lines - start.iprefetch_lines,
-            iprefetch_translation_ready: end.iprefetch_ready - start.iprefetch_ready,
-            iprefetch_translation_walks: end.iprefetch_walks - start.iprefetch_walks,
-        };
+        let mut metrics = window_metrics(&start, &end);
+        // The run-level IPC denominator must never be zero; epoch samples
+        // keep the raw difference so they sum exactly.
+        metrics.cycles = metrics.cycles.max(1);
+
+        self.phase.add_total(run_start.elapsed().as_secs_f64());
+        self.phase.set_fine(self.profile_fine);
 
         if let Some(mut r) = report {
             audit_state(&mut r, "end of window", &self.mmu, &self.mem);
@@ -424,10 +568,23 @@ impl Simulator {
     }
 
     /// Executes one instruction through the interval model.
+    ///
+    /// Dispatches once on the fine-profiling flag so the un-profiled
+    /// instantiation (`PROF = false`) compiles every per-site timer read
+    /// and branch away — the same zero-cost discipline as the recorder.
+    #[inline]
     fn step(&mut self) {
+        if self.profile_fine {
+            self.step_impl::<true>();
+        } else {
+            self.step_impl::<false>();
+        }
+    }
+
+    fn step_impl<const PROF: bool>(&mut self) {
         if let Some(interval) = self.system.context_switch_interval {
             if self.retired > 0 && self.retired.is_multiple_of(interval) {
-                self.mmu.context_switch();
+                self.mmu.context_switch_at(self.fetch_cycle);
                 if let Some(p) = self.icache_pref.as_mut() {
                     p.flush();
                 }
@@ -457,7 +614,12 @@ impl Simulator {
             let buf = &mut self.stream_bufs[thread_idx];
             if buf.cursor == buf.buf.len() {
                 buf.buf.clear();
+                // Workload-gen wall time is always measured: two timer
+                // reads per `fill_block` refill is noise at block 1024.
+                let gen_start = Instant::now();
                 self.workloads[thread_idx].fill_block(&mut buf.buf, self.fill_block);
+                self.phase
+                    .add(Phase::WorkloadGen, gen_start.elapsed().as_secs_f64());
                 buf.cursor = 0;
             }
             let instr = buf.buf[buf.cursor];
@@ -488,16 +650,30 @@ impl Simulator {
             self.threads[thread_idx].cur_vline = Some(vline);
 
             // Translation: charge everything beyond the 1-cycle I-TLB hit.
+            let t0 = PROF.then(Instant::now);
             let tr = self
                 .mmu
                 .translate_instr(instr.pc, thread, self.fetch_cycle, &mut self.mem);
+            if let Some(t0) = t0 {
+                let bucket = if tr.stlb_miss {
+                    Phase::Walk
+                } else {
+                    Phase::Lookup
+                };
+                self.phase.add(bucket, t0.elapsed().as_secs_f64());
+            }
             let tr_stall = tr.latency.saturating_sub(self.system.mmu.itlb.latency);
             self.istlb_stall_cycles += tr_stall;
 
             // I-cache access at the physical line.
             let pline =
                 CacheLine::new(tr.pfn.raw() << (PAGE_SHIFT - 6) | (instr.pc.page_offset() >> 6));
+            let t0 = PROF.then(Instant::now);
             let ic = self.mem.access(pline, AccessClass::IFetch);
+            if let Some(t0) = t0 {
+                self.phase
+                    .add(Phase::CacheAccess, t0.elapsed().as_secs_f64());
+            }
             let ic_stall = ic.latency.saturating_sub(self.system.mem.l1i.latency);
             self.icache_stall_cycles += ic_stall;
 
@@ -509,7 +685,12 @@ impl Simulator {
 
             // Engage the I-cache prefetcher on the demand fetch.
             if self.icache_pref.is_some() {
+                let t0 = PROF.then(Instant::now);
                 self.run_icache_prefetcher(vline);
+                if let Some(t0) = t0 {
+                    self.phase
+                        .add(Phase::IcachePrefetch, t0.elapsed().as_secs_f64());
+                }
             }
         }
 
@@ -523,13 +704,27 @@ impl Simulator {
         // --- Back end ---
         let mut complete = self.fetch_cycle + core.pipeline_depth;
         if let Some(mem_access) = instr.mem {
+            let t0 = PROF.then(Instant::now);
             let tr =
                 self.mmu
                     .translate_data(mem_access.addr, thread, self.fetch_cycle, &mut self.mem);
+            if let Some(t0) = t0 {
+                let bucket = if tr.stlb_miss {
+                    Phase::Walk
+                } else {
+                    Phase::Lookup
+                };
+                self.phase.add(bucket, t0.elapsed().as_secs_f64());
+            }
             let pline = CacheLine::new(
                 tr.pfn.raw() << (PAGE_SHIFT - 6) | (mem_access.addr.page_offset() >> 6),
             );
+            let t0 = PROF.then(Instant::now);
             let dc = self.mem.access(pline, AccessClass::Data);
+            if let Some(t0) = t0 {
+                self.phase
+                    .add(Phase::CacheAccess, t0.elapsed().as_secs_f64());
+            }
             // Latency beyond the pipelined L1 hit path inflates only this
             // instruction's completion time (overlapped by the ROB).
             complete += tr.latency.saturating_sub(self.system.mmu.dtlb.latency)
@@ -585,6 +780,15 @@ impl Simulator {
                 || !self.icache_translation_cost;
             if translated {
                 self.iprefetch_ready += 1;
+                if R::ENABLED && page != cur_page {
+                    // Only genuine page crossings are traced; same-page
+                    // prefetches never pose a translation question.
+                    self.emit(
+                        self.fetch_cycle,
+                        page.raw(),
+                        EventKind::IcacheCross(IcacheCrossOutcome::Ready),
+                    );
+                }
                 if let Some(pfn) = self.memo_translate(page) {
                     let pline = CacheLine::new(
                         pfn.raw() << (PAGE_SHIFT - 6) | (lp.vline % (1 << (PAGE_SHIFT - 6))),
@@ -603,6 +807,17 @@ impl Simulator {
                     .is_some()
                 {
                     self.iprefetch_walks += 1;
+                    self.emit(
+                        self.fetch_cycle,
+                        page.raw(),
+                        EventKind::IcacheCross(IcacheCrossOutcome::WalkIssued),
+                    );
+                } else {
+                    self.emit(
+                        self.fetch_cycle,
+                        page.raw(),
+                        EventKind::IcacheCross(IcacheCrossOutcome::Suppressed),
+                    );
                 }
             }
         }

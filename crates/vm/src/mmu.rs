@@ -21,6 +21,7 @@
 //! data misses pay their demand walks).
 
 use morrigan_mem::MemoryHierarchy;
+use morrigan_obs::{EventKind, NullRecorder, PbProbeOutcome, Recorder, TraceEvent, WalkClass};
 use morrigan_types::prefetcher::NullPrefetcher;
 use morrigan_types::{
     CounterSet, MissContext, PhysPage, PrefetchDecision, ThreadId, TlbPrefetcher, VirtAddr,
@@ -32,7 +33,7 @@ use crate::miss_stream::MissStreamStats;
 use crate::page_table::PageTable;
 use crate::prefetch_buffer::PrefetchBuffer;
 use crate::tlb::{Tlb, TlbConfig};
-use crate::walker::{WalkKind, Walker, WalkerConfig, WalkerStats};
+use crate::walker::{WalkKind, WalkResult, Walker, WalkerConfig, WalkerStats};
 
 /// Where prefetched PTEs are placed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -157,6 +158,31 @@ impl std::ops::Sub for MmuStats {
     }
 }
 
+impl std::ops::Add for MmuStats {
+    type Output = MmuStats;
+
+    /// Field-wise sum, the inverse of [`Sub`](std::ops::Sub): summing
+    /// interval-sampler epoch deltas reconstitutes the window totals.
+    fn add(self, rhs: MmuStats) -> MmuStats {
+        MmuStats {
+            instr_translations: self.instr_translations + rhs.instr_translations,
+            itlb_misses: self.itlb_misses + rhs.itlb_misses,
+            istlb_misses: self.istlb_misses + rhs.istlb_misses,
+            istlb_covered: self.istlb_covered + rhs.istlb_covered,
+            istlb_covered_late: self.istlb_covered_late + rhs.istlb_covered_late,
+            data_translations: self.data_translations + rhs.data_translations,
+            dtlb_misses: self.dtlb_misses + rhs.dtlb_misses,
+            dstlb_misses: self.dstlb_misses + rhs.dstlb_misses,
+            prefetches_issued: self.prefetches_issued + rhs.prefetches_issued,
+            prefetches_duplicate: self.prefetches_duplicate + rhs.prefetches_duplicate,
+            icache_prefetches_issued: self.icache_prefetches_issued + rhs.icache_prefetches_issued,
+            spatial_ptes_staged: self.spatial_ptes_staged + rhs.spatial_ptes_staged,
+            correcting_walks: self.correcting_walks + rhs.correcting_walks,
+            shootdowns: self.shootdowns + rhs.shootdowns,
+        }
+    }
+}
+
 impl CounterSet for MmuStats {
     fn counters(&self) -> Vec<(&'static str, u64)> {
         vec![
@@ -206,7 +232,11 @@ pub struct TranslationOutcome {
 }
 
 /// The MMU.
-pub struct Mmu {
+///
+/// Generic over a [`Recorder`]: the default [`NullRecorder`] compiles
+/// every trace-emission site away, so non-traced builds pay nothing.
+/// Construct a traced MMU with [`Mmu::with_recorder`].
+pub struct Mmu<R: Recorder = NullRecorder> {
     cfg: MmuConfig,
     itlb: Tlb,
     dtlb: Tlb,
@@ -217,13 +247,15 @@ pub struct Mmu {
     prefetcher: Box<dyn TlbPrefetcher>,
     /// Reused scratch buffer for prefetch decisions.
     scratch: Vec<PrefetchDecision>,
+    /// Trace-event sink.
+    rec: R,
     /// Counters.
     pub stats: MmuStats,
     /// Fig 5–8 collector (populated when `collect_stream_stats` is set).
     pub miss_stream: MissStreamStats,
 }
 
-impl std::fmt::Debug for Mmu {
+impl<R: Recorder> std::fmt::Debug for Mmu<R> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Mmu")
             .field("cfg", &self.cfg)
@@ -235,8 +267,26 @@ impl std::fmt::Debug for Mmu {
 
 impl Mmu {
     /// Builds an MMU over `page_table` using `prefetcher` for the iSTLB
-    /// miss stream.
+    /// miss stream. (Defined on the concrete default-recorder type so
+    /// existing call sites infer `Mmu<NullRecorder>` without turbofish.)
     pub fn new(cfg: MmuConfig, page_table: PageTable, prefetcher: Box<dyn TlbPrefetcher>) -> Self {
+        Self::with_recorder(cfg, page_table, prefetcher, NullRecorder)
+    }
+
+    /// An MMU without STLB prefetching (the paper's baseline).
+    pub fn without_prefetching(cfg: MmuConfig, page_table: PageTable) -> Self {
+        Self::new(cfg, page_table, Box::new(NullPrefetcher))
+    }
+}
+
+impl<R: Recorder> Mmu<R> {
+    /// Builds an MMU that emits lifecycle [`TraceEvent`]s into `rec`.
+    pub fn with_recorder(
+        cfg: MmuConfig,
+        page_table: PageTable,
+        prefetcher: Box<dyn TlbPrefetcher>,
+        rec: R,
+    ) -> Self {
         Self {
             itlb: Tlb::new(cfg.itlb),
             dtlb: Tlb::new(cfg.dtlb),
@@ -246,15 +296,63 @@ impl Mmu {
             page_table,
             prefetcher,
             scratch: Vec::with_capacity(16),
+            rec,
             cfg,
             stats: MmuStats::default(),
             miss_stream: MissStreamStats::new(),
         }
     }
 
-    /// An MMU without STLB prefetching (the paper's baseline).
-    pub fn without_prefetching(cfg: MmuConfig, page_table: PageTable) -> Self {
-        Self::new(cfg, page_table, Box::new(NullPrefetcher))
+    /// The attached recorder.
+    pub fn recorder(&self) -> &R {
+        &self.rec
+    }
+
+    /// Mutable access to the attached recorder.
+    pub fn recorder_mut(&mut self) -> &mut R {
+        &mut self.rec
+    }
+
+    /// Consumes the MMU, returning the recorder (trace extraction at
+    /// end of run).
+    pub fn into_recorder(self) -> R {
+        self.rec
+    }
+
+    /// Emits one event; compiles to nothing under [`NullRecorder`].
+    #[inline(always)]
+    fn emit(&mut self, cycle: u64, vpn: VirtPage, kind: EventKind) {
+        if R::ENABLED {
+            self.rec.record(TraceEvent {
+                cycle,
+                vpn: vpn.raw(),
+                kind,
+            });
+        }
+    }
+
+    /// Emits the issue/complete event pair for a finished walk.
+    #[inline(always)]
+    fn emit_walk(&mut self, vpn: VirtPage, class: WalkClass, walk: &WalkResult) {
+        if R::ENABLED {
+            self.emit(
+                walk.started_at,
+                vpn,
+                EventKind::WalkIssue {
+                    class,
+                    psc_skip: walk.psc_hit.first_step() as u8,
+                },
+            );
+            self.emit(
+                walk.completed_at,
+                vpn,
+                EventKind::WalkComplete {
+                    class,
+                    refs: walk.memory_refs as u8,
+                    duration: (walk.completed_at - walk.started_at) as u32,
+                },
+            );
+        }
     }
 
     /// This MMU's configuration.
@@ -370,6 +468,7 @@ impl Mmu {
 
         // --- iSTLB miss ---
         self.stats.istlb_misses += 1;
+        self.emit(now, vpn, EventKind::IstlbMiss);
         if self.cfg.collect_stream_stats {
             self.miss_stream.record(vpn);
         }
@@ -378,13 +477,23 @@ impl Mmu {
         // The PB is probed only after the I-TLB, STLB, and PB lookup
         // cycles have elapsed; probing with the request cycle would charge
         // an in-flight entry for wait time that already passed.
-        let (pb_hit, pfn) = match self.pb.take(vpn, now + latency) {
+        let probe_at = now + latency;
+        let (pb_hit, pfn) = match self.pb.take(vpn, probe_at) {
             Some(hit) => {
                 // PB hit: demand walk avoided; entry moves into the TLBs.
                 latency += hit.remaining_latency;
                 self.stats.istlb_covered += 1;
                 if hit.remaining_latency > 0 {
                     self.stats.istlb_covered_late += 1;
+                }
+                if R::ENABLED {
+                    let outcome = if hit.remaining_latency > 0 {
+                        PbProbeOutcome::HitInflight
+                    } else {
+                        PbProbeOutcome::HitReady
+                    };
+                    self.emit(probe_at, vpn, EventKind::PbProbe(outcome));
+                    self.emit(probe_at, vpn, EventKind::PbPromote);
                 }
                 if let Some(origin) = hit.origin {
                     self.prefetcher.on_prefetch_hit(&origin);
@@ -394,10 +503,12 @@ impl Mmu {
                 (true, hit.pfn)
             }
             None => {
+                self.emit(probe_at, vpn, EventKind::PbProbe(PbProbeOutcome::Miss));
                 let walk = self
                     .walker
                     .walk(&self.page_table, mem, vpn, WalkKind::DemandInstruction, now)
                     .expect("demand-fetched instruction page must be mapped");
+                self.emit_walk(vpn, WalkClass::DemandInstruction, &walk);
                 latency += walk.latency;
                 self.stlb.insert(vpn, walk.pfn, true);
                 self.itlb.insert(vpn, walk.pfn, true);
@@ -466,11 +577,16 @@ impl Mmu {
             return; // faulting prefetch suppressed
         };
         self.stats.prefetches_issued += 1;
+        if R::ENABLED {
+            self.emit(now, vpn, EventKind::PrefetchIssue);
+            self.emit_walk(vpn, WalkClass::Prefetch, &walk);
+        }
         match self.cfg.placement {
             PrefetchPlacement::Buffer => {
                 let victim = self
                     .pb
                     .insert(vpn, walk.pfn, walk.completed_at, decision.origin);
+                self.emit_pb_fill(vpn, walk.completed_at, &victim, now);
                 self.correct_eviction(victim, now, mem);
             }
             PrefetchPlacement::Stlb => {
@@ -489,6 +605,7 @@ impl Mmu {
                         if !self.pb.contains(neighbor) {
                             let victim = self.pb.insert(neighbor, pfn, walk.completed_at, None);
                             self.stats.spatial_ptes_staged += 1;
+                            self.emit_pb_fill(neighbor, walk.completed_at, &victim, now);
                             self.correct_eviction(victim, now, mem);
                         }
                     }
@@ -498,6 +615,27 @@ impl Mmu {
                     }
                 }
             }
+        }
+    }
+
+    /// Emits the fill event (and the eviction event for any LRU victim
+    /// the fill displaced) for a PB insertion. Every `pb.insert` call
+    /// in the MMU goes through a residency check first, so each call
+    /// here corresponds to exactly one `PbStats::inserts` increment —
+    /// the property the trace/audit reconciliation test relies on.
+    #[inline(always)]
+    fn emit_pb_fill(
+        &mut self,
+        vpn: VirtPage,
+        ready_at: u64,
+        victim: &Option<crate::prefetch_buffer::PbEntry>,
+        now: u64,
+    ) {
+        if R::ENABLED {
+            if let Some(victim) = victim {
+                self.emit(now, victim.vpn, EventKind::PbEvict);
+            }
+            self.emit(ready_at, vpn, EventKind::PbFill);
         }
     }
 
@@ -541,6 +679,7 @@ impl Mmu {
             .walker
             .walk(&self.page_table, mem, vpn, WalkKind::DemandData, now)
             .expect("demand-accessed data page must be mapped");
+        self.emit_walk(vpn, WalkClass::DemandData, &walk);
         latency += walk.latency;
         self.stlb.insert(vpn, walk.pfn, false);
         self.dtlb.insert(vpn, walk.pfn, false);
@@ -572,7 +711,9 @@ impl Mmu {
             .walker
             .walk(&self.page_table, mem, vpn, WalkKind::Prefetch, now)?;
         self.stats.icache_prefetches_issued += 1;
+        self.emit_walk(vpn, WalkClass::Prefetch, &walk);
         let victim = self.pb.insert(vpn, walk.pfn, walk.completed_at, None);
+        self.emit_pb_fill(vpn, walk.completed_at, &victim, now);
         self.correct_eviction(victim, now, mem);
         Some(walk.latency)
     }
@@ -591,12 +732,12 @@ impl Mmu {
         if let Some(victim) = victim {
             // A background walk revisits the PTE to clear the access bit;
             // its result is discarded.
-            if self
-                .walker
-                .walk(&self.page_table, mem, victim.vpn, WalkKind::Prefetch, now)
-                .is_some()
+            if let Some(walk) =
+                self.walker
+                    .walk(&self.page_table, mem, victim.vpn, WalkKind::Prefetch, now)
             {
                 self.stats.correcting_walks += 1;
+                self.emit_walk(victim.vpn, WalkClass::Prefetch, &walk);
             }
         }
     }
@@ -631,6 +772,18 @@ impl Mmu {
     /// Simulates a context switch: flushes TLBs, PB, PSCs, and the
     /// prefetcher's prediction tables (§4.3).
     pub fn context_switch(&mut self) {
+        self.context_switch_at(0);
+    }
+
+    /// [`Self::context_switch`] stamped with the cycle it happens at, so
+    /// the eviction events for flushed PB entries carry a real time.
+    pub fn context_switch_at(&mut self, now: u64) {
+        if R::ENABLED {
+            let flushed: Vec<VirtPage> = self.pb.resident_vpns().collect();
+            for vpn in flushed {
+                self.emit(now, vpn, EventKind::PbEvict);
+            }
+        }
         self.itlb.flush();
         self.dtlb.flush();
         self.stlb.flush();
@@ -930,6 +1083,73 @@ mod tests {
             out.stlb_miss && !out.pb_hit,
             "all translation state must be gone"
         );
+    }
+
+    #[test]
+    fn traced_mmu_emits_reconciling_events() {
+        use morrigan_obs::{TraceRecorder, WalkClass};
+
+        let mut pt = PageTable::new(1);
+        pt.map_range(VirtPage::new(0x4000), 256);
+        let mut mmu = Mmu::with_recorder(
+            MmuConfig::default(),
+            pt,
+            Box::new(NextPage {
+                spatial: false,
+                hits_credited: 0,
+            }),
+            TraceRecorder::with_capacity(4096),
+        );
+        let mut mem = MemoryHierarchy::new(HierarchyConfig::default());
+
+        // Miss + prefetch of the next page; later hit the prefetch, then
+        // a data walk and a context switch flushing the (empty) PB.
+        mmu.translate_instr(pc(0x4000), ThreadId::ZERO, 0, &mut mem);
+        mmu.translate_instr(pc(0x4001), ThreadId::ZERO, 10_000, &mut mem);
+        mmu.translate_data(pc(0x4080), ThreadId::ZERO, 20_000, &mut mem);
+        mmu.context_switch_at(30_000);
+
+        let stats = mmu.stats;
+        let walker = *mmu.walker_stats();
+        let pb = mmu.prefetch_buffer().stats;
+        let counts = *mmu.recorder().counts();
+
+        assert_eq!(counts.istlb_miss, stats.istlb_misses);
+        assert_eq!(
+            counts.pb_probe_hit_ready + counts.pb_probe_hit_inflight,
+            stats.istlb_covered
+        );
+        assert_eq!(counts.pb_probe_miss, pb.misses);
+        assert_eq!(counts.pb_promote, stats.istlb_covered);
+        assert_eq!(counts.pb_fill, pb.inserts);
+        assert_eq!(counts.pb_evict, pb.evicted_unused);
+        assert_eq!(counts.prefetch_issue, stats.prefetches_issued);
+        assert_eq!(
+            counts.walk_complete[WalkClass::DemandInstruction.index()],
+            walker.demand_instr_walks
+        );
+        assert_eq!(
+            counts.walk_complete[WalkClass::DemandData.index()],
+            walker.demand_data_walks
+        );
+        assert_eq!(
+            counts.walk_complete[WalkClass::Prefetch.index()],
+            walker.prefetch_walks
+        );
+        assert_eq!(counts.walk_issue, counts.walk_complete);
+        assert!(counts.total() > 0);
+        assert_eq!(mmu.recorder().dropped(), 0);
+    }
+
+    #[test]
+    fn null_recorder_mmu_is_the_default_type() {
+        // `Mmu` with no parameter is `Mmu<NullRecorder>`; this pins that
+        // the default keeps compiling (and that tracing stays opt-in).
+        fn takes_default(_: &Mmu) {}
+        let mut pt = PageTable::new(1);
+        pt.map_range(VirtPage::new(0x4000), 4);
+        let mmu = Mmu::without_prefetching(MmuConfig::default(), pt);
+        takes_default(&mmu);
     }
 
     #[test]

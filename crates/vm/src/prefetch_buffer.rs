@@ -85,6 +85,24 @@ impl std::ops::Sub for PbStats {
     }
 }
 
+impl std::ops::Add for PbStats {
+    type Output = PbStats;
+
+    /// Field-wise sum, the inverse of [`Sub`](std::ops::Sub): summing
+    /// interval-sampler epoch deltas reconstitutes the window totals.
+    fn add(self, rhs: PbStats) -> PbStats {
+        PbStats {
+            hits_ready: self.hits_ready + rhs.hits_ready,
+            hits_inflight: self.hits_inflight + rhs.hits_inflight,
+            misses: self.misses + rhs.misses,
+            evicted_unused: self.evicted_unused + rhs.evicted_unused,
+            inserts: self.inserts + rhs.inserts,
+            refreshes: self.refreshes + rhs.refreshes,
+            invalidations: self.invalidations + rhs.invalidations,
+        }
+    }
+}
+
 impl CounterSet for PbStats {
     fn counters(&self) -> Vec<(&'static str, u64)> {
         vec![
@@ -243,6 +261,13 @@ impl PrefetchBuffer {
             }
             None => false,
         }
+    }
+
+    /// Virtual pages currently staged, in no particular order. Lets the
+    /// MMU emit an eviction trace event per resident entry before a
+    /// flush discards them.
+    pub fn resident_vpns(&self) -> impl Iterator<Item = VirtPage> + '_ {
+        self.entries.iter().map(|e| e.vpn)
     }
 
     /// Empties the buffer (context switch).

@@ -13,7 +13,7 @@ use morrigan_types::{CounterSet, PhysPage, VirtPage};
 use serde::{Deserialize, Serialize};
 
 use crate::page_table::PageTable;
-use crate::psc::{PagingStructureCaches, PscConfig};
+use crate::psc::{PagingStructureCaches, PscConfig, PscHit};
 
 /// Who requested a walk; selects accounting buckets and access class.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -68,8 +68,14 @@ pub struct WalkResult {
     pub memory_refs: u32,
     /// The fetched translation.
     pub pfn: PhysPage,
+    /// Absolute cycle at which the walk actually started (after slot
+    /// queueing and the 1-initiation-per-cycle rule).
+    pub started_at: u64,
     /// Absolute completion cycle.
     pub completed_at: u64,
+    /// Which paging-structure cache the walk hit (decides how many
+    /// references it skipped).
+    pub psc_hit: PscHit,
 }
 
 /// Walk and reference counters, split by [`WalkKind`].
@@ -112,6 +118,26 @@ impl std::ops::Sub for WalkerStats {
             prefetch_walks: self.prefetch_walks - rhs.prefetch_walks,
             prefetch_refs: self.prefetch_refs - rhs.prefetch_refs,
             faults_suppressed: self.faults_suppressed - rhs.faults_suppressed,
+        }
+    }
+}
+
+impl std::ops::Add for WalkerStats {
+    type Output = WalkerStats;
+
+    /// Field-wise sum, the inverse of [`Sub`](std::ops::Sub): summing
+    /// interval-sampler epoch deltas reconstitutes the window totals.
+    fn add(self, rhs: WalkerStats) -> WalkerStats {
+        WalkerStats {
+            demand_instr_walks: self.demand_instr_walks + rhs.demand_instr_walks,
+            demand_instr_refs: self.demand_instr_refs + rhs.demand_instr_refs,
+            demand_instr_latency: self.demand_instr_latency + rhs.demand_instr_latency,
+            demand_data_walks: self.demand_data_walks + rhs.demand_data_walks,
+            demand_data_refs: self.demand_data_refs + rhs.demand_data_refs,
+            demand_data_latency: self.demand_data_latency + rhs.demand_data_latency,
+            prefetch_walks: self.prefetch_walks + rhs.prefetch_walks,
+            prefetch_refs: self.prefetch_refs + rhs.prefetch_refs,
+            faults_suppressed: self.faults_suppressed + rhs.faults_suppressed,
         }
     }
 }
@@ -294,7 +320,9 @@ impl Walker {
             latency,
             memory_refs: refs as u32,
             pfn,
+            started_at: start,
             completed_at,
+            psc_hit: hit,
         })
     }
 
@@ -601,6 +629,38 @@ mod tests {
             )
             .unwrap();
         assert_eq!(before.latency, after.latency);
+    }
+
+    #[test]
+    fn walk_result_reports_start_and_psc_hit() {
+        let (pt, mut mem, mut w) = setup();
+        let cold = w
+            .walk(
+                &pt,
+                &mut mem,
+                VirtPage::new(0x1000),
+                WalkKind::DemandInstruction,
+                0,
+            )
+            .expect("mapped page");
+        assert_eq!(cold.started_at, 0);
+        assert_eq!(cold.psc_hit, PscHit::None);
+        assert_eq!(cold.completed_at - cold.started_at, cold.latency);
+
+        // Same 2 MB region, long after the fill: PD hit, and the start
+        // cycle equals the request cycle (no queueing).
+        let warm = w
+            .walk(
+                &pt,
+                &mut mem,
+                VirtPage::new(0x1010),
+                WalkKind::DemandInstruction,
+                1000,
+            )
+            .expect("mapped page");
+        assert_eq!(warm.started_at, 1000);
+        assert_eq!(warm.psc_hit, PscHit::Pd);
+        assert_eq!(warm.psc_hit.first_step(), 3);
     }
 
     #[test]
