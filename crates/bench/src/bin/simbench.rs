@@ -28,12 +28,22 @@ struct FigureRun {
     name: &'static str,
     instructions: u64,
     seconds: f64,
-    /// Wall time the figure's simulators spent generating instructions
-    /// (`fill_block` refills), summed over its runs.
+    /// Wall time the figure's simulators spent pulling instructions
+    /// (`fill_block` refills), summed over its runs. With the workload
+    /// cache on these refills are replay copies, so this collapses from
+    /// the v2 baseline's O(runs) generation cost.
     workload_gen_seconds: f64,
-    /// Wall time inside `Simulator::run` minus workload generation — the
-    /// lookup/walk/retire simulation proper.
+    /// Wall time materializing packed traces — the O(distinct workloads)
+    /// generation cost the cache amortizes across the figure's runs.
+    trace_build_seconds: f64,
+    /// Wall time inside `Simulator::run` minus workload generation and
+    /// trace materialization — the lookup/walk/retire simulation proper.
     simulate_seconds: f64,
+    /// Distinct workload traces materialized for this figure.
+    workloads_materialized: u64,
+    /// Replay streams served from those traces (the amortization
+    /// denominator: served / materialized runs ≥ 1).
+    streams_served: u64,
 }
 
 impl FigureRun {
@@ -74,7 +84,11 @@ fn run_figures(scale: &Scale) -> Vec<FigureRun> {
 
     let mut runs = Vec::with_capacity(figures.len());
     for (name, run) in figures {
-        let runner = Runner::new(1);
+        // Fresh per figure so neither the record cache nor the workload
+        // cache amortizes *across* figures; the workload cache comes
+        // from the environment so `MORRIGAN_NO_WORKLOAD_CACHE=1` gives
+        // an honest live-generation A/B against the same binary.
+        let runner = Runner::new(1).with_workload_cache(morrigan_runner::WorkloadCache::from_env());
         let start = Instant::now();
         run(&runner, scale);
         let seconds = start.elapsed().as_secs_f64();
@@ -82,18 +96,26 @@ fn run_figures(scale: &Scale) -> Vec<FigureRun> {
         // Each figure owns a fresh runner, so its phase totals are
         // exactly this figure's simulations.
         let phases = runner.phase_totals();
+        let workload_stats = runner.workload_cache_stats();
         let fig = FigureRun {
             name,
             instructions,
             seconds,
             workload_gen_seconds: phases.workload_gen(),
+            trace_build_seconds: phases.trace_build(),
             simulate_seconds: phases.simulate(),
+            workloads_materialized: workload_stats.built + workload_stats.loaded_from_disk,
+            streams_served: workload_stats.streams_served,
         };
         eprintln!(
             "[simbench] {name}: {instructions} instructions in {seconds:.3} s = {:.2} MIPS \
-             (workload-gen {:.3} s, simulate {:.3} s)",
+             (workload-gen {:.3} s, trace-build {:.3} s over {} traces serving {} streams, \
+             simulate {:.3} s)",
             fig.mips(),
             fig.workload_gen_seconds,
+            fig.trace_build_seconds,
+            fig.workloads_materialized,
+            fig.streams_served,
             fig.simulate_seconds,
         );
         runs.push(fig);
@@ -105,7 +127,7 @@ fn run_figures(scale: &Scale) -> Vec<FigureRun> {
 /// JSON dependency; this mirrors `morrigan_runner::json`).
 fn render(scale: &Scale, runs: &[FigureRun]) -> String {
     let mut out = String::with_capacity(4096);
-    out.push_str("{\n  \"schema\": \"morrigan-bench-simloop-v2\",\n");
+    out.push_str("{\n  \"schema\": \"morrigan-bench-simloop-v3\",\n");
     out.push_str(&format!(
         "  \"scale\": {{\"warmup\": {}, \"measure\": {}, \"workloads\": {}, \"smt_pairs\": {}}},\n",
         scale.warmup, scale.measure, scale.workloads, scale.smt_pairs
@@ -114,27 +136,39 @@ fn render(scale: &Scale, runs: &[FigureRun]) -> String {
     for (i, f) in runs.iter().enumerate() {
         out.push_str(&format!(
             "    {{\"figure\": \"{}\", \"instructions\": {}, \"seconds\": {}, \
-             \"workload_gen_seconds\": {}, \"simulate_seconds\": {}, \"mips\": {}}}{}\n",
+             \"workload_gen_seconds\": {}, \"trace_build_seconds\": {}, \
+             \"simulate_seconds\": {}, \"workloads_materialized\": {}, \
+             \"streams_served\": {}, \"mips\": {}}}{}\n",
             f.name,
             f.instructions,
             json_f64(f.seconds),
             json_f64(f.workload_gen_seconds),
+            json_f64(f.trace_build_seconds),
             json_f64(f.simulate_seconds),
+            f.workloads_materialized,
+            f.streams_served,
             json_f64(f.mips()),
             if i + 1 < runs.len() { "," } else { "" }
         ));
     }
     out.push_str("  ],\n");
-    // `--check` parses the LAST "total" object for its "mips" — this
-    // object must stay last in the document and keep that key.
+    // `--check` parses the LAST "total" object for its "mips" and
+    // generation seconds — this object must stay last in the document
+    // and keep those keys.
     let (instructions, seconds) = totals(runs);
     let workload_gen: f64 = runs.iter().map(|f| f.workload_gen_seconds).sum();
+    let trace_build: f64 = runs.iter().map(|f| f.trace_build_seconds).sum();
     let simulate: f64 = runs.iter().map(|f| f.simulate_seconds).sum();
+    let materialized: u64 = runs.iter().map(|f| f.workloads_materialized).sum();
+    let served: u64 = runs.iter().map(|f| f.streams_served).sum();
     out.push_str(&format!(
         "  \"total\": {{\"instructions\": {instructions}, \"seconds\": {}, \
-         \"workload_gen_seconds\": {}, \"simulate_seconds\": {}, \"mips\": {}}}\n}}\n",
+         \"workload_gen_seconds\": {}, \"trace_build_seconds\": {}, \
+         \"simulate_seconds\": {}, \"workloads_materialized\": {materialized}, \
+         \"streams_served\": {served}, \"mips\": {}}}\n}}\n",
         json_f64(seconds),
         json_f64(workload_gen),
+        json_f64(trace_build),
         json_f64(simulate),
         json_f64(instructions as f64 / seconds / 1e6)
     ));
@@ -148,14 +182,28 @@ fn totals(runs: &[FigureRun]) -> (u64, f64) {
     )
 }
 
-/// Pulls the `"mips"` value out of the baseline's `"total"` object. The
+/// Pulls one numeric field out of the baseline's `"total"` object. The
 /// parser is deliberately narrow: it reads exactly what [`render`]
 /// writes.
-fn baseline_total_mips(doc: &str) -> Option<f64> {
+fn baseline_total_field(doc: &str, key: &str) -> Option<f64> {
     let total = &doc[doc.rfind("\"total\"")?..];
-    let mips = &total[total.find("\"mips\": ")? + "\"mips\": ".len()..];
-    let end = mips.find(|c: char| c != '.' && c != '-' && !c.is_ascii_digit())?;
-    mips[..end].parse().ok()
+    let needle = format!("\"{key}\": ");
+    let value = &total[total.find(&needle)? + needle.len()..];
+    let end = value.find(|c: char| c != '.' && c != '-' && c != 'e' && !c.is_ascii_digit())?;
+    value[..end].parse().ok()
+}
+
+/// The fraction of total wall time spent producing instructions —
+/// `fill_block` generation plus trace materialization. Scale-insensitive
+/// (both numerator and denominator are roughly per-instruction costs),
+/// which is what lets CI check it at a reduced `MORRIGAN_INSTR` against
+/// the committed bench-scale baseline. A v2 baseline has no
+/// `trace_build_seconds`; it reads as zero.
+fn gen_ratio(seconds: f64, workload_gen: f64, trace_build: f64) -> f64 {
+    if seconds <= 0.0 {
+        return 0.0;
+    }
+    (workload_gen + trace_build) / seconds
 }
 
 fn main() -> ExitCode {
@@ -199,14 +247,48 @@ fn main() -> ExitCode {
         }
         Some(path) => {
             let doc = std::fs::read_to_string(&path).expect("read committed baseline");
-            let committed = baseline_total_mips(&doc).expect("baseline has a total mips field");
+            let committed =
+                baseline_total_field(&doc, "mips").expect("baseline has a total mips field");
             let floor = committed * (1.0 - tolerance);
             println!(
                 "simbench: committed baseline {committed:.2} MIPS, floor {floor:.2} \
                  (tolerance {tolerance})"
             );
+            let mut failed = false;
             if mips < floor {
                 eprintln!("simbench: THROUGHPUT REGRESSION: {mips:.2} < {floor:.2} MIPS");
+                failed = true;
+            }
+
+            // Amortization gate: the share of wall time spent producing
+            // instructions must stay close to the committed baseline's.
+            // Losing the workload cache (back to O(runs) generation)
+            // multiplies this ratio several-fold, far past the 2× + 3 pp
+            // allowance; measurement noise moves it by far less.
+            let committed_ratio = gen_ratio(
+                baseline_total_field(&doc, "seconds").unwrap_or(0.0),
+                baseline_total_field(&doc, "workload_gen_seconds").unwrap_or(0.0),
+                baseline_total_field(&doc, "trace_build_seconds").unwrap_or(0.0),
+            );
+            let current_gen: f64 = runs
+                .iter()
+                .map(|f| f.workload_gen_seconds + f.trace_build_seconds)
+                .sum();
+            let current_ratio = gen_ratio(seconds, current_gen, 0.0);
+            let ratio_ceiling = committed_ratio * 2.0 + 0.03;
+            println!(
+                "simbench: generation ratio {current_ratio:.4} \
+                 (committed {committed_ratio:.4}, ceiling {ratio_ceiling:.4})"
+            );
+            if current_ratio > ratio_ceiling {
+                eprintln!(
+                    "simbench: WORKLOAD-GENERATION REGRESSION: ratio {current_ratio:.4} > \
+                     {ratio_ceiling:.4} — is the workload cache still amortizing?"
+                );
+                failed = true;
+            }
+
+            if failed {
                 ExitCode::FAILURE
             } else {
                 println!("simbench: throughput ok");

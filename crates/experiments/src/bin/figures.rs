@@ -13,6 +13,8 @@
 //! MORRIGAN_VERBOSE=1 figures      # per-simulation progress on stderr
 //! MORRIGAN_TRACE=t.json figures   # --trace via the environment
 //! MORRIGAN_INTERVAL=10000 figures # --interval via the environment
+//! figures --no-workload-cache     # force live workload generation
+//! MORRIGAN_WORKLOAD_CACHE=dir figures  # persist workload traces on disk
 //! ```
 //!
 //! All figures share one [`Runner`], so simulations they have in common
@@ -64,7 +66,14 @@ fn closest_figure(name: &str) -> &'static str {
 
 /// Every flag the binary accepts, for the "did you mean" hint on
 /// unknown `--…` arguments.
-const FLAGS: [&str; 5] = ["--json", "--trace", "--interval", "--help", "-h"];
+const FLAGS: [&str; 6] = [
+    "--json",
+    "--trace",
+    "--interval",
+    "--no-workload-cache",
+    "--help",
+    "-h",
+];
 
 fn closest_flag(arg: &str) -> &'static str {
     FLAGS
@@ -117,13 +126,18 @@ struct Args {
     /// Interval-sampler epoch length (`--interval`; `MORRIGAN_INTERVAL`
     /// is handled by [`Runner::from_env`] when the flag is absent).
     interval: Option<u64>,
+    /// `--no-workload-cache`: force live workload generation, bypassing
+    /// the materialized-trace cache (`MORRIGAN_NO_WORKLOAD_CACHE=1` is
+    /// the env equivalent, handled by [`Runner::from_env`]).
+    no_workload_cache: bool,
     /// `--help` was requested: print usage and exit successfully.
     help: bool,
 }
 
 fn usage() -> String {
     format!(
-        "usage: figures [--json <path>] [--trace <path>.json|.jsonl] [--interval <n>] [{}]...",
+        "usage: figures [--json <path>] [--trace <path>.json|.jsonl] [--interval <n>] \
+         [--no-workload-cache] [{}]...",
         FIGURES.join("|")
     )
 }
@@ -133,6 +147,7 @@ fn parse_args() -> Result<Args, String> {
     let mut json_path = None;
     let mut trace_path = None;
     let mut interval = None;
+    let mut no_workload_cache = false;
     let mut help = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -156,6 +171,7 @@ fn parse_args() -> Result<Args, String> {
                     .ok_or_else(|| "--interval requires an epoch length".to_string())?;
                 interval = Some(parse_interval(&value)?);
             }
+            "--no-workload-cache" => no_workload_cache = true,
             "--help" | "-h" => help = true,
             name if FIGURES.contains(&name) => selected.push(arg),
             unknown if unknown.starts_with('-') => {
@@ -187,6 +203,7 @@ fn parse_args() -> Result<Args, String> {
         json_path,
         trace_path,
         interval,
+        no_workload_cache,
         help,
     })
 }
@@ -208,6 +225,9 @@ fn main() -> ExitCode {
     let mut runner = Runner::from_env();
     if args.interval.is_some() {
         runner = runner.with_interval(args.interval);
+    }
+    if args.no_workload_cache {
+        runner = runner.with_workload_cache(morrigan_runner::WorkloadCache::disabled());
     }
     let want = |name: &str| args.selected.is_empty() || args.selected.iter().any(|a| a == name);
     eprintln!(
@@ -256,10 +276,17 @@ fn main() -> ExitCode {
     figure!("fig20", fig20_smt);
     figure!("tuning", tuning);
 
+    let workload_stats = runner.workload_cache_stats();
     eprintln!(
-        "{} simulations executed, {} served from cache",
+        "{} simulations executed, {} served from the record cache; \
+         {} distinct workloads materialized ({} from disk) serving {} streams, \
+         ~{:.2}s of workload generation saved",
         runner.sims_executed(),
-        runner.cache_hits()
+        runner.cache_hits(),
+        workload_stats.built + workload_stats.loaded_from_disk,
+        workload_stats.loaded_from_disk,
+        workload_stats.streams_served,
+        workload_stats.saved_seconds,
     );
 
     if let Some(path) = &args.json_path {

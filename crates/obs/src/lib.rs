@@ -219,6 +219,17 @@ mod tests {
     }
 
     #[test]
+    fn trace_build_is_excluded_from_simulate_like_workload_gen() {
+        let mut p = PhaseProfile::new();
+        p.add(Phase::WorkloadGen, 2.0);
+        p.add(Phase::TraceBuild, 1.0);
+        p.add_total(6.0);
+        assert_eq!(p.trace_build(), 1.0);
+        assert_eq!(p.simulate(), 3.0);
+        assert_eq!(p.other(), 3.0);
+    }
+
+    #[test]
     fn other_clamps_at_zero() {
         let mut p = PhaseProfile::new();
         p.add(Phase::Walk, 2.0);

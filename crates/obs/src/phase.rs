@@ -24,16 +24,23 @@ pub enum Phase {
     CacheAccess,
     /// The I-cache prefetcher and its page-crossing translations.
     IcachePrefetch,
+    /// Materializing a packed workload trace (generation + packing),
+    /// paid once per distinct workload when the runner's workload cache
+    /// is on. Timed around `build_streams` in the runner's cached
+    /// execution path, not inside the simulator — near-zero on a cache
+    /// hit, the full generation cost on a miss.
+    TraceBuild,
 }
 
 impl Phase {
     /// All phases, in [`Self::index`] order.
-    pub const ALL: [Phase; 5] = [
+    pub const ALL: [Phase; 6] = [
         Phase::WorkloadGen,
         Phase::Lookup,
         Phase::Walk,
         Phase::CacheAccess,
         Phase::IcachePrefetch,
+        Phase::TraceBuild,
     ];
 
     /// Dense index into [`PhaseProfile`]'s bucket array.
@@ -44,6 +51,7 @@ impl Phase {
             Phase::Walk => 2,
             Phase::CacheAccess => 3,
             Phase::IcachePrefetch => 4,
+            Phase::TraceBuild => 5,
         }
     }
 
@@ -55,6 +63,7 @@ impl Phase {
             Phase::Walk => "walk",
             Phase::CacheAccess => "cache_access",
             Phase::IcachePrefetch => "icache_prefetch",
+            Phase::TraceBuild => "trace_build",
         }
     }
 }
@@ -62,7 +71,7 @@ impl Phase {
 /// Accumulated wall seconds per phase for one or more runs.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct PhaseProfile {
-    buckets: [f64; 5],
+    buckets: [f64; 6],
     total: f64,
     fine: bool,
 }
@@ -113,14 +122,22 @@ impl PhaseProfile {
         (self.total - self.buckets.iter().sum::<f64>()).max(0.0)
     }
 
-    /// Seconds spent generating workload instructions.
+    /// Seconds spent generating workload instructions (live `fill_block`
+    /// refills — cheap replay copies when the workload cache is on).
     pub fn workload_gen(&self) -> f64 {
         self.seconds(Phase::WorkloadGen)
     }
 
-    /// Seconds spent simulating (total minus workload generation).
+    /// Seconds spent materializing packed workload traces (once per
+    /// distinct workload under the runner's workload cache).
+    pub fn trace_build(&self) -> f64 {
+        self.seconds(Phase::TraceBuild)
+    }
+
+    /// Seconds spent simulating (total minus workload generation and
+    /// trace materialization).
     pub fn simulate(&self) -> f64 {
-        (self.total - self.workload_gen()).max(0.0)
+        (self.total - self.workload_gen() - self.trace_build()).max(0.0)
     }
 
     /// Folds another profile into this one. `fine` survives only if

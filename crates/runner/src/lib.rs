@@ -37,8 +37,10 @@
 pub mod json;
 mod runner;
 mod spec;
+mod workload_cache;
 
 pub use runner::Runner;
 pub use spec::{
     morrigan_budget_bits, PrefetcherKind, PrefetcherSpec, RunRecord, RunSpec, WorkloadSpec,
 };
+pub use workload_cache::{WorkloadCache, WorkloadCacheStats};

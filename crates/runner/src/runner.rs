@@ -7,6 +7,7 @@ use std::sync::{Arc, Mutex};
 use morrigan_obs::PhaseProfile;
 
 use crate::spec::{RunRecord, RunSpec};
+use crate::workload_cache::{WorkloadCache, WorkloadCacheStats};
 
 /// Executes [`RunSpec`] batches on a pool of worker threads, memoizing
 /// results by spec content.
@@ -42,6 +43,12 @@ pub struct Runner {
     /// Host wall-time phase split summed over every *executed* simulation
     /// (cached records add nothing — no simulation ran).
     phase_totals: Mutex<PhaseProfile>,
+    /// Materialized workload traces shared across worker threads: each
+    /// distinct workload is generated once per invocation and replayed
+    /// by every spec that uses it. Defaults to in-memory; see
+    /// [`Runner::with_workload_cache`] and [`WorkloadCache::from_env`]
+    /// for the disk-backed and disabled variants.
+    workloads: WorkloadCache,
 }
 
 impl Runner {
@@ -57,6 +64,7 @@ impl Runner {
             cache_hits: AtomicU64::new(0),
             instructions_simulated: AtomicU64::new(0),
             phase_totals: Mutex::new(PhaseProfile::new()),
+            workloads: WorkloadCache::in_memory(),
         }
     }
 
@@ -75,6 +83,7 @@ impl Runner {
         Runner::new(threads)
             .verbose(std::env::var("MORRIGAN_VERBOSE").is_ok_and(|v| v == "1"))
             .with_interval(interval)
+            .with_workload_cache(WorkloadCache::from_env())
     }
 
     /// Enables or disables per-job progress narration on stderr.
@@ -104,6 +113,25 @@ impl Runner {
     /// The interval-sampler epoch length applied to executed specs.
     pub fn interval(&self) -> Option<u64> {
         self.interval
+    }
+
+    /// Replaces the workload-trace cache (construction-time only, like
+    /// the interval, so every executed spec shares one configuration).
+    /// Pass [`WorkloadCache::disabled`] to force live generation.
+    pub fn with_workload_cache(mut self, cache: WorkloadCache) -> Self {
+        self.workloads = cache;
+        self
+    }
+
+    /// The workload-trace cache shared by this runner's workers.
+    pub fn workload_cache(&self) -> &WorkloadCache {
+        &self.workloads
+    }
+
+    /// The workload cache's counters: distinct traces materialized,
+    /// replay streams served, estimated generation seconds saved.
+    pub fn workload_cache_stats(&self) -> WorkloadCacheStats {
+        self.workloads.stats()
     }
 
     /// The host wall-time phase split summed over every simulation this
@@ -197,7 +225,7 @@ impl Runner {
                         spec.prefetcher.name()
                     );
                 }
-                let record = spec.execute_observed(self.interval);
+                let record = spec.execute_cached(self.interval, &self.workloads);
                 self.sims_executed.fetch_add(1, Ordering::Relaxed);
                 self.instructions_simulated.fetch_add(
                     spec.sim.warmup_instructions + spec.sim.measure_instructions,

@@ -21,6 +21,8 @@ use morrigan_workloads::{
 };
 use serde::{Deserialize, Serialize};
 
+use crate::workload_cache::WorkloadCache;
+
 /// Morrigan's prediction-state budget in bits (§6.1.3's 3.76 KB point),
 /// used to size the ISO-storage baselines of Fig 15.
 pub fn morrigan_budget_bits() -> u64 {
@@ -185,6 +187,46 @@ impl WorkloadSpec {
                 .collect(),
         }
     }
+
+    /// [`build_streams`](Self::build_streams) through the workload
+    /// cache: each member stream is a replay cursor over a materialized
+    /// trace when the cache can serve one (live generation otherwise).
+    ///
+    /// Per-member keying means SMT pairs share traces with each other
+    /// *and* with solo runs of the same config at the same scale: a
+    /// member's key is its own config's `Debug` rendering (lossless, the
+    /// same convention as [`RunSpec::content_key`]) — the struct name
+    /// in that rendering keeps server and SPEC configs from colliding.
+    /// `trace_len` is the capture length (warmup + measure + replay
+    /// slack); an SMT member can consume up to the whole run if the
+    /// round-robin degenerates, so each member's trace carries the full
+    /// length.
+    fn build_streams_cached(
+        &self,
+        trace_len: u64,
+        cache: &WorkloadCache,
+    ) -> Vec<Box<dyn InstructionStream>> {
+        match self {
+            WorkloadSpec::Server(cfg) => {
+                vec![cache.stream_for(&format!("{cfg:?}"), trace_len, || {
+                    Box::new(ServerWorkload::new(cfg.clone()))
+                })]
+            }
+            WorkloadSpec::Spec(cfg) => {
+                vec![cache.stream_for(&format!("{cfg:?}"), trace_len, || {
+                    Box::new(SpecWorkload::new(cfg.clone()))
+                })]
+            }
+            WorkloadSpec::Smt(cfgs) => cfgs
+                .iter()
+                .map(|c| {
+                    cache.stream_for(&format!("{c:?}"), trace_len, || {
+                        Box::new(ServerWorkload::new(c.clone()))
+                    })
+                })
+                .collect(),
+        }
+    }
 }
 
 /// One simulation job, fully described by value.
@@ -282,6 +324,38 @@ impl RunSpec {
         simulator.set_interval(interval);
         let metrics = simulator.run(self.sim);
         self.finish(&simulator, metrics)
+    }
+
+    /// [`RunSpec::execute_observed`] with workload streams served
+    /// through `cache`: replay cursors over materialized traces instead
+    /// of live generators whenever the cache can provide them.
+    ///
+    /// Replay is sequence-exact (pinned by the workloads proptests and
+    /// `runner/tests/workload_cache.rs`), so the returned record equals
+    /// the uncached one in every deterministic field — metrics, miss
+    /// stream, audit, intervals. Only `phases` differs: time spent
+    /// materializing is booked to [`Phase::TraceBuild`], and replay
+    /// shrinks the `workload_gen` bucket. `phases` is wall-clock and
+    /// excluded from the record's JSON rendering, so `figures --json`
+    /// output stays byte-identical cache-on vs. cache-off.
+    ///
+    /// [`Phase::TraceBuild`]: morrigan_obs::Phase::TraceBuild
+    pub fn execute_cached(&self, interval: Option<u64>, cache: &WorkloadCache) -> RunRecord {
+        let prefetcher = self.prefetcher.build();
+        let trace_len =
+            WorkloadCache::trace_len(self.sim.warmup_instructions, self.sim.measure_instructions);
+        let build_start = std::time::Instant::now();
+        let streams = self.workload.build_streams_cached(trace_len, cache);
+        let trace_build = build_start.elapsed().as_secs_f64();
+        let mut simulator = Simulator::new_smt(self.system, streams, prefetcher);
+        simulator.set_interval(interval);
+        let metrics = simulator.run(self.sim);
+        let mut record = self.finish(&simulator, metrics);
+        record
+            .phases
+            .add(morrigan_obs::Phase::TraceBuild, trace_build);
+        record.phases.add_total(trace_build);
+        record
     }
 
     /// Executes this spec with a ring-buffer [`TraceRecorder`] of

@@ -25,6 +25,7 @@
 //! suite, the SPEC-like suite, and the Java-server-like configs of Fig 2.
 
 mod instruction;
+mod packed;
 mod server;
 mod spec;
 pub mod suites;
@@ -32,6 +33,7 @@ mod trace_file;
 mod zipf;
 
 pub use instruction::{InstructionStream, MemAccess, TraceInstruction};
+pub use packed::{fnv1a, PackedReplay, PackedTrace, REPLAY_SLACK};
 pub use server::{ServerWorkload, ServerWorkloadConfig};
 pub use spec::{SpecWorkload, SpecWorkloadConfig};
 pub use trace_file::{TraceReader, TraceWriter};
