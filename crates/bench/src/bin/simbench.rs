@@ -8,9 +8,10 @@
 //! * `simbench [--out PATH]` — measure and write the JSON baseline
 //!   (default `BENCH_simloop.json` in the current directory).
 //! * `simbench --check PATH [--tolerance FRAC]` — measure and compare
-//!   against a committed baseline, exiting non-zero if the aggregate MIPS
-//!   regressed by more than `FRAC` (default 0.20). CI runs this with a
-//!   small `MORRIGAN_INSTR` so a hot-path regression fails the build.
+//!   against a committed baseline, exiting non-zero if the aggregate or
+//!   the single-core MIPS regressed by more than `FRAC` (default 0.20).
+//!   CI runs this with a small `MORRIGAN_INSTR` so a hot-path
+//!   regression fails the build.
 //!
 //! Scale comes from [`bench_scale`]: the criterion profile unless
 //! `MORRIGAN_INSTR`/`MORRIGAN_FULL` override it.
@@ -26,6 +27,11 @@ use morrigan_runner::json::json_f64;
 /// One measured figure regeneration.
 struct FigureRun {
     name: &'static str,
+    /// Largest machine the figure steps (1 for the single-core figures;
+    /// `Scale::cores` for the multicore sweep). `instructions` already
+    /// counts every core's retirement, so `mips` is aggregate throughput
+    /// and `per_core_mips` is the per-simulated-core rate.
+    cores: usize,
     instructions: u64,
     seconds: f64,
     /// Wall time the figure's simulators spent pulling instructions
@@ -49,6 +55,25 @@ struct FigureRun {
 impl FigureRun {
     fn mips(&self) -> f64 {
         self.instructions as f64 / self.seconds / 1e6
+    }
+
+    fn per_core_mips(&self) -> f64 {
+        self.mips() / self.cores as f64
+    }
+}
+
+/// Aggregate MIPS over a subset of the runs (0.0 when the subset is
+/// empty — the v4 totals report single- and multi-core throughput
+/// separately so the regression gate can pin the single-core hot path
+/// without the machine figure's contention noise).
+fn subset_mips<'a>(runs: impl Iterator<Item = &'a FigureRun>) -> f64 {
+    let (instructions, seconds) = runs.fold((0u64, 0f64), |(i, s), f| {
+        (i + f.instructions, s + f.seconds)
+    });
+    if seconds > 0.0 {
+        instructions as f64 / seconds / 1e6
+    } else {
+        0.0
     }
 }
 
@@ -79,6 +104,7 @@ fn run_figures(scale: &Scale) -> Vec<FigureRun> {
         "fig18_other_approaches" => fig18_other_approaches,
         "fig19_icache_synergy" => fig19_icache_synergy,
         "fig20_smt" => fig20_smt,
+        "fig21_multicore" => fig21_multicore,
         "table_irip_tuning" => tuning,
     ];
 
@@ -99,6 +125,11 @@ fn run_figures(scale: &Scale) -> Vec<FigureRun> {
         let workload_stats = runner.workload_cache_stats();
         let fig = FigureRun {
             name,
+            cores: if name == "fig21_multicore" {
+                scale.cores
+            } else {
+                1
+            },
             instructions,
             seconds,
             workload_gen_seconds: phases.workload_gen(),
@@ -109,9 +140,10 @@ fn run_figures(scale: &Scale) -> Vec<FigureRun> {
         };
         eprintln!(
             "[simbench] {name}: {instructions} instructions in {seconds:.3} s = {:.2} MIPS \
-             (workload-gen {:.3} s, trace-build {:.3} s over {} traces serving {} streams, \
-             simulate {:.3} s)",
+             over {} core(s) (workload-gen {:.3} s, trace-build {:.3} s over {} traces \
+             serving {} streams, simulate {:.3} s)",
             fig.mips(),
+            fig.cores,
             fig.workload_gen_seconds,
             fig.trace_build_seconds,
             fig.workloads_materialized,
@@ -127,19 +159,21 @@ fn run_figures(scale: &Scale) -> Vec<FigureRun> {
 /// JSON dependency; this mirrors `morrigan_runner::json`).
 fn render(scale: &Scale, runs: &[FigureRun]) -> String {
     let mut out = String::with_capacity(4096);
-    out.push_str("{\n  \"schema\": \"morrigan-bench-simloop-v3\",\n");
+    out.push_str("{\n  \"schema\": \"morrigan-bench-simloop-v4\",\n");
     out.push_str(&format!(
-        "  \"scale\": {{\"warmup\": {}, \"measure\": {}, \"workloads\": {}, \"smt_pairs\": {}}},\n",
-        scale.warmup, scale.measure, scale.workloads, scale.smt_pairs
+        "  \"scale\": {{\"warmup\": {}, \"measure\": {}, \"workloads\": {}, \"smt_pairs\": {}, \
+         \"cores\": {}, \"tenants\": {}}},\n",
+        scale.warmup, scale.measure, scale.workloads, scale.smt_pairs, scale.cores, scale.tenants
     ));
     out.push_str("  \"figures\": [\n");
     for (i, f) in runs.iter().enumerate() {
         out.push_str(&format!(
-            "    {{\"figure\": \"{}\", \"instructions\": {}, \"seconds\": {}, \
+            "    {{\"figure\": \"{}\", \"cores\": {}, \"instructions\": {}, \"seconds\": {}, \
              \"workload_gen_seconds\": {}, \"trace_build_seconds\": {}, \
              \"simulate_seconds\": {}, \"workloads_materialized\": {}, \
-             \"streams_served\": {}, \"mips\": {}}}{}\n",
+             \"streams_served\": {}, \"mips\": {}, \"per_core_mips\": {}}}{}\n",
             f.name,
+            f.cores,
             f.instructions,
             json_f64(f.seconds),
             json_f64(f.workload_gen_seconds),
@@ -148,6 +182,7 @@ fn render(scale: &Scale, runs: &[FigureRun]) -> String {
             f.workloads_materialized,
             f.streams_served,
             json_f64(f.mips()),
+            json_f64(f.per_core_mips()),
             if i + 1 < runs.len() { "," } else { "" }
         ));
     }
@@ -165,11 +200,14 @@ fn render(scale: &Scale, runs: &[FigureRun]) -> String {
         "  \"total\": {{\"instructions\": {instructions}, \"seconds\": {}, \
          \"workload_gen_seconds\": {}, \"trace_build_seconds\": {}, \
          \"simulate_seconds\": {}, \"workloads_materialized\": {materialized}, \
-         \"streams_served\": {served}, \"mips\": {}}}\n}}\n",
+         \"streams_served\": {served}, \"single_core_mips\": {}, \
+         \"multi_core_mips\": {}, \"mips\": {}}}\n}}\n",
         json_f64(seconds),
         json_f64(workload_gen),
         json_f64(trace_build),
         json_f64(simulate),
+        json_f64(subset_mips(runs.iter().filter(|f| f.cores == 1))),
+        json_f64(subset_mips(runs.iter().filter(|f| f.cores > 1))),
         json_f64(instructions as f64 / seconds / 1e6)
     ));
     out
@@ -231,13 +269,18 @@ fn main() -> ExitCode {
 
     let scale = bench_scale();
     eprintln!(
-        "[simbench] scale: {} warmup + {} measure instructions, {} workloads, {} SMT pairs",
-        scale.warmup, scale.measure, scale.workloads, scale.smt_pairs
+        "[simbench] scale: {} warmup + {} measure instructions, {} workloads, {} SMT pairs, \
+         {} cores x {} tenants",
+        scale.warmup, scale.measure, scale.workloads, scale.smt_pairs, scale.cores, scale.tenants
     );
     let runs = run_figures(&scale);
     let (instructions, seconds) = totals(&runs);
     let mips = instructions as f64 / seconds / 1e6;
-    println!("simbench: {instructions} instructions in {seconds:.3} s = {mips:.2} MIPS");
+    let single_core_mips = subset_mips(runs.iter().filter(|f| f.cores == 1));
+    println!(
+        "simbench: {instructions} instructions in {seconds:.3} s = {mips:.2} MIPS \
+         aggregate, {single_core_mips:.2} single-core"
+    );
 
     match check_path {
         None => {
@@ -258,6 +301,25 @@ fn main() -> ExitCode {
             if mips < floor {
                 eprintln!("simbench: THROUGHPUT REGRESSION: {mips:.2} < {floor:.2} MIPS");
                 failed = true;
+            }
+
+            // The single-core hot path gets its own floor so a machine
+            // figure speedup can never mask a per-core regression (and
+            // vice versa). v3 baselines carry no single_core_mips; the
+            // aggregate gate above covers them.
+            if let Some(committed_single) = baseline_total_field(&doc, "single_core_mips") {
+                let single_floor = committed_single * (1.0 - tolerance);
+                println!(
+                    "simbench: committed single-core {committed_single:.2} MIPS, \
+                     floor {single_floor:.2}"
+                );
+                if single_core_mips < single_floor {
+                    eprintln!(
+                        "simbench: SINGLE-CORE THROUGHPUT REGRESSION: \
+                         {single_core_mips:.2} < {single_floor:.2} MIPS"
+                    );
+                    failed = true;
+                }
             }
 
             // Amortization gate: the share of wall time spent producing

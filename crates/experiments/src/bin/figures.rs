@@ -35,9 +35,9 @@ use morrigan_experiments::{RunRecord, Runner, Scale};
 use morrigan_obs::{to_chrome_trace, to_jsonl, DEFAULT_TRACE_CAPACITY};
 
 /// Every figure name the binary accepts, in run order.
-const FIGURES: [&str; 18] = [
+const FIGURES: [&str; 19] = [
     "fig02", "fig03", "fig04", "fig05", "fig06", "fig07", "fig08", "fig09", "fig10", "fig13",
-    "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "fig20", "tuning",
+    "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "fig20", "fig21", "tuning",
 ];
 
 /// Levenshtein edit distance, for the "did you mean" hint.
@@ -66,10 +66,12 @@ fn closest_figure(name: &str) -> &'static str {
 
 /// Every flag the binary accepts, for the "did you mean" hint on
 /// unknown `--…` arguments.
-const FLAGS: [&str; 6] = [
+const FLAGS: [&str; 8] = [
     "--json",
     "--trace",
     "--interval",
+    "--cores",
+    "--tenants",
     "--no-workload-cache",
     "--help",
     "-h",
@@ -104,6 +106,30 @@ fn trace_format(path: &str) -> Result<TraceFormat, String> {
     }
 }
 
+/// Parses a `--cores` value: the largest core count Fig 21's machine
+/// sweep reaches. Must be a power of two in 1..=64 (the sweep is the
+/// powers of two up to it, matching the paper-extension's 1/2/4/8).
+fn parse_cores(value: &str) -> Result<usize, String> {
+    match value.trim().parse::<usize>() {
+        Ok(n) if n.is_power_of_two() && n <= 64 => Ok(n),
+        _ => Err(format!(
+            "--cores requires a power of two in 1..=64 (the sweep runs 1, 2, 4, … up to it), \
+             got '{value}'"
+        )),
+    }
+}
+
+/// Parses a `--tenants` value: tenants per core in Fig 21's
+/// multi-tenant rows, a positive integer up to 8.
+fn parse_tenants(value: &str) -> Result<usize, String> {
+    match value.trim().parse::<usize>() {
+        Ok(n) if (1..=8).contains(&n) => Ok(n),
+        _ => Err(format!(
+            "--tenants requires an integer in 1..=8 (tenants per core), got '{value}'"
+        )),
+    }
+}
+
 /// Parses an `--interval` value: a positive integer epoch length.
 fn parse_interval(value: &str) -> Result<u64, String> {
     match value.trim().parse::<u64>() {
@@ -126,6 +152,11 @@ struct Args {
     /// Interval-sampler epoch length (`--interval`; `MORRIGAN_INTERVAL`
     /// is handled by [`Runner::from_env`] when the flag is absent).
     interval: Option<u64>,
+    /// Fig 21 sweep ceiling (`--cores`; `MORRIGAN_CORES` when absent).
+    cores: Option<usize>,
+    /// Fig 21 tenants per core (`--tenants`; `MORRIGAN_TENANTS` when
+    /// absent).
+    tenants: Option<usize>,
     /// `--no-workload-cache`: force live workload generation, bypassing
     /// the materialized-trace cache (`MORRIGAN_NO_WORKLOAD_CACHE=1` is
     /// the env equivalent, handled by [`Runner::from_env`]).
@@ -137,7 +168,7 @@ struct Args {
 fn usage() -> String {
     format!(
         "usage: figures [--json <path>] [--trace <path>.json|.jsonl] [--interval <n>] \
-         [--no-workload-cache] [{}]...",
+         [--cores <1|2|4|8|…>] [--tenants <n>] [--no-workload-cache] [{}]...",
         FIGURES.join("|")
     )
 }
@@ -147,6 +178,8 @@ fn parse_args() -> Result<Args, String> {
     let mut json_path = None;
     let mut trace_path = None;
     let mut interval = None;
+    let mut cores = None;
+    let mut tenants = None;
     let mut no_workload_cache = false;
     let mut help = false;
     let mut args = std::env::args().skip(1);
@@ -170,6 +203,18 @@ fn parse_args() -> Result<Args, String> {
                     .next()
                     .ok_or_else(|| "--interval requires an epoch length".to_string())?;
                 interval = Some(parse_interval(&value)?);
+            }
+            "--cores" => {
+                let value = args
+                    .next()
+                    .ok_or_else(|| "--cores requires a core count".to_string())?;
+                cores = Some(parse_cores(&value)?);
+            }
+            "--tenants" => {
+                let value = args
+                    .next()
+                    .ok_or_else(|| "--tenants requires a tenant count".to_string())?;
+                tenants = Some(parse_tenants(&value)?);
             }
             "--no-workload-cache" => no_workload_cache = true,
             "--help" | "-h" => help = true,
@@ -203,6 +248,8 @@ fn parse_args() -> Result<Args, String> {
         json_path,
         trace_path,
         interval,
+        cores,
+        tenants,
         no_workload_cache,
         help,
     })
@@ -221,7 +268,13 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
-    let scale = Scale::from_env();
+    let mut scale = Scale::from_env();
+    if let Some(cores) = args.cores {
+        scale.cores = cores;
+    }
+    if let Some(tenants) = args.tenants {
+        scale.tenants = tenants;
+    }
     let mut runner = Runner::from_env();
     if args.interval.is_some() {
         runner = runner.with_interval(args.interval);
@@ -274,6 +327,7 @@ fn main() -> ExitCode {
     figure!("fig18", fig18_other_approaches);
     figure!("fig19", fig19_icache_synergy);
     figure!("fig20", fig20_smt);
+    figure!("fig21", fig21_multicore);
     figure!("tuning", tuning);
 
     let workload_stats = runner.workload_cache_stats();

@@ -28,6 +28,12 @@ pub struct Scale {
     pub workloads: usize,
     /// Number of SMT pairs for Fig 20.
     pub smt_pairs: usize,
+    /// Largest core count the Fig 21 machine sweep reaches (the sweep is
+    /// the powers of two up to this; `--cores` / `MORRIGAN_CORES`).
+    pub cores: usize,
+    /// Tenants per core in Fig 21's multi-tenant rows (`--tenants` /
+    /// `MORRIGAN_TENANTS`).
+    pub tenants: usize,
 }
 
 impl Scale {
@@ -38,6 +44,8 @@ impl Scale {
             measure: 3_000_000,
             workloads: 10,
             smt_pairs: 5,
+            cores: 4,
+            tenants: 2,
         }
     }
 
@@ -48,6 +56,8 @@ impl Scale {
             measure: 100_000_000,
             workloads: 45,
             smt_pairs: 50,
+            cores: 8,
+            tenants: 3,
         }
     }
 
@@ -58,6 +68,8 @@ impl Scale {
             measure: 400_000,
             workloads: 2,
             smt_pairs: 1,
+            cores: 2,
+            tenants: 2,
         }
     }
 
@@ -71,6 +83,8 @@ impl Scale {
             measure: 4_000_000,
             workloads: 3,
             smt_pairs: 1,
+            cores: 2,
+            tenants: 2,
         }
     }
 
@@ -92,6 +106,18 @@ impl Scale {
         if let Ok(n) = std::env::var("MORRIGAN_WORKLOADS") {
             if let Ok(n) = n.parse::<usize>() {
                 scale.workloads = n.clamp(1, 45);
+            }
+        }
+        if let Ok(n) = std::env::var("MORRIGAN_CORES") {
+            if let Ok(n) = n.parse::<usize>() {
+                if n.is_power_of_two() && n <= 64 {
+                    scale.cores = n;
+                }
+            }
+        }
+        if let Ok(n) = std::env::var("MORRIGAN_TENANTS") {
+            if let Ok(n) = n.parse::<usize>() {
+                scale.tenants = n.clamp(1, 8);
             }
         }
         scale

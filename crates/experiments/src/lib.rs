@@ -44,6 +44,7 @@ pub mod fig17_mono;
 pub mod fig18_other_approaches;
 pub mod fig19_icache_synergy;
 pub mod fig20_smt;
+pub mod fig21_multicore;
 pub mod tuning;
 
 pub use common::{PrefetcherKind, RunRecord, RunSpec, Runner, Scale};

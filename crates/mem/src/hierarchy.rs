@@ -5,6 +5,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::cache::{Cache, CacheConfig};
 use crate::l2_prefetch::{L2Prefetcher, L2PrefetcherConfig};
+use crate::llc::Llc;
 
 /// The level of the memory hierarchy that served a reference.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
@@ -183,7 +184,10 @@ pub struct MemoryHierarchy {
     l1i: Cache,
     l1d: Cache,
     l2: Cache,
-    llc: Cache,
+    /// Single-bank by default; the multi-core machine swaps a shared,
+    /// multi-bank [`Llc`] in and out around each core's step (see
+    /// [`MemoryHierarchy::swap_llc`]).
+    llc: Llc,
     cfg: HierarchyConfig,
     l2_prefetcher: L2Prefetcher,
     /// Reused between [`MemoryHierarchy::access`] calls so the prefetcher
@@ -203,7 +207,7 @@ impl MemoryHierarchy {
             l1i: Cache::new(cfg.l1i),
             l1d: Cache::new(cfg.l1d),
             l2: Cache::new(cfg.l2),
-            llc: Cache::new(cfg.llc),
+            llc: Llc::new(cfg.llc, 1),
             l2_prefetcher: L2Prefetcher::new(cfg.l2_prefetch),
             l2_pref_scratch: Vec::with_capacity(8),
             cfg,
@@ -316,6 +320,21 @@ impl MemoryHierarchy {
     /// redundant I-prefetches).
     pub fn l1i_contains(&self, line: CacheLine) -> bool {
         self.l1i.contains(line)
+    }
+
+    /// Exchanges this hierarchy's LLC with `other`.
+    ///
+    /// The multi-core machine owns the one shared (possibly multi-bank)
+    /// LLC and swaps it into the active core's hierarchy around each
+    /// step, so every core's misses land in the same structure while the
+    /// single-core access path stays free of indirection.
+    pub fn swap_llc(&mut self, other: &mut Llc) {
+        std::mem::swap(&mut self.llc, other);
+    }
+
+    /// The LLC (shared-structure occupancy auditing).
+    pub fn llc(&self) -> &Llc {
+        &self.llc
     }
 
     /// References served by `level`, broken down by class.

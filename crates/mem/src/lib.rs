@@ -29,9 +29,11 @@
 mod cache;
 mod hierarchy;
 mod l2_prefetch;
+mod llc;
 
 pub use cache::{Cache, CacheConfig};
 pub use hierarchy::{
     AccessClass, AccessOutcome, HierarchyConfig, LevelStats, MemLevel, MemoryHierarchy,
 };
 pub use l2_prefetch::{L2Prefetcher, L2PrefetcherConfig};
+pub use llc::Llc;

@@ -1,0 +1,190 @@
+//! The shared, sharded last-level cache.
+//!
+//! In the multi-core machine the LLC is one structure shared by every
+//! core. To model banked designs it is split into `shards` independent
+//! set-associative banks selected by the low line-number bits (the same
+//! interleaving real LLCs use so consecutive lines stripe across banks).
+//! A line is owned by exactly one shard; the shard-internal tag drops
+//! the shard-select bits so each bank sees a dense line space.
+//!
+//! With `shards == 1` the structure degenerates to exactly one
+//! [`Cache`] with the full configured geometry, probed with unmodified
+//! line numbers — bit-identical to the pre-multicore private LLC. That
+//! identity is what lets the `cores=1` pin hold through this refactor.
+
+use morrigan_types::CacheLine;
+
+use crate::cache::{Cache, CacheConfig};
+
+/// A sharded LLC: `shards` independent LRU banks over disjoint line
+/// partitions.
+///
+/// # Examples
+///
+/// ```
+/// use morrigan_mem::{CacheConfig, Llc};
+/// use morrigan_types::CacheLine;
+///
+/// let mut llc = Llc::new(CacheConfig { sets: 64, ways: 4, latency: 10 }, 4);
+/// let line = CacheLine::new(0x1237);
+/// assert!(!llc.probe(line));
+/// llc.fill(line);
+/// assert!(llc.probe(line));
+/// assert_eq!(llc.occupancy(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Llc {
+    shards: Vec<Cache>,
+    /// log2 of the shard count; shard select = `line & ((1 << bits) - 1)`.
+    shard_bits: u32,
+}
+
+impl Llc {
+    /// Builds an empty LLC of `shards` banks that together have `cfg`'s
+    /// total geometry (each bank holds `cfg.sets / shards` sets).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is not a positive power of two or does not
+    /// divide `cfg.sets` into a positive power-of-two per-bank set count.
+    pub fn new(cfg: CacheConfig, shards: usize) -> Self {
+        assert!(
+            shards.is_power_of_two() && shards > 0,
+            "LLC shard count must be a positive power of two"
+        );
+        assert!(
+            cfg.sets.is_multiple_of(shards) && (cfg.sets / shards).is_power_of_two(),
+            "LLC sets ({}) must divide into {shards} power-of-two banks",
+            cfg.sets
+        );
+        let bank = CacheConfig {
+            sets: cfg.sets / shards,
+            ways: cfg.ways,
+            latency: cfg.latency,
+        };
+        Self {
+            shards: (0..shards).map(|_| Cache::new(bank)).collect(),
+            shard_bits: shards.trailing_zeros(),
+        }
+    }
+
+    #[inline]
+    fn split(&self, line: CacheLine) -> (usize, CacheLine) {
+        let raw = line.raw();
+        let shard = (raw & ((1u64 << self.shard_bits) - 1)) as usize;
+        (shard, CacheLine::new(raw >> self.shard_bits))
+    }
+
+    /// Looks up `line` in its owning shard, promoting on hit.
+    #[inline]
+    pub fn probe(&mut self, line: CacheLine) -> bool {
+        let (shard, key) = self.split(line);
+        self.shards[shard].probe(key)
+    }
+
+    /// Whether `line` is resident, without disturbing LRU state.
+    pub fn contains(&self, line: CacheLine) -> bool {
+        let (shard, key) = self.split(line);
+        self.shards[shard].contains(key)
+    }
+
+    /// Installs `line` as MRU in its owning shard.
+    #[inline]
+    pub fn fill(&mut self, line: CacheLine) {
+        let (shard, key) = self.split(line);
+        self.shards[shard].fill(key);
+    }
+
+    /// Number of banks.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Valid lines across all banks.
+    pub fn occupancy(&self) -> usize {
+        self.shards.iter().map(Cache::occupancy).sum()
+    }
+
+    /// Valid lines in one bank (shared-structure audit: per-shard
+    /// occupancies telescope to [`occupancy`](Self::occupancy)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard >= shard_count()`.
+    pub fn shard_occupancy(&self, shard: usize) -> usize {
+        self.shards[shard].occupancy()
+    }
+
+    /// Total capacity in lines across all banks.
+    pub fn capacity_lines(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.config().sets * s.config().ways)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> CacheConfig {
+        CacheConfig {
+            sets: 64,
+            ways: 4,
+            latency: 10,
+        }
+    }
+
+    #[test]
+    fn one_shard_matches_plain_cache_exactly() {
+        let mut llc = Llc::new(cfg(), 1);
+        let mut cache = Cache::new(cfg());
+        // A mixed probe/fill trace must agree call for call.
+        let lines: Vec<CacheLine> = (0..4096u64)
+            .map(|i| CacheLine::new(i.wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 40))
+            .collect();
+        for (i, &line) in lines.iter().enumerate() {
+            if i % 3 == 0 {
+                cache.fill(line);
+                llc.fill(line);
+            } else {
+                assert_eq!(llc.probe(line), cache.probe(line), "probe #{i}");
+            }
+        }
+        assert_eq!(llc.occupancy(), cache.occupancy());
+    }
+
+    #[test]
+    fn shards_partition_the_line_space() {
+        let mut llc = Llc::new(cfg(), 4);
+        assert_eq!(llc.shard_count(), 4);
+        // Lines 0..4 land in distinct shards.
+        for i in 0..4u64 {
+            llc.fill(CacheLine::new(i));
+        }
+        for s in 0..4 {
+            assert_eq!(llc.shard_occupancy(s), 1, "shard {s}");
+        }
+        assert_eq!(llc.occupancy(), 4);
+        for i in 0..4u64 {
+            assert!(llc.contains(CacheLine::new(i)));
+            assert!(llc.probe(CacheLine::new(i)));
+        }
+        assert!(!llc.contains(CacheLine::new(4 + 64 * 4)));
+    }
+
+    #[test]
+    fn sharding_preserves_total_capacity() {
+        for shards in [1, 2, 4, 8] {
+            let llc = Llc::new(cfg(), shards);
+            assert_eq!(llc.capacity_lines(), 64 * 4);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_shards_rejected() {
+        let _ = Llc::new(cfg(), 3);
+    }
+}

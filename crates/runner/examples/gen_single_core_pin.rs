@@ -1,0 +1,25 @@
+//! Regenerates `tests/fixtures/single_core_pin.txt`, the byte-identity
+//! fixture for the standing single-core equivalence test.
+//!
+//! The fixture pins the `cores=1, processes=1` configuration: RunRecord
+//! JSON plus the rendered audit report for one server, one SPEC, and one
+//! SMT spec at test scale. The committed copy was produced by the
+//! pre-multicore simulator; `tests/single_core_pin.rs` asserts the
+//! current build still reproduces it byte for byte.
+//!
+//! Run with auditing forced on, from the workspace root:
+//!
+//! ```text
+//! MORRIGAN_AUDIT=1 cargo run --release -p morrigan-runner \
+//!     --example gen_single_core_pin
+//! ```
+
+fn main() {
+    let doc = morrigan_runner::single_core_pin_document();
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/fixtures/single_core_pin.txt"
+    );
+    std::fs::write(path, &doc).expect("write fixture");
+    eprintln!("wrote {path} ({} bytes)", doc.len());
+}

@@ -56,6 +56,7 @@ fn workload_json(workload: &WorkloadSpec) -> String {
         WorkloadSpec::Server(_) => "server",
         WorkloadSpec::Spec(_) => "spec",
         WorkloadSpec::Smt(_) => "smt",
+        WorkloadSpec::Multi { .. } => "multi",
     };
     obj(vec![
         kv("name", json_string(&workload.name())),
@@ -198,6 +199,48 @@ fn intervals_json(samples: &[IntervalSample]) -> String {
     format!("[{epochs}]")
 }
 
+/// Renders the machine section of a multi-core record: the topology it
+/// ran under, per-core headline metrics, and the shootdown ledger.
+fn machine_json(record: &RunRecord, m: &morrigan_sim::MachineSummary) -> String {
+    let spec = &record.spec;
+    let topology = &spec.system.topology;
+    let quantum = match &spec.workload {
+        WorkloadSpec::Multi { quantum, .. } => quantum.to_string(),
+        _ => "null".to_string(),
+    };
+    let per_core = m
+        .per_core
+        .iter()
+        .map(|c| {
+            obj(vec![
+                kv("instructions", c.instructions.to_string()),
+                kv("cycles", c.cycles.to_string()),
+                kv("ipc", json_f64(c.ipc())),
+                kv("istlb_mpki", json_f64(c.istlb_mpki())),
+                kv("coverage", json_f64(c.coverage())),
+                kv("istlb_stall_cycles", c.istlb_stall_cycles.to_string()),
+            ])
+        })
+        .collect::<Vec<_>>()
+        .join(", ");
+    obj(vec![
+        kv("cores", m.cores.to_string()),
+        kv("shared_stlb", topology.shared_stlb.to_string()),
+        kv("llc_shards", topology.llc_shards.to_string()),
+        kv(
+            "shootdown_interval",
+            topology
+                .shootdown_interval
+                .map_or("null".to_string(), |n| n.to_string()),
+        ),
+        kv("quantum", quantum),
+        kv("shootdowns_issued", m.shootdowns_issued.to_string()),
+        kv("shootdowns_received", m.shootdowns_received.to_string()),
+        kv("shootdown_hits", m.shootdown_hits.to_string()),
+        kv("per_core", format!("[{per_core}]")),
+    ])
+}
+
 /// Renders one record as a JSON object.
 pub fn record_json(record: &RunRecord) -> String {
     let spec = &record.spec;
@@ -237,7 +280,7 @@ pub fn record_json(record: &RunRecord) -> String {
             ])
         }
     };
-    obj(vec![
+    let mut fields = vec![
         kv("workload", workload_json(&spec.workload)),
         kv("prefetcher", json_string(spec.prefetcher.name())),
         kv(
@@ -281,7 +324,13 @@ pub fn record_json(record: &RunRecord) -> String {
                 intervals_json(&record.intervals)
             },
         ),
-    ])
+    ];
+    // Single-core records keep their exact historical field set; the
+    // machine section exists only on multi-core records.
+    if let Some(m) = &record.machine {
+        fields.push(kv("machine", machine_json(record, m)));
+    }
+    obj(fields)
 }
 
 /// Renders the full `figures --json` document: one entry per figure,

@@ -35,10 +35,12 @@
 //! [`SimConfig`]: morrigan_sim::SimConfig
 
 pub mod json;
+mod pin;
 mod runner;
 mod spec;
 mod workload_cache;
 
+pub use pin::{single_core_pin_document, single_core_pin_specs};
 pub use runner::Runner;
 pub use spec::{
     morrigan_budget_bits, PrefetcherKind, PrefetcherSpec, RunRecord, RunSpec, WorkloadSpec,

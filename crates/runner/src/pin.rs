@@ -1,0 +1,57 @@
+//! The single-core equivalence pin: a canonical document capturing the
+//! `cores=1, processes=1` simulator behaviour byte for byte.
+//!
+//! The document covers the three single-core workload classes (server,
+//! SPEC, SMT) at test scale, rendering each record's JSON followed by its
+//! audit report. `examples/gen_single_core_pin.rs` writes it to
+//! `tests/fixtures/single_core_pin.txt`; `tests/single_core_pin.rs`
+//! regenerates it with the current build and compares against the
+//! committed copy, so any refactor that perturbs single-core results —
+//! metrics, JSON rendering, or the audit's check count — fails loudly.
+
+use morrigan_sim::{SimConfig, SystemConfig};
+use morrigan_workloads::suites;
+
+use crate::json::record_json;
+use crate::spec::{PrefetcherKind, RunSpec};
+
+/// The specs the pin document runs: one server baseline, one server
+/// Morrigan point, one SPEC workload, and one SMT pair.
+pub fn single_core_pin_specs() -> Vec<RunSpec> {
+    let sim = SimConfig {
+        warmup_instructions: 20_000,
+        measure_instructions: 60_000,
+    };
+    let system = SystemConfig::default();
+    let server = suites::qmm_suite_subset(1).remove(0);
+    let spec = suites::spec_suite().remove(0);
+    let pair = suites::smt_pairs(1).remove(0);
+    vec![
+        RunSpec::server(&server, system, sim, PrefetcherKind::None),
+        RunSpec::server(&server, system, sim, PrefetcherKind::Morrigan),
+        RunSpec::spec_cpu(&spec, system, sim, PrefetcherKind::Morrigan),
+        RunSpec::smt(&pair, system, sim, PrefetcherKind::MorriganSmt),
+    ]
+}
+
+/// Executes the pin specs and renders the canonical document.
+///
+/// # Panics
+///
+/// Panics if auditing is disabled (the document includes each audit
+/// report, so run under `MORRIGAN_AUDIT=1` in release builds).
+pub fn single_core_pin_document() -> String {
+    let mut doc = String::new();
+    for spec in single_core_pin_specs() {
+        let record = spec.execute();
+        doc.push_str(&record_json(&record));
+        doc.push('\n');
+        let audit = record
+            .audit
+            .as_ref()
+            .expect("the pin document requires auditing (MORRIGAN_AUDIT=1)");
+        doc.push_str(&audit.render());
+        doc.push('\n');
+    }
+    doc
+}

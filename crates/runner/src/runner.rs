@@ -227,10 +227,8 @@ impl Runner {
                 }
                 let record = spec.execute_cached(self.interval, &self.workloads);
                 self.sims_executed.fetch_add(1, Ordering::Relaxed);
-                self.instructions_simulated.fetch_add(
-                    spec.sim.warmup_instructions + spec.sim.measure_instructions,
-                    Ordering::Relaxed,
-                );
+                self.instructions_simulated
+                    .fetch_add(spec.instructions_cost(), Ordering::Relaxed);
                 self.phase_totals.lock().unwrap().merge(&record.phases);
                 *slots[j].lock().unwrap() = Some(record);
             };

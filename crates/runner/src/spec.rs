@@ -12,12 +12,15 @@ use morrigan_baselines::{
     MorriganMono, MpConfig, SequentialPrefetcher, UnboundedMarkov,
 };
 use morrigan_obs::{PhaseProfile, TraceRecorder};
-use morrigan_sim::{IntervalSample, Metrics, SimConfig, Simulator, SystemConfig};
+use morrigan_sim::{
+    IntervalSample, Machine, MachineSummary, Metrics, SimConfig, Simulator, SystemConfig,
+};
 use morrigan_types::prefetcher::NullPrefetcher;
 use morrigan_types::{AuditReport, TlbPrefetcher};
 use morrigan_vm::MissStreamStats;
 use morrigan_workloads::{
-    InstructionStream, ServerWorkload, ServerWorkloadConfig, SpecWorkload, SpecWorkloadConfig,
+    AsidStream, InstructionStream, ScheduledStream, ServerWorkload, ServerWorkloadConfig,
+    SpecWorkload, SpecWorkloadConfig,
 };
 use serde::{Deserialize, Serialize};
 
@@ -157,10 +160,25 @@ pub enum WorkloadSpec {
     Spec(SpecWorkloadConfig),
     /// Server workloads colocated on one SMT core (§5, §6.6).
     Smt(Vec<ServerWorkloadConfig>),
+    /// An N-core machine, each core time-sharing a mix of server tenants
+    /// in distinct ASID-fused address spaces (the core-count scaling
+    /// study). `mixes[c]` is core `c`'s tenant mix; ASIDs are assigned
+    /// 1, 2, … in (core, tenant) order. `quantum` is the context-switch
+    /// schedule: instructions a tenant issues before the core rotates to
+    /// its next tenant.
+    Multi {
+        /// Per-core tenant mixes; the length must equal the system's
+        /// `topology.cores`.
+        mixes: Vec<Vec<ServerWorkloadConfig>>,
+        /// Round-robin context-switch quantum, in instructions.
+        quantum: u64,
+    },
 }
 
 impl WorkloadSpec {
-    /// Report name: the workload's name, or `a+b` for SMT pairs.
+    /// Report name: the workload's name, `a+b` for SMT pairs, or
+    /// `a+b|c+d` for multi-core machines (cores joined by `|`, a core's
+    /// tenants by `+`).
     pub fn name(&self) -> String {
         match self {
             WorkloadSpec::Server(cfg) => cfg.name.clone(),
@@ -170,6 +188,25 @@ impl WorkloadSpec {
                 .map(|c| c.name.as_str())
                 .collect::<Vec<_>>()
                 .join("+"),
+            WorkloadSpec::Multi { mixes, .. } => mixes
+                .iter()
+                .map(|mix| {
+                    mix.iter()
+                        .map(|c| c.name.as_str())
+                        .collect::<Vec<_>>()
+                        .join("+")
+                })
+                .collect::<Vec<_>>()
+                .join("|"),
+        }
+    }
+
+    /// Number of cores this workload occupies (1 for every single-core
+    /// shape; the mix count for [`WorkloadSpec::Multi`]).
+    pub fn cores(&self) -> usize {
+        match self {
+            WorkloadSpec::Multi { mixes, .. } => mixes.len(),
+            _ => 1,
         }
     }
 
@@ -185,7 +222,59 @@ impl WorkloadSpec {
                 .iter()
                 .map(|c| Box::new(ServerWorkload::new(c.clone())) as Box<dyn InstructionStream>)
                 .collect(),
+            WorkloadSpec::Multi { .. } => {
+                unreachable!("multi-core workloads run on the Machine, not the Simulator")
+            }
         }
+    }
+
+    /// The per-core streams of a [`WorkloadSpec::Multi`] machine: each
+    /// core gets a [`ScheduledStream`] rotating through its tenants,
+    /// every tenant wrapped in an [`AsidStream`] so distinct processes
+    /// occupy disjoint ASID-fused address spaces.
+    ///
+    /// When `cache` is given, each *tenant* stream is served through it
+    /// individually: the cached trace carries the ASID-tagged content,
+    /// so its key must (and does) include the ASID and the schedule
+    /// quantum alongside the workload config — two machines differing
+    /// only in schedule never share a cache slot.
+    fn build_machine_streams(
+        &self,
+        trace_len: u64,
+        cache: Option<&WorkloadCache>,
+    ) -> Vec<Box<dyn InstructionStream>> {
+        let WorkloadSpec::Multi { mixes, quantum } = self else {
+            unreachable!("machine streams exist only for multi-core workloads")
+        };
+        let mut next_asid: u16 = 1;
+        mixes
+            .iter()
+            .map(|mix| {
+                let tenants: Vec<Box<dyn InstructionStream>> = mix
+                    .iter()
+                    .map(|cfg| {
+                        let asid = next_asid;
+                        next_asid += 1;
+                        match cache {
+                            Some(c) => c.stream_for(
+                                &format!("{cfg:?}#asid={asid}#quantum={quantum}"),
+                                trace_len,
+                                || {
+                                    Box::new(AsidStream::new(
+                                        ServerWorkload::new(cfg.clone()),
+                                        asid,
+                                    ))
+                                },
+                            ),
+                            None => {
+                                Box::new(AsidStream::new(ServerWorkload::new(cfg.clone()), asid))
+                            }
+                        }
+                    })
+                    .collect();
+                Box::new(ScheduledStream::new(tenants, *quantum)) as Box<dyn InstructionStream>
+            })
+            .collect()
     }
 
     /// [`build_streams`](Self::build_streams) through the workload
@@ -225,6 +314,9 @@ impl WorkloadSpec {
                     })
                 })
                 .collect(),
+            WorkloadSpec::Multi { .. } => {
+                unreachable!("multi-core workloads run on the Machine, not the Simulator")
+            }
         }
     }
 }
@@ -294,6 +386,45 @@ impl RunSpec {
         }
     }
 
+    /// A multi-core machine spec: one tenant mix per core, round-robin
+    /// context switching every `quantum` instructions, one instance of
+    /// `prefetcher` per core. Adjusts `system.topology.cores` to the mix
+    /// count so the spec is self-consistent by construction.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty mix list, an empty per-core mix, or a zero
+    /// quantum (the schedule would never advance).
+    pub fn multi(
+        mixes: Vec<Vec<ServerWorkloadConfig>>,
+        quantum: u64,
+        mut system: SystemConfig,
+        sim: SimConfig,
+        prefetcher: impl Into<PrefetcherSpec>,
+    ) -> Self {
+        assert!(!mixes.is_empty(), "a machine needs at least one core");
+        assert!(
+            mixes.iter().all(|m| !m.is_empty()),
+            "every core needs at least one tenant"
+        );
+        assert!(quantum > 0, "the context-switch quantum must be positive");
+        system.topology.cores = mixes.len();
+        RunSpec {
+            workload: WorkloadSpec::Multi { mixes, quantum },
+            system,
+            sim,
+            prefetcher: prefetcher.into(),
+        }
+    }
+
+    /// Total instructions stepped when this spec executes: warmup plus
+    /// measurement, per core. The runner's MIPS accounting uses this so
+    /// multi-core machines are credited for every core they step.
+    pub fn instructions_cost(&self) -> u64 {
+        (self.sim.warmup_instructions + self.sim.measure_instructions)
+            * self.workload.cores() as u64
+    }
+
     /// The content key the result cache memoizes on.
     ///
     /// Derived from the spec's `Debug` rendering: every field of every
@@ -317,7 +448,14 @@ impl RunSpec {
     /// [`RunSpec::execute`] with the interval sampler enabled when
     /// `interval` is `Some(n)`: the record's `intervals` carries one
     /// [`IntervalSample`] per `n` retired instructions of the window.
+    ///
+    /// Multi-core specs run on the [`Machine`], which has no interval
+    /// sampler — their records' `intervals` stay empty regardless of
+    /// `interval`.
     pub fn execute_observed(&self, interval: Option<u64>) -> RunRecord {
+        if matches!(self.workload, WorkloadSpec::Multi { .. }) {
+            return self.execute_machine(None);
+        }
         let prefetcher = self.prefetcher.build();
         let streams = self.workload.build_streams();
         let mut simulator = Simulator::new_smt(self.system, streams, prefetcher);
@@ -341,6 +479,9 @@ impl RunSpec {
     ///
     /// [`Phase::TraceBuild`]: morrigan_obs::Phase::TraceBuild
     pub fn execute_cached(&self, interval: Option<u64>, cache: &WorkloadCache) -> RunRecord {
+        if matches!(self.workload, WorkloadSpec::Multi { .. }) {
+            return self.execute_machine(Some(cache));
+        }
         let prefetcher = self.prefetcher.build();
         let trace_len =
             WorkloadCache::trace_len(self.sim.warmup_instructions, self.sim.measure_instructions);
@@ -368,6 +509,10 @@ impl RunSpec {
         interval: Option<u64>,
         capacity: usize,
     ) -> (RunRecord, TraceRecorder) {
+        assert!(
+            !matches!(self.workload, WorkloadSpec::Multi { .. }),
+            "event tracing is a single-core feature; multi-core specs have no recorder"
+        );
         let prefetcher = self.prefetcher.build();
         let streams = self.workload.build_streams();
         let mut simulator = Simulator::with_recorder(
@@ -380,6 +525,41 @@ impl RunSpec {
         let metrics = simulator.run(self.sim);
         let record = self.finish(&simulator, metrics);
         (record, simulator.into_recorder())
+    }
+
+    /// Builds and runs the [`Machine`] of a [`WorkloadSpec::Multi`] spec;
+    /// tenant streams go through the workload cache when one is given.
+    fn execute_machine(&self, cache: Option<&WorkloadCache>) -> RunRecord {
+        assert_eq!(
+            self.system.topology.cores,
+            self.workload.cores(),
+            "topology.cores must match the number of per-core mixes \
+             (RunSpec::multi keeps them consistent)"
+        );
+        let trace_len =
+            WorkloadCache::trace_len(self.sim.warmup_instructions, self.sim.measure_instructions);
+        let build_start = std::time::Instant::now();
+        let streams = self.workload.build_machine_streams(trace_len, cache);
+        let trace_build = build_start.elapsed().as_secs_f64();
+        let prefetchers = (0..streams.len())
+            .map(|_| self.prefetcher.build())
+            .collect();
+        let mut machine = Machine::new(self.system, streams, prefetchers);
+        let metrics = machine.run(self.sim);
+        let mut phases = PhaseProfile::new();
+        if cache.is_some() {
+            phases.add(morrigan_obs::Phase::TraceBuild, trace_build);
+            phases.add_total(trace_build);
+        }
+        RunRecord {
+            spec: self.clone(),
+            metrics,
+            miss_stream: None,
+            audit: machine.audit_report().cloned(),
+            intervals: Vec::new(),
+            phases,
+            machine: Some(machine.summary().clone()),
+        }
     }
 
     fn finish<R: morrigan_obs::Recorder>(
@@ -399,6 +579,7 @@ impl RunSpec {
             audit: simulator.audit_report().cloned(),
             intervals: simulator.interval_samples().to_vec(),
             phases: *simulator.phase_profile(),
+            machine: None,
         }
     }
 }
@@ -426,6 +607,11 @@ pub struct RunRecord {
     /// nondeterministic — deliberately *not* part of the record's JSON
     /// rendering; the runner aggregates it for the throughput bench.
     pub phases: PhaseProfile,
+    /// Per-core results and shootdown accounting, present iff the spec's
+    /// workload is [`WorkloadSpec::Multi`] (the record-level `metrics`
+    /// then carries the machine aggregate: summed counters, makespan
+    /// cycles).
+    pub machine: Option<MachineSummary>,
 }
 
 #[cfg(test)]

@@ -49,6 +49,7 @@ fn execute_unbatched(spec: &RunSpec) -> RunRecord {
                 Box::new(Unbatched(ServerWorkload::new(c.clone()))) as Box<dyn InstructionStream>
             })
             .collect(),
+        WorkloadSpec::Multi { .. } => unreachable!("batching tests are single-core"),
     };
     let mut simulator = Simulator::new_smt(spec.system, streams, spec.prefetcher.build());
     simulator.set_fill_block(1);
@@ -65,6 +66,7 @@ fn execute_unbatched(spec: &RunSpec) -> RunRecord {
         audit: simulator.audit_report().cloned(),
         intervals: simulator.interval_samples().to_vec(),
         phases: *simulator.phase_profile(),
+        machine: None,
     }
 }
 

@@ -1,0 +1,126 @@
+//! Multi-core machine specs through the runner: cached replay must equal
+//! live generation byte for byte (the same transport contract
+//! `workload_cache.rs` pins for single-core shapes), results must be
+//! independent of the worker count, and the cache keying must separate
+//! machines that differ only in their context-switch schedule.
+
+use morrigan_runner::json::record_json;
+use morrigan_runner::{PrefetcherKind, RunSpec, Runner, WorkloadCache};
+use morrigan_sim::{SimConfig, SystemConfig, TopologyConfig};
+use morrigan_workloads::suites;
+
+fn sim() -> SimConfig {
+    SimConfig {
+        warmup_instructions: 10_000,
+        measure_instructions: 30_000,
+    }
+}
+
+fn multi_spec(cores: usize, tenants: usize, quantum: u64) -> RunSpec {
+    let mut system = SystemConfig::default();
+    system.topology = TopologyConfig {
+        cores,
+        shared_stlb: true,
+        llc_shards: 2,
+        shootdown_interval: Some(9_000),
+    };
+    RunSpec::multi(
+        suites::tenant_mixes(cores, tenants),
+        quantum,
+        system,
+        sim(),
+        PrefetcherKind::Morrigan,
+    )
+}
+
+#[test]
+fn cached_replay_equals_live_generation() {
+    let spec = multi_spec(2, 2, 5_000);
+    let cached_runner = Runner::new(1).with_workload_cache(WorkloadCache::in_memory());
+    let live_runner = Runner::new(1).with_workload_cache(WorkloadCache::disabled());
+    let cached = cached_runner.run_one(&spec);
+    let live = live_runner.run_one(&spec);
+    assert_eq!(
+        cached_runner.workload_cache_stats().built,
+        4,
+        "one materialized trace per (core, tenant)"
+    );
+    assert_eq!(cached.metrics, live.metrics);
+    assert_eq!(cached.audit, live.audit);
+    assert_eq!(cached.machine, live.machine);
+    assert_eq!(record_json(&cached), record_json(&live));
+}
+
+#[test]
+fn worker_count_does_not_change_machine_results() {
+    // cores=4 machine under a 1-thread and an 8-thread runner: the
+    // machine's interleave is a pure function of simulator state, so the
+    // host pool size must be invisible in the records.
+    let specs = vec![
+        multi_spec(4, 2, 5_000),
+        multi_spec(2, 3, 7_000),
+        multi_spec(1, 2, 5_000),
+    ];
+    let serial = Runner::new(1).run_batch(&specs);
+    let pooled = Runner::new(8).run_batch(&specs);
+    for (a, b) in serial.iter().zip(&pooled) {
+        assert_eq!(a.spec, b.spec);
+        assert_eq!(a.metrics, b.metrics, "{} diverged", a.spec.workload.name());
+        assert_eq!(a.machine, b.machine);
+        assert_eq!(record_json(a), record_json(b));
+    }
+}
+
+#[test]
+fn schedule_only_difference_never_shares_a_cache_slot() {
+    // Two machines identical except for the context-switch quantum: the
+    // runner's result cache and the workload-trace cache must both keep
+    // them apart (the schedule changes every interleaving downstream).
+    let a = multi_spec(2, 2, 5_000);
+    let b = multi_spec(2, 2, 10_000);
+    assert_ne!(a.content_key(), b.content_key());
+
+    let runner = Runner::new(2).with_workload_cache(WorkloadCache::in_memory());
+    let ra = runner.run_one(&a);
+    let rb = runner.run_one(&b);
+    assert_eq!(runner.sims_executed(), 2, "no false result-cache hit");
+    assert_eq!(
+        runner.workload_cache_stats().built,
+        8,
+        "4 tenant traces per machine, zero sharing across schedules"
+    );
+    assert_ne!(
+        ra.metrics.cycles, rb.metrics.cycles,
+        "a different schedule interleaves differently"
+    );
+}
+
+#[test]
+fn machine_summary_rides_the_record() {
+    let record = Runner::new(2).run_one(&multi_spec(2, 2, 5_000));
+    let m = record
+        .machine
+        .as_ref()
+        .expect("multi records carry a summary");
+    assert_eq!(m.cores, 2);
+    assert_eq!(m.per_core.len(), 2);
+    assert_eq!(
+        record.metrics.instructions,
+        m.per_core.iter().map(|c| c.instructions).sum::<u64>()
+    );
+    assert_eq!(m.shootdowns_received, m.shootdowns_issued * 2);
+    let json = record_json(&record);
+    assert!(json.contains("\"class\": \"multi\""));
+    assert!(json.contains("\"machine\": {\"cores\": 2"));
+    assert!(json.contains("\"quantum\": 5000"));
+
+    // Single-core records keep their historical field set: no machine key.
+    let single = Runner::new(1).run_one(&RunSpec::server(
+        &suites::qmm_suite_subset(1).remove(0),
+        SystemConfig::default(),
+        sim(),
+        PrefetcherKind::None,
+    ));
+    assert!(single.machine.is_none());
+    assert!(!record_json(&single).contains("\"machine\""));
+}

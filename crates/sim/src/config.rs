@@ -52,6 +52,41 @@ pub enum IcachePrefetcherKind {
     },
 }
 
+/// Multi-core topology: how many cores a `Machine` runs and which
+/// translation/cache structures they share.
+///
+/// The default (`cores: 1`, everything private, no shootdown traffic)
+/// describes exactly the pre-multicore simulator, so a default-topology
+/// [`SystemConfig`] reproduces earlier results byte for byte.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TopologyConfig {
+    /// Number of cores the machine instantiates (each with private L1/L2,
+    /// I-TLB/D-TLB, PB, PSCs, walker, and prefetcher instance).
+    pub cores: usize,
+    /// Whether the STLB is one machine-wide structure all cores contend
+    /// for (`true`) or private per core (`false`, the default).
+    pub shared_stlb: bool,
+    /// Banks of the shared LLC (power of two, selected by low line bits).
+    /// `1` is a single monolithic bank, identical to the private LLC.
+    pub llc_shards: usize,
+    /// When set, every core issues a TLB shootdown for one of its code
+    /// pages each time it retires this many instructions (modelling
+    /// periodic unmap traffic); the invalidation is broadcast to every
+    /// core and to the shared STLB. `None` models no unmap traffic.
+    pub shootdown_interval: Option<u64>,
+}
+
+impl Default for TopologyConfig {
+    fn default() -> Self {
+        Self {
+            cores: 1,
+            shared_stlb: false,
+            llc_shards: 1,
+            shootdown_interval: None,
+        }
+    }
+}
+
 /// The full simulated system.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SystemConfig {
@@ -68,6 +103,9 @@ pub struct SystemConfig {
     /// `None` (the default) models an undisturbed run, like the paper's
     /// trace-driven setup.
     pub context_switch_interval: Option<u64>,
+    /// Multi-core topology (ignored by the single-core `Simulator`; the
+    /// `Machine` asserts it matches the workloads it is given).
+    pub topology: TopologyConfig,
 }
 
 impl Default for SystemConfig {
@@ -79,6 +117,7 @@ impl Default for SystemConfig {
             core: CoreConfig::default(),
             icache_prefetcher: IcachePrefetcherKind::NextLine,
             context_switch_interval: None,
+            topology: TopologyConfig::default(),
         }
     }
 }
@@ -139,6 +178,15 @@ mod tests {
         assert_eq!(cfg.mmu.stlb.entries, 1536);
         assert_eq!(cfg.mmu.pb_entries, 64);
         assert_eq!(cfg.icache_prefetcher, IcachePrefetcherKind::NextLine);
+    }
+
+    #[test]
+    fn default_topology_is_the_single_core_machine() {
+        let t = TopologyConfig::default();
+        assert_eq!(t.cores, 1);
+        assert!(!t.shared_stlb);
+        assert_eq!(t.llc_shards, 1);
+        assert_eq!(t.shootdown_interval, None);
     }
 
     #[test]

@@ -49,10 +49,12 @@
 
 pub mod audit;
 mod config;
+mod machine;
 mod metrics;
 mod simulator;
 
 pub use audit::{audit_metrics, audit_state};
-pub use config::{CoreConfig, IcachePrefetcherKind, SimConfig, SystemConfig};
+pub use config::{CoreConfig, IcachePrefetcherKind, SimConfig, SystemConfig, TopologyConfig};
+pub use machine::{Machine, MachineSummary, INTERLEAVE_QUANTUM};
 pub use metrics::{IntervalSample, Metrics};
 pub use simulator::Simulator;

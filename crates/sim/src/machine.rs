@@ -1,0 +1,618 @@
+//! The multi-core machine: N per-core simulators, one interleaved loop,
+//! shared structures swapped in and out around each core's steps.
+//!
+//! ## Topology
+//!
+//! A [`Machine`] owns one [`Simulator`] per core — each with its private
+//! front end, ROB, L1/L2, I-TLB/D-TLB, prefetch buffer, PSCs, walker,
+//! and TLB-prefetcher instance — plus the structures every core shares:
+//! the (possibly multi-bank) LLC, and optionally one machine-wide STLB
+//! (see [`TopologyConfig`]). Sharing is implemented by *swapping*: before
+//! a core steps, the machine `mem::swap`s the shared LLC (and shared
+//! STLB, under that policy) into the core's own hierarchy/MMU, and swaps
+//! them back out after. The per-core hot path is therefore exactly the
+//! single-core hot path — no indirection, no locks — which is what keeps
+//! the PR 3 batched/SoA discipline intact across this refactor.
+//!
+//! ## Interleaving
+//!
+//! Cores advance in quanta of [`INTERLEAVE_QUANTUM`] instructions; each
+//! quantum goes to the unfinished core whose front end is earliest in
+//! simulated time (smallest fetch cycle, ties to the lowest core id).
+//! The schedule is a pure function of simulator state, so multi-core
+//! runs are deterministic and independent of host thread count.
+//!
+//! ## Shootdowns
+//!
+//! With `shootdown_interval` set, a core that retires past each multiple
+//! of the interval unmaps one of its code pages: the translation is
+//! invalidated in every core's private structures and in the shared
+//! STLB, modelling the IPI broadcast of a real shootdown. The machine
+//! audit pins the conservation law `received == issued × cores`.
+//!
+//! ## What the machine does not do
+//!
+//! Interval sampling and trace recording remain single-core features;
+//! the machine reports per-core window [`Metrics`], an aggregate (sum of
+//! counters, makespan cycles), and a machine-wide audit report.
+
+use morrigan_mem::Llc;
+use morrigan_types::{AuditReport, TlbPrefetcher, VirtPage};
+use morrigan_vm::Tlb;
+use morrigan_workloads::InstructionStream;
+
+use crate::audit::{audit_metrics, audit_state};
+use crate::config::{SimConfig, SystemConfig, TopologyConfig};
+use crate::metrics::Metrics;
+use crate::simulator::{audit_default, window_metrics, Simulator};
+
+/// Instructions a core executes per scheduling decision. Small enough
+/// that shared-structure contention is visible at sub-epoch granularity,
+/// large enough that the swap cost (a few pointer-sized writes) is noise.
+pub const INTERLEAVE_QUANTUM: u64 = 64;
+
+/// Stride (in pages) between successive shootdown victims inside a
+/// core's code region; coprime to power-of-two region sizes so the
+/// rotation visits distinct pages.
+const SHOOTDOWN_VICTIM_STRIDE: u64 = 7;
+
+/// Per-core and shared-structure results of a completed machine run,
+/// attached to multi-core `RunRecord`s.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct MachineSummary {
+    /// Number of cores that ran.
+    pub cores: usize,
+    /// Measurement-window metrics of each core, in core-id order.
+    pub per_core: Vec<Metrics>,
+    /// TLB shootdowns issued machine-wide (whole run, warmup included).
+    pub shootdowns_issued: u64,
+    /// Per-core shootdown deliveries (`issued × cores` by construction;
+    /// the audit pins it).
+    pub shootdowns_received: u64,
+    /// Deliveries that found the translation cached in at least one of
+    /// the receiving core's private structures.
+    pub shootdown_hits: u64,
+}
+
+/// The N-core machine. See the module docs for the model.
+pub struct Machine {
+    system: SystemConfig,
+    topology: TopologyConfig,
+    sims: Vec<Simulator>,
+    shared_llc: Llc,
+    shared_stlb: Option<Tlb>,
+    /// First (code) region of each core's stream: the shootdown victim pool.
+    code_regions: Vec<(VirtPage, u64)>,
+    /// Every distinct ASID mapped on each core, for occupancy telescoping.
+    asids_per_core: Vec<Vec<u16>>,
+    next_shootdown: Vec<u64>,
+    victim_rotor: Vec<u64>,
+    shootdowns_issued: u64,
+    shootdowns_received: u64,
+    shootdown_hits: u64,
+    audit_enabled: bool,
+    audit: Option<AuditReport>,
+    summary: Option<MachineSummary>,
+    ran: bool,
+}
+
+impl std::fmt::Debug for Machine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Machine")
+            .field("topology", &self.topology)
+            .field("cores", &self.sims.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Machine {
+    /// Builds an N-core machine: one workload stream and one prefetcher
+    /// instance per core. Multi-tenant cores pass a `ScheduledStream` of
+    /// `AsidStream`-wrapped tenants as their workload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workloads`/`prefetchers` lengths disagree with
+    /// `system.topology.cores`, or if any two regions overlap (distinct
+    /// tenants must live in distinct ASID-fused address spaces).
+    pub fn new(
+        system: SystemConfig,
+        workloads: Vec<Box<dyn InstructionStream>>,
+        prefetchers: Vec<Box<dyn TlbPrefetcher>>,
+    ) -> Self {
+        let topology = system.topology;
+        assert!(topology.cores >= 1, "a machine needs at least one core");
+        assert_eq!(
+            workloads.len(),
+            topology.cores,
+            "one workload stream per core"
+        );
+        assert_eq!(
+            prefetchers.len(),
+            topology.cores,
+            "one prefetcher instance per core"
+        );
+        let mut code_regions = Vec::with_capacity(workloads.len());
+        let mut asids_per_core = Vec::with_capacity(workloads.len());
+        let mut all_regions: Vec<(u64, u64)> = Vec::new();
+        for w in &workloads {
+            code_regions.push(w.code_region());
+            let mut asids: Vec<u16> = w.regions().iter().map(|(p, _)| p.asid()).collect();
+            asids.sort_unstable();
+            asids.dedup();
+            asids_per_core.push(asids);
+            for (base, count) in w.regions() {
+                let (b, c) = (base.raw(), count);
+                for &(ob, oc) in &all_regions {
+                    assert!(
+                        b + c <= ob || ob + oc <= b,
+                        "virtual regions of machine workloads must not overlap \
+                         (wrap tenants in AsidStream)"
+                    );
+                }
+                all_regions.push((b, c));
+            }
+        }
+        let sims: Vec<Simulator> = workloads
+            .into_iter()
+            .zip(prefetchers)
+            .map(|(w, p)| Simulator::new(system, w, p))
+            .collect();
+        let shared_llc = Llc::new(system.mem.llc, topology.llc_shards);
+        let shared_stlb = topology.shared_stlb.then(|| Tlb::new(system.mmu.stlb));
+        let cores = sims.len();
+        Self {
+            system,
+            topology,
+            sims,
+            shared_llc,
+            shared_stlb,
+            code_regions,
+            asids_per_core,
+            next_shootdown: vec![topology.shootdown_interval.unwrap_or(u64::MAX); cores],
+            victim_rotor: vec![0; cores],
+            shootdowns_issued: 0,
+            shootdowns_received: 0,
+            shootdown_hits: 0,
+            audit_enabled: audit_default(),
+            audit: None,
+            summary: None,
+            ran: false,
+        }
+    }
+
+    /// Forces the stats-invariant audit on or off for this run,
+    /// overriding the debug/`MORRIGAN_AUDIT` default. Also applies to
+    /// every per-core simulator's law set.
+    pub fn set_audit(&mut self, enabled: bool) {
+        self.audit_enabled = enabled;
+    }
+
+    /// The machine-wide audit report of the completed run, when auditing
+    /// was enabled. A present report is always clean ([`Machine::run`]
+    /// panics on the first violated law).
+    pub fn audit_report(&self) -> Option<&AuditReport> {
+        self.audit.as_ref()
+    }
+
+    /// Per-core results of the completed run.
+    ///
+    /// # Panics
+    ///
+    /// Panics before [`Machine::run`] completes.
+    pub fn summary(&self) -> &MachineSummary {
+        self.summary
+            .as_ref()
+            .expect("Machine::run has not completed")
+    }
+
+    /// The simulated system configuration.
+    pub fn system(&self) -> &SystemConfig {
+        &self.system
+    }
+
+    /// Runs every core through warmup then measurement, returning the
+    /// aggregate metrics: counters summed across cores, cycles taken as
+    /// the per-core maximum (makespan), so `ipc()` is aggregate IPC.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called twice (see [`Simulator::run`] for the rationale)
+    /// or if auditing is enabled and any conservation law is violated.
+    pub fn run(&mut self, cfg: SimConfig) -> Metrics {
+        assert!(
+            !self.ran,
+            "Machine::run called twice: build a new Machine for every run"
+        );
+        self.ran = true;
+        let mut report = self.audit_enabled.then(|| {
+            AuditReport::new(format!(
+                "machine run ({} cores, shared_stlb={}, llc_shards={}, \
+                 {} warmup + {} measure instructions per core)",
+                self.sims.len(),
+                self.topology.shared_stlb,
+                self.topology.llc_shards,
+                cfg.warmup_instructions,
+                cfg.measure_instructions
+            ))
+        });
+
+        self.drive(cfg.warmup_instructions);
+        if let Some(r) = report.as_mut() {
+            for (i, sim) in self.sims.iter().enumerate() {
+                audit_state(r, &format!("core {i} end of warmup"), sim.mmu(), sim.mem());
+            }
+        }
+        for sim in &mut self.sims {
+            sim.mmu_mut().miss_stream.break_chain();
+        }
+        let starts: Vec<_> = self.sims.iter().map(Simulator::snapshot).collect();
+
+        self.drive(cfg.warmup_instructions + cfg.measure_instructions);
+        let ends: Vec<_> = self.sims.iter().map(Simulator::snapshot).collect();
+        let per_core: Vec<Metrics> = starts
+            .iter()
+            .zip(&ends)
+            .map(|(start, end)| {
+                let mut m = window_metrics(start, end);
+                m.cycles = m.cycles.max(1);
+                m
+            })
+            .collect();
+
+        let mut aggregate = per_core.iter().fold(Metrics::default(), |acc, &m| acc + m);
+        aggregate.cycles = per_core.iter().map(|m| m.cycles).max().unwrap_or(1);
+
+        if let Some(mut r) = report {
+            for (i, sim) in self.sims.iter().enumerate() {
+                audit_state(
+                    &mut r,
+                    &format!("core {i} end of window"),
+                    sim.mmu(),
+                    sim.mem(),
+                );
+                sim.audit_window(&mut r, &starts[i], &ends[i]);
+                audit_metrics(&mut r, &per_core[i]);
+            }
+            self.audit_machine(&mut r, &per_core, &aggregate);
+            assert!(r.is_clean(), "{}", r.render());
+            self.audit = Some(r);
+        }
+
+        self.summary = Some(MachineSummary {
+            cores: self.sims.len(),
+            per_core,
+            shootdowns_issued: self.shootdowns_issued,
+            shootdowns_received: self.shootdowns_received,
+            shootdown_hits: self.shootdown_hits,
+        });
+        aggregate
+    }
+
+    /// Advances every core to `target` retired instructions, one quantum
+    /// at a time, earliest-fetch-cycle core first.
+    fn drive(&mut self, target: u64) {
+        loop {
+            let mut pick: Option<(u64, usize)> = None;
+            for (i, sim) in self.sims.iter().enumerate() {
+                if sim.retired() < target {
+                    let key = (sim.fetch_cycle(), i);
+                    if pick.is_none_or(|p| key < p) {
+                        pick = Some(key);
+                    }
+                }
+            }
+            let Some((_, i)) = pick else { break };
+            let quantum = INTERLEAVE_QUANTUM.min(target - self.sims[i].retired());
+
+            self.sims[i].mem_mut().swap_llc(&mut self.shared_llc);
+            if let Some(stlb) = &mut self.shared_stlb {
+                self.sims[i].mmu_mut().swap_stlb(stlb);
+            }
+            for _ in 0..quantum {
+                self.sims[i].step();
+            }
+            self.sims[i].mem_mut().swap_llc(&mut self.shared_llc);
+            if let Some(stlb) = &mut self.shared_stlb {
+                self.sims[i].mmu_mut().swap_stlb(stlb);
+            }
+
+            while self.sims[i].retired() >= self.next_shootdown[i] {
+                self.issue_shootdown(i);
+                // next_shootdown is finite only when an interval is set.
+                self.next_shootdown[i] += self
+                    .topology
+                    .shootdown_interval
+                    .expect("shootdown was scheduled");
+            }
+        }
+    }
+
+    /// Core `issuer` unmaps one of its code pages: broadcast the
+    /// invalidation to every core's private structures and to the shared
+    /// STLB (the page table keeps the mapping, so the next touch re-walks
+    /// and re-establishes it — re-establishment traffic is the cost being
+    /// modelled).
+    fn issue_shootdown(&mut self, issuer: usize) {
+        let (base, count) = self.code_regions[issuer];
+        let offset = (self.victim_rotor[issuer] * SHOOTDOWN_VICTIM_STRIDE) % count;
+        self.victim_rotor[issuer] += 1;
+        let victim = VirtPage::new(base.raw() + offset);
+        self.shootdowns_issued += 1;
+        for sim in &mut self.sims {
+            self.shootdowns_received += 1;
+            if sim.mmu_mut().shootdown(victim) {
+                self.shootdown_hits += 1;
+            }
+        }
+        if let Some(stlb) = &mut self.shared_stlb {
+            stlb.invalidate(victim);
+        }
+    }
+
+    /// Machine-level conservation laws: shootdown accounting, aggregate
+    /// telescoping, per-ASID occupancy telescoping, and shared-structure
+    /// occupancy bounds.
+    fn audit_machine(&self, r: &mut AuditReport, per_core: &[Metrics], aggregate: &Metrics) {
+        let at = "machine end of run";
+        let cores = self.sims.len() as u64;
+
+        // --- Shootdown broadcast ledger ---
+        r.check_eq(
+            at,
+            "shootdowns received == shootdowns issued × cores",
+            self.shootdowns_received,
+            self.shootdowns_issued * cores,
+        );
+        r.check_le(
+            at,
+            "shootdown hits ≤ shootdowns received",
+            self.shootdown_hits,
+            self.shootdowns_received,
+        );
+        r.check_eq(
+            at,
+            "Σ per-core mmu.shootdowns == machine shootdown hits",
+            self.sims.iter().map(|s| s.mmu().stats.shootdowns).sum(),
+            self.shootdown_hits,
+        );
+
+        // --- Aggregate telescoping ---
+        r.check_eq(
+            at,
+            "aggregate instructions == Σ per-core instructions",
+            aggregate.instructions,
+            per_core.iter().map(|m| m.instructions).sum(),
+        );
+        r.check_eq(
+            at,
+            "aggregate istlb_misses == Σ per-core istlb_misses",
+            aggregate.mmu.istlb_misses,
+            per_core.iter().map(|m| m.mmu.istlb_misses).sum(),
+        );
+        r.check_eq(
+            at,
+            "aggregate demand walks == Σ per-core demand walks",
+            aggregate.walker.demand_instr_walks + aggregate.walker.demand_data_walks,
+            per_core
+                .iter()
+                .map(|m| m.walker.demand_instr_walks + m.walker.demand_data_walks)
+                .sum(),
+        );
+        r.check_eq(
+            at,
+            "aggregate cycles == max per-core cycles (makespan)",
+            aggregate.cycles,
+            per_core.iter().map(|m| m.cycles).max().unwrap_or(1),
+        );
+
+        // --- Per-ASID occupancy telescoping, per core and structure ---
+        for (i, sim) in self.sims.iter().enumerate() {
+            let asids = &self.asids_per_core[i];
+            let mmu = sim.mmu();
+            for (name, tlb) in [
+                ("itlb", mmu.itlb()),
+                ("dtlb", mmu.dtlb()),
+                ("stlb", mmu.stlb()),
+            ] {
+                r.check_eq(
+                    at,
+                    &format!("core {i} {name}: Σ per-ASID occupancy == occupancy"),
+                    asids
+                        .iter()
+                        .map(|&a| tlb.occupancy_for_asid(a) as u64)
+                        .sum(),
+                    tlb.occupancy() as u64,
+                );
+            }
+            let pb = mmu.prefetch_buffer();
+            r.check_eq(
+                at,
+                &format!("core {i} pb: Σ per-ASID occupancy == occupancy"),
+                asids.iter().map(|&a| pb.occupancy_for_asid(a) as u64).sum(),
+                pb.len() as u64,
+            );
+        }
+
+        // --- Shared structures ---
+        if let Some(stlb) = &self.shared_stlb {
+            let mut all_asids: Vec<u16> = self.asids_per_core.iter().flatten().copied().collect();
+            all_asids.sort_unstable();
+            all_asids.dedup();
+            r.check_eq(
+                at,
+                "shared stlb: Σ per-ASID occupancy == occupancy",
+                all_asids
+                    .iter()
+                    .map(|&a| stlb.occupancy_for_asid(a) as u64)
+                    .sum(),
+                stlb.occupancy() as u64,
+            );
+            r.check_le(
+                at,
+                "shared stlb occupancy ≤ configured entries",
+                stlb.occupancy() as u64,
+                stlb.config().entries as u64,
+            );
+        }
+        r.check_eq(
+            at,
+            "shared llc: Σ per-shard occupancy == occupancy",
+            (0..self.shared_llc.shard_count())
+                .map(|s| self.shared_llc.shard_occupancy(s) as u64)
+                .sum(),
+            self.shared_llc.occupancy() as u64,
+        );
+        r.check_le(
+            at,
+            "shared llc occupancy ≤ capacity",
+            self.shared_llc.occupancy() as u64,
+            self.shared_llc.capacity_lines() as u64,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use morrigan::{Morrigan, MorriganConfig};
+    use morrigan_types::prefetcher::NullPrefetcher;
+    use morrigan_workloads::{
+        suites, AsidStream, ScheduledStream, ServerWorkload, ServerWorkloadConfig,
+    };
+
+    fn quick() -> SimConfig {
+        SimConfig {
+            warmup_instructions: 10_000,
+            measure_instructions: 30_000,
+        }
+    }
+
+    fn multi_tenant_stream(core: usize, tenants: usize) -> Box<dyn InstructionStream> {
+        let mix = suites::tenant_mixes(core + 1, tenants).pop().unwrap();
+        let streams: Vec<Box<dyn InstructionStream>> = mix
+            .into_iter()
+            .enumerate()
+            .map(|(t, cfg)| {
+                let asid = (core * tenants + t + 1) as u16;
+                Box::new(AsidStream::new(ServerWorkload::new(cfg), asid))
+                    as Box<dyn InstructionStream>
+            })
+            .collect();
+        Box::new(ScheduledStream::new(streams, 5_000))
+    }
+
+    fn machine(cores: usize, tenants: usize, topology: TopologyConfig) -> Machine {
+        let system = SystemConfig {
+            topology: TopologyConfig { cores, ..topology },
+            ..SystemConfig::default()
+        };
+        let workloads = (0..cores)
+            .map(|c| multi_tenant_stream(c, tenants))
+            .collect();
+        let prefetchers = (0..cores)
+            .map(|_| Box::new(Morrigan::new(MorriganConfig::default())) as Box<dyn TlbPrefetcher>)
+            .collect();
+        Machine::new(system, workloads, prefetchers)
+    }
+
+    #[test]
+    fn single_core_machine_matches_simulator_exactly() {
+        // cores=1, processes=1: the machine must be the simulator.
+        let cfg = ServerWorkloadConfig::qmm_like("pin", 0x77);
+        let mut sim = Simulator::new(
+            SystemConfig::default(),
+            Box::new(ServerWorkload::new(cfg.clone())),
+            Box::new(NullPrefetcher),
+        );
+        let sim_m = sim.run(quick());
+
+        let mut machine = Machine::new(
+            SystemConfig::default(),
+            vec![Box::new(ServerWorkload::new(cfg))],
+            vec![Box::new(NullPrefetcher)],
+        );
+        let agg = machine.run(quick());
+        assert_eq!(agg, sim_m, "one-core machine must replay the simulator");
+        assert_eq!(machine.summary().per_core[0], sim_m);
+        assert_eq!(machine.summary().shootdowns_issued, 0);
+    }
+
+    #[test]
+    fn four_core_run_is_audited_and_aggregates() {
+        let mut m = machine(
+            4,
+            2,
+            TopologyConfig {
+                shared_stlb: true,
+                llc_shards: 4,
+                shootdown_interval: Some(7_000),
+                ..TopologyConfig::default()
+            },
+        );
+        m.set_audit(true);
+        let agg = m.run(quick());
+        assert_eq!(agg.instructions, 4 * 30_000);
+        let report = m.audit_report().expect("audit was on");
+        assert!(report.is_clean(), "{}", report.render());
+        let s = m.summary();
+        assert_eq!(s.cores, 4);
+        assert!(s.shootdowns_issued > 0, "shootdown schedule must fire");
+        assert_eq!(s.shootdowns_received, s.shootdowns_issued * 4);
+        // Aggregate IPC uses makespan cycles.
+        assert!(agg.cycles >= s.per_core.iter().map(|m| m.cycles).max().unwrap());
+    }
+
+    #[test]
+    fn machine_runs_are_deterministic() {
+        let run = || {
+            let mut m = machine(
+                2,
+                2,
+                TopologyConfig {
+                    shared_stlb: true,
+                    llc_shards: 2,
+                    shootdown_interval: Some(9_000),
+                    ..TopologyConfig::default()
+                },
+            );
+            m.run(quick())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn shared_llc_contention_costs_cycles() {
+        // The same 2-core workload with a private-LLC-sized machine vs a
+        // machine whose cores share one LLC: sharing cannot make the
+        // slowest core faster (same capacity, added contention).
+        let private_like = {
+            let mut m = machine(1, 2, TopologyConfig::default());
+            m.run(quick())
+        };
+        let shared = {
+            let mut m = machine(2, 2, TopologyConfig::default());
+            m.run(quick())
+        };
+        // Core 0 runs the identical schedule in both machines; under
+        // sharing its window can only be as fast or slower.
+        assert!(shared.cycles >= private_like.cycles);
+    }
+
+    #[test]
+    #[should_panic(expected = "one workload stream per core")]
+    fn core_count_mismatch_rejected() {
+        let system = SystemConfig {
+            topology: TopologyConfig {
+                cores: 2,
+                ..TopologyConfig::default()
+            },
+            ..SystemConfig::default()
+        };
+        let _ = Machine::new(
+            system,
+            vec![multi_tenant_stream(0, 1)],
+            vec![Box::new(NullPrefetcher)],
+        );
+    }
+}

@@ -55,7 +55,7 @@ struct StreamBuffer {
 /// raw difference (possibly zero for degenerate epochs) so that epoch
 /// metrics sum *exactly* to the window metrics — the run-level caller
 /// applies its `.max(1)` after.
-fn window_metrics(start: &Snapshot, end: &Snapshot) -> Metrics {
+pub(crate) fn window_metrics(start: &Snapshot, end: &Snapshot) -> Metrics {
     let walk_refs = [
         end.walk_refs[0] - start.walk_refs[0],
         end.walk_refs[1] - start.walk_refs[1],
@@ -81,7 +81,7 @@ fn window_metrics(start: &Snapshot, end: &Snapshot) -> Metrics {
 
 /// Counter snapshot used to subtract warmup from measurement.
 #[derive(Debug, Clone, Copy)]
-struct Snapshot {
+pub(crate) struct Snapshot {
     retired: u64,
     last_retire: u64,
     istlb_stall: u64,
@@ -169,7 +169,7 @@ pub struct Simulator<R: Recorder = NullRecorder> {
 /// `MORRIGAN_AUDIT=1` is exported (the checks cost one pass over the
 /// counters per checkpoint, negligible, but the policy keeps release
 /// figure runs byte-identical to earlier revisions unless asked).
-fn audit_default() -> bool {
+pub(crate) fn audit_default() -> bool {
     cfg!(debug_assertions) || std::env::var("MORRIGAN_AUDIT").is_ok_and(|v| v == "1")
 }
 
@@ -238,7 +238,7 @@ impl<R: Recorder> Simulator<R> {
         let mut page_table = PageTable::new(0x0a51d);
         let mut regions: Vec<(u64, u64)> = Vec::new();
         for w in &workloads {
-            for (base, count) in [w.code_region(), w.data_region()] {
+            for (base, count) in w.regions() {
                 let (b, c) = (base.raw(), count);
                 for &(ob, oc) in &regions {
                     assert!(
@@ -390,6 +390,27 @@ impl<R: Recorder> Simulator<R> {
         &mut self.mmu
     }
 
+    /// The memory hierarchy (served-level inspection, audit checks).
+    pub fn mem(&self) -> &MemoryHierarchy {
+        &self.mem
+    }
+
+    /// Mutable hierarchy access (the machine swaps the shared LLC in and
+    /// out around each core's steps).
+    pub fn mem_mut(&mut self) -> &mut MemoryHierarchy {
+        &mut self.mem
+    }
+
+    /// Instructions retired so far (warmup included).
+    pub(crate) fn retired(&self) -> u64 {
+        self.retired
+    }
+
+    /// The front end's current fetch cycle — the machine's interleave key.
+    pub(crate) fn fetch_cycle(&self) -> u64 {
+        self.fetch_cycle
+    }
+
     /// Emits one simulator-side trace event; compiles to nothing under
     /// [`NullRecorder`].
     #[inline(always)]
@@ -401,7 +422,7 @@ impl<R: Recorder> Simulator<R> {
         }
     }
 
-    fn snapshot(&self) -> Snapshot {
+    pub(crate) fn snapshot(&self) -> Snapshot {
         Snapshot {
             retired: self.retired,
             last_retire: self.last_retire,
@@ -507,7 +528,7 @@ impl<R: Recorder> Simulator<R> {
 
     /// Window monotonicity: every counter the snapshot subtraction relies
     /// on must be no smaller at the end of the window than at its start.
-    fn audit_window(&self, r: &mut AuditReport, start: &Snapshot, end: &Snapshot) {
+    pub(crate) fn audit_window(&self, r: &mut AuditReport, start: &Snapshot, end: &Snapshot) {
         let at = "measurement window";
         check_monotonic(r, at, "mmu", &start.mmu, &end.mmu);
         check_monotonic(r, at, "walker", &start.walker, &end.walker);
@@ -573,7 +594,7 @@ impl<R: Recorder> Simulator<R> {
     /// instantiation (`PROF = false`) compiles every per-site timer read
     /// and branch away — the same zero-cost discipline as the recorder.
     #[inline]
-    fn step(&mut self) {
+    pub(crate) fn step(&mut self) {
         if self.profile_fine {
             self.step_impl::<true>();
         } else {

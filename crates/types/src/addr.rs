@@ -26,6 +26,21 @@ pub const PTE_SIZE: u64 = 8;
 /// Number of PTEs that share one cache line (64 / 8 = 8).
 pub const PTES_PER_LINE: u64 = LINE_SIZE / PTE_SIZE;
 
+/// Bit position at which an address-space identifier is fused into a
+/// virtual *page number*.
+///
+/// The multi-process model keeps the single-address-space hot path
+/// intact by folding each tenant's ASID into the high bits of its VPNs:
+/// `fused_vpn = (asid << ASID_SHIFT) | vpn`. Workload generators emit
+/// VPNs below bit 40 (user-space canonical addresses are ≤ 47 bits, so
+/// pages are ≤ 35 bits), leaving bits 40+ free to carry the ASID. ASID 0
+/// is the identity fusing, which is why `cores=1, processes=1` runs are
+/// bit-identical to the pre-multicore simulator.
+pub const ASID_SHIFT: u32 = 40;
+/// Bit position at which an ASID is fused into a full virtual *address*
+/// (`ASID_SHIFT` page bits further left).
+pub const ASID_ADDR_SHIFT: u32 = ASID_SHIFT + PAGE_SHIFT;
+
 macro_rules! address_newtype {
     ($(#[$doc:meta])* $name:ident) => {
         $(#[$doc])*
@@ -137,6 +152,25 @@ impl VirtAddr {
     pub const fn line_index(self) -> u64 {
         self.0 >> LINE_SHIFT
     }
+
+    /// Fuses `asid` into this address's high bits (see [`ASID_SHIFT`]).
+    ///
+    /// ```
+    /// use morrigan_types::addr::VirtAddr;
+    /// let a = VirtAddr::new(0x1234).with_asid(3);
+    /// assert_eq!(a.asid(), 3);
+    /// assert_eq!(a.virt_page().asid(), 3);
+    /// ```
+    #[inline]
+    pub const fn with_asid(self, asid: u16) -> VirtAddr {
+        VirtAddr(self.0 | (asid as u64) << ASID_ADDR_SHIFT)
+    }
+
+    /// The ASID fused into this address (0 for untagged addresses).
+    #[inline]
+    pub const fn asid(self) -> u16 {
+        (self.0 >> ASID_ADDR_SHIFT) as u16
+    }
 }
 
 impl PhysAddr {
@@ -199,6 +233,18 @@ impl VirtPage {
         (base..base + PTES_PER_LINE)
             .filter(move |&v| v != self.0)
             .map(VirtPage)
+    }
+
+    /// Fuses `asid` into this page number's high bits (see [`ASID_SHIFT`]).
+    #[inline]
+    pub const fn with_asid(self, asid: u16) -> VirtPage {
+        VirtPage(self.0 | (asid as u64) << ASID_SHIFT)
+    }
+
+    /// The ASID fused into this page number (0 for untagged pages).
+    #[inline]
+    pub const fn asid(self) -> u16 {
+        (self.0 >> ASID_SHIFT) as u16
     }
 }
 
@@ -265,6 +311,20 @@ mod tests {
         // separate walks.
         assert_eq!(VirtPage::new(0xa7).pte_slot_in_line(), 7);
         assert_eq!(VirtPage::new(0xa8).pte_slot_in_line(), 0);
+    }
+
+    #[test]
+    fn asid_fusing_round_trips_and_is_identity_for_zero() {
+        let addr = VirtAddr::new(0x7fff_ffff_f123);
+        assert_eq!(addr.with_asid(0), addr);
+        assert_eq!(addr.asid(), 0);
+        let tagged = addr.with_asid(5);
+        assert_eq!(tagged.asid(), 5);
+        assert_eq!(tagged.page_offset(), addr.page_offset());
+        assert_eq!(tagged.virt_page(), addr.virt_page().with_asid(5));
+        assert_eq!(tagged.virt_page().asid(), 5);
+        // Fused page numbers from distinct ASIDs never collide.
+        assert_ne!(addr.virt_page().with_asid(1), addr.virt_page().with_asid(2));
     }
 
     #[test]

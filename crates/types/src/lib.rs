@@ -35,7 +35,9 @@ pub mod prefetcher;
 pub mod rng;
 pub mod stats;
 
-pub use addr::{CacheLine, PhysAddr, PhysPage, VirtAddr, VirtPage, LINE_SHIFT, PAGE_SHIFT};
+pub use addr::{
+    CacheLine, PhysAddr, PhysPage, VirtAddr, VirtPage, ASID_SHIFT, LINE_SHIFT, PAGE_SHIFT,
+};
 pub use audit::{check_monotonic, AuditReport, CounterSet, Violation};
 pub use prefetcher::{
     MissContext, PageDistance, PrefetchDecision, PrefetchOrigin, ThreadId, TlbPrefetcher,

@@ -400,6 +400,28 @@ impl<R: Recorder> Mmu<R> {
         &self.dtlb
     }
 
+    /// Exchanges this MMU's STLB with `other`.
+    ///
+    /// Under the shared-STLB topology the machine owns the one shared
+    /// STLB and swaps it into the active core's MMU around each step, so
+    /// all cores contend for a single structure without adding any
+    /// indirection to the lookup hot path.
+    pub fn swap_stlb(&mut self, other: &mut Tlb) {
+        std::mem::swap(&mut self.stlb, other);
+    }
+
+    /// Drops every translation belonging to `asid` from all four
+    /// translation structures (address-space teardown); returns the
+    /// total number of entries removed. Unlike [`Self::shootdown`] this
+    /// does not count toward `stats.shootdowns`, which tracks
+    /// page-granular shootdown IPIs that found a cached translation.
+    pub fn invalidate_asid(&mut self, asid: u16) -> usize {
+        self.itlb.invalidate_asid(asid)
+            + self.dtlb.invalidate_asid(asid)
+            + self.stlb.invalidate_asid(asid)
+            + self.pb.invalidate_asid(asid)
+    }
+
     /// Name of the attached prefetcher.
     pub fn prefetcher_name(&self) -> &'static str {
         self.prefetcher.name()

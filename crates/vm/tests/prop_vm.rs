@@ -244,3 +244,85 @@ proptest! {
         prop_assert!(out.stlb_miss && !out.pb_hit);
     }
 }
+
+proptest! {
+    /// ASID-tagged TLB invariants under arbitrary insertion sequences:
+    /// per-ASID occupancies telescope to the total occupancy, lookups
+    /// never cross address spaces (the same page number under a
+    /// different ASID is a distinct fused VPN), and invalidating an ASID
+    /// removes exactly that address space's entries.
+    #[test]
+    fn asid_occupancy_telescopes_and_shootdown_is_exact(
+        inserts in prop::collection::vec((1u16..=4, 0u64..256), 1..300),
+        victim in 1u16..=4,
+    ) {
+        let mut tlb = Tlb::new(TlbConfig { entries: 64, ways: 4, latency: 1 });
+        for &(asid, page) in &inserts {
+            let vpn = VirtPage::new(page).with_asid(asid);
+            prop_assert_eq!(vpn.asid(), asid, "fusing round-trips");
+            tlb.insert(vpn, PhysPage::new(page + 1), true);
+        }
+
+        // Telescoping: the four address spaces partition the occupancy.
+        let total: usize = (1u16..=4).map(|a| tlb.occupancy_for_asid(a)).sum();
+        prop_assert_eq!(total, tlb.occupancy());
+        prop_assert_eq!(tlb.occupancy_for_asid(0), 0, "nothing untagged was inserted");
+
+        // No cross-ASID leaks: a resident page under ASID a must miss
+        // when probed under any other ASID that never inserted it.
+        if let Some(&(asid, page)) = inserts.last() {
+            let other = if asid == 1 { 2 } else { 1 };
+            let foreign = VirtPage::new(page).with_asid(other);
+            if !inserts.contains(&(other, page)) {
+                prop_assert!(!tlb.contains(foreign), "ASID {} leaked into ASID {}", asid, other);
+            }
+        }
+
+        // Shootdown of one address space removes exactly its entries and
+        // leaves every other address space untouched.
+        let before: Vec<usize> = (0u16..=4).map(|a| tlb.occupancy_for_asid(a)).collect();
+        let dropped = tlb.invalidate_asid(victim);
+        prop_assert_eq!(dropped, before[victim as usize]);
+        prop_assert_eq!(tlb.occupancy_for_asid(victim), 0);
+        for a in 0u16..=4 {
+            if a != victim {
+                prop_assert_eq!(tlb.occupancy_for_asid(a), before[a as usize],
+                    "ASID {} was collateral damage", a);
+            }
+        }
+        prop_assert_eq!(tlb.occupancy(), before.iter().sum::<usize>() - dropped);
+    }
+
+    /// The same laws for the fully-associative prefetch buffer, whose
+    /// ledger (inserts == hits + evicted + invalidations + resident)
+    /// must stay closed across per-ASID invalidation.
+    #[test]
+    fn pb_asid_invalidation_keeps_the_ledger_closed(
+        inserts in prop::collection::vec((1u16..=3, 0u64..64), 1..150),
+        victim in 1u16..=3,
+    ) {
+        let mut pb = PrefetchBuffer::new(16, 1);
+        for &(asid, page) in &inserts {
+            let vpn = VirtPage::new(page).with_asid(asid);
+            pb.insert(vpn, PhysPage::new(page + 1), 0, None);
+        }
+        let total: usize = (1u16..=3).map(|a| pb.occupancy_for_asid(a)).sum();
+        prop_assert_eq!(total, pb.len());
+
+        let before: Vec<usize> = (0u16..=3).map(|a| pb.occupancy_for_asid(a)).collect();
+        let dropped = pb.invalidate_asid(victim);
+        prop_assert_eq!(dropped, before[victim as usize]);
+        prop_assert_eq!(pb.occupancy_for_asid(victim), 0);
+        for a in 0u16..=3 {
+            if a != victim {
+                prop_assert_eq!(pb.occupancy_for_asid(a), before[a as usize]);
+            }
+        }
+        let s = pb.stats;
+        prop_assert_eq!(
+            s.inserts,
+            s.hits() + s.evicted_unused + s.invalidations + pb.len() as u64,
+            "the PB ledger must close after ASID invalidation"
+        );
+    }
+}

@@ -63,6 +63,18 @@ pub trait InstructionStream: Send {
 
     /// The contiguous virtual data region `(first page, page count)`.
     fn data_region(&self) -> (VirtPage, u64);
+
+    /// Every contiguous virtual region this stream touches, as
+    /// `(first page, page count)` pairs; the simulator maps them all
+    /// before running.
+    ///
+    /// Single-process streams have exactly the code and data regions (the
+    /// default). Multi-process composites (see `ScheduledStream`) return
+    /// one code+data pair per tenant, each in its own ASID-fused part of
+    /// the address space.
+    fn regions(&self) -> Vec<(VirtPage, u64)> {
+        vec![self.code_region(), self.data_region()]
+    }
 }
 
 #[cfg(test)]

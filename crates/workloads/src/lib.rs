@@ -25,6 +25,7 @@
 //! suite, the SPEC-like suite, and the Java-server-like configs of Fig 2.
 
 mod instruction;
+mod multi;
 mod packed;
 mod server;
 mod spec;
@@ -33,6 +34,7 @@ mod trace_file;
 mod zipf;
 
 pub use instruction::{InstructionStream, MemAccess, TraceInstruction};
+pub use multi::{AsidStream, ScheduledStream};
 pub use packed::{fnv1a, PackedReplay, PackedTrace, REPLAY_SLACK};
 pub use server::{ServerWorkload, ServerWorkloadConfig};
 pub use spec::{SpecWorkload, SpecWorkloadConfig};

@@ -99,6 +99,27 @@ pub fn smt_pairs(count: usize) -> Vec<(ServerWorkloadConfig, ServerWorkloadConfi
     pairs
 }
 
+/// Deterministic multi-tenant mixes for the core-count scaling study:
+/// each of `cores` cores gets `tenants` distinct QMM-like workloads
+/// drawn round-robin from the suite, so no two cores run an identical
+/// mix (until the 45-entry suite wraps).
+///
+/// # Panics
+///
+/// Panics if `cores` or `tenants` is zero.
+pub fn tenant_mixes(cores: usize, tenants: usize) -> Vec<Vec<ServerWorkloadConfig>> {
+    assert!(cores > 0, "need at least one core");
+    assert!(tenants > 0, "need at least one tenant per core");
+    let suite = qmm_suite();
+    (0..cores)
+        .map(|c| {
+            (0..tenants)
+                .map(|t| suite[(c * tenants + t) % suite.len()].clone())
+                .collect()
+        })
+        .collect()
+}
+
 /// Instantiates a server workload from its configuration.
 pub fn build_server(cfg: &ServerWorkloadConfig) -> ServerWorkload {
     ServerWorkload::new(cfg.clone())
@@ -159,6 +180,21 @@ mod tests {
         let p1 = smt_pairs(10);
         let p2 = smt_pairs(10);
         assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn tenant_mixes_are_distinct_and_deterministic() {
+        let mixes = tenant_mixes(4, 3);
+        assert_eq!(mixes.len(), 4);
+        for mix in &mixes {
+            assert_eq!(mix.len(), 3);
+        }
+        let names: std::collections::HashSet<_> = mixes
+            .iter()
+            .flat_map(|m| m.iter().map(|c| c.name.clone()))
+            .collect();
+        assert_eq!(names.len(), 12, "4x3 mixes draw 12 distinct workloads");
+        assert_eq!(tenant_mixes(4, 3), tenant_mixes(4, 3));
     }
 
     #[test]

@@ -28,6 +28,8 @@ fn main() {
         measure: 2_000_000,
         workloads: 4,
         smt_pairs: 1,
+        cores: 2,
+        tenants: 2,
     };
     let suite = scale.suite();
     let n = suite.len();

@@ -15,6 +15,8 @@ fn shape_scale() -> Scale {
         measure: 3_000_000,
         workloads: 4,
         smt_pairs: 1,
+        cores: 2,
+        tenants: 2,
     }
 }
 
