@@ -13,6 +13,16 @@
 //!   CI runs this with a small `MORRIGAN_INSTR` so a hot-path
 //!   regression fails the build.
 //!
+//! Both modes run every figure **twice**: a full-detail pass (the MIPS
+//! baseline) and a SMARTS-sampled pass at the default `detail:skip`
+//! schedule. The sampled pass yields the `sampled_*` fields — per-figure
+//! simulate-phase wall time and iSTLB-MPKI deviation against the full
+//! pass — and `--check` gates on them: sampled MPKI must stay within 1 %
+//! of full (miss counters are measured, not extrapolated, so this is
+//! scale-insensitive) and the sampled simulate phase must actually be
+//! faster. The bench-scale speedup claim itself is pinned by the
+//! committed baseline's `sampled_speedup` (see `tests/baseline.rs`).
+//!
 //! Scale comes from [`bench_scale`]: the criterion profile unless
 //! `MORRIGAN_INSTR`/`MORRIGAN_FULL` override it.
 
@@ -23,6 +33,7 @@ use morrigan_bench::bench_scale;
 use morrigan_experiments as exp;
 use morrigan_experiments::{Runner, Scale};
 use morrigan_runner::json::json_f64;
+use morrigan_sim::SamplingConfig;
 
 /// One measured figure regeneration.
 struct FigureRun {
@@ -50,6 +61,14 @@ struct FigureRun {
     /// Replay streams served from those traces (the amortization
     /// denominator: served / materialized runs ≥ 1).
     streams_served: u64,
+    /// Measurement-window instructions summed over the figure's journaled
+    /// records (duplicates included — both passes journal identically, so
+    /// the accuracy ratios line up). Denominator for the MPKI deviation.
+    record_instructions: u64,
+    /// iSTLB misses summed over the figure's journaled records.
+    record_istlb_misses: u64,
+    /// Cycles summed over the figure's journaled records (IPC deviation).
+    record_cycles: u64,
 }
 
 impl FigureRun {
@@ -59,6 +78,31 @@ impl FigureRun {
 
     fn per_core_mips(&self) -> f64 {
         self.mips() / self.cores as f64
+    }
+
+    /// Aggregate iSTLB MPKI over the figure's journaled records.
+    fn istlb_mpki(&self) -> f64 {
+        self.record_istlb_misses as f64 / self.record_instructions.max(1) as f64 * 1000.0
+    }
+
+    /// Aggregate IPC over the figure's journaled records.
+    fn ipc(&self) -> f64 {
+        self.record_instructions as f64 / self.record_cycles.max(1) as f64
+    }
+}
+
+/// Relative deviation of `sampled` from `full`, `0.0` when `full` is
+/// zero (then `sampled` must be zero too for the deviation to be zero —
+/// a nonzero `sampled` against a zero `full` reads as 100 %).
+fn rel_err(full: f64, sampled: f64) -> f64 {
+    if full == 0.0 {
+        if sampled == 0.0 {
+            0.0
+        } else {
+            1.0
+        }
+    } else {
+        (sampled - full).abs() / full
     }
 }
 
@@ -78,7 +122,9 @@ fn subset_mips<'a>(runs: impl Iterator<Item = &'a FigureRun>) -> f64 {
 }
 
 /// Every figure the criterion bench suite regenerates, in bench order.
-fn run_figures(scale: &Scale) -> Vec<FigureRun> {
+/// `sampling` selects the pass: `None` runs full detailed timing, `Some`
+/// runs the SMARTS-sampled schedule on every spec.
+fn run_figures(scale: &Scale, sampling: Option<SamplingConfig>) -> Vec<FigureRun> {
     macro_rules! figs {
         ($($name:literal => $module:ident),+ $(,)?) => {
             vec![$(($name, (|runner: &Runner, scale: &Scale| {
@@ -108,13 +154,20 @@ fn run_figures(scale: &Scale) -> Vec<FigureRun> {
         "table_irip_tuning" => tuning,
     ];
 
+    let label = if sampling.is_some() {
+        "sampled"
+    } else {
+        "full"
+    };
     let mut runs = Vec::with_capacity(figures.len());
     for (name, run) in figures {
         // Fresh per figure so neither the record cache nor the workload
         // cache amortizes *across* figures; the workload cache comes
         // from the environment so `MORRIGAN_NO_WORKLOAD_CACHE=1` gives
         // an honest live-generation A/B against the same binary.
-        let runner = Runner::new(1).with_workload_cache(morrigan_runner::WorkloadCache::from_env());
+        let runner = Runner::new(1)
+            .with_sampling(sampling)
+            .with_workload_cache(morrigan_runner::WorkloadCache::from_env());
         let start = Instant::now();
         run(&runner, scale);
         let seconds = start.elapsed().as_secs_f64();
@@ -123,6 +176,12 @@ fn run_figures(scale: &Scale) -> Vec<FigureRun> {
         // exactly this figure's simulations.
         let phases = runner.phase_totals();
         let workload_stats = runner.workload_cache_stats();
+        let (mut record_instructions, mut record_istlb_misses, mut record_cycles) = (0, 0, 0);
+        for record in runner.journal_since(0) {
+            record_instructions += record.metrics.instructions;
+            record_istlb_misses += record.metrics.mmu.istlb_misses;
+            record_cycles += record.metrics.cycles;
+        }
         let fig = FigureRun {
             name,
             cores: if name == "fig21_multicore" {
@@ -137,11 +196,14 @@ fn run_figures(scale: &Scale) -> Vec<FigureRun> {
             simulate_seconds: phases.simulate(),
             workloads_materialized: workload_stats.built + workload_stats.loaded_from_disk,
             streams_served: workload_stats.streams_served,
+            record_instructions,
+            record_istlb_misses,
+            record_cycles,
         };
         eprintln!(
-            "[simbench] {name}: {instructions} instructions in {seconds:.3} s = {:.2} MIPS \
-             over {} core(s) (workload-gen {:.3} s, trace-build {:.3} s over {} traces \
-             serving {} streams, simulate {:.3} s)",
+            "[simbench] {label} {name}: {instructions} instructions in {seconds:.3} s = \
+             {:.2} MIPS over {} core(s) (workload-gen {:.3} s, trace-build {:.3} s over {} \
+             traces serving {} streams, simulate {:.3} s)",
             fig.mips(),
             fig.cores,
             fig.workload_gen_seconds,
@@ -156,22 +218,29 @@ fn run_figures(scale: &Scale) -> Vec<FigureRun> {
 }
 
 /// Renders the baseline document (the workspace deliberately carries no
-/// JSON dependency; this mirrors `morrigan_runner::json`).
-fn render(scale: &Scale, runs: &[FigureRun]) -> String {
+/// JSON dependency; this mirrors `morrigan_runner::json`). `sampled` is
+/// the SMARTS-sampled pass, aligned with `runs` by index.
+fn render(scale: &Scale, runs: &[FigureRun], sampled: &[FigureRun]) -> String {
     let mut out = String::with_capacity(4096);
-    out.push_str("{\n  \"schema\": \"morrigan-bench-simloop-v4\",\n");
+    out.push_str("{\n  \"schema\": \"morrigan-bench-simloop-v5\",\n");
     out.push_str(&format!(
         "  \"scale\": {{\"warmup\": {}, \"measure\": {}, \"workloads\": {}, \"smt_pairs\": {}, \
          \"cores\": {}, \"tenants\": {}}},\n",
         scale.warmup, scale.measure, scale.workloads, scale.smt_pairs, scale.cores, scale.tenants
     ));
+    out.push_str(&format!(
+        "  \"sampling\": \"{}\",\n",
+        SamplingConfig::default_schedule()
+    ));
     out.push_str("  \"figures\": [\n");
-    for (i, f) in runs.iter().enumerate() {
+    for (i, (f, s)) in runs.iter().zip(sampled).enumerate() {
         out.push_str(&format!(
             "    {{\"figure\": \"{}\", \"cores\": {}, \"instructions\": {}, \"seconds\": {}, \
              \"workload_gen_seconds\": {}, \"trace_build_seconds\": {}, \
              \"simulate_seconds\": {}, \"workloads_materialized\": {}, \
-             \"streams_served\": {}, \"mips\": {}, \"per_core_mips\": {}}}{}\n",
+             \"streams_served\": {}, \"mips\": {}, \"per_core_mips\": {}, \
+             \"sampled_seconds\": {}, \"sampled_simulate_seconds\": {}, \
+             \"sampled_mpki_rel_err\": {}, \"sampled_ipc_rel_err\": {}}}{}\n",
             f.name,
             f.cores,
             f.instructions,
@@ -183,6 +252,10 @@ fn render(scale: &Scale, runs: &[FigureRun]) -> String {
             f.streams_served,
             json_f64(f.mips()),
             json_f64(f.per_core_mips()),
+            json_f64(s.seconds),
+            json_f64(s.simulate_seconds),
+            json_f64(rel_err(f.istlb_mpki(), s.istlb_mpki())),
+            json_f64(rel_err(f.ipc(), s.ipc())),
             if i + 1 < runs.len() { "," } else { "" }
         ));
     }
@@ -196,21 +269,72 @@ fn render(scale: &Scale, runs: &[FigureRun]) -> String {
     let simulate: f64 = runs.iter().map(|f| f.simulate_seconds).sum();
     let materialized: u64 = runs.iter().map(|f| f.workloads_materialized).sum();
     let served: u64 = runs.iter().map(|f| f.streams_served).sum();
+    let acc = Accuracy::new(runs, sampled);
     out.push_str(&format!(
         "  \"total\": {{\"instructions\": {instructions}, \"seconds\": {}, \
          \"workload_gen_seconds\": {}, \"trace_build_seconds\": {}, \
          \"simulate_seconds\": {}, \"workloads_materialized\": {materialized}, \
          \"streams_served\": {served}, \"single_core_mips\": {}, \
-         \"multi_core_mips\": {}, \"mips\": {}}}\n}}\n",
+         \"multi_core_mips\": {}, \"sampled_seconds\": {}, \
+         \"sampled_simulate_seconds\": {}, \"sampled_speedup\": {}, \
+         \"sampled_mpki_rel_err\": {}, \"sampled_ipc_rel_err\": {}, \"mips\": {}}}\n}}\n",
         json_f64(seconds),
         json_f64(workload_gen),
         json_f64(trace_build),
         json_f64(simulate),
         json_f64(subset_mips(runs.iter().filter(|f| f.cores == 1))),
         json_f64(subset_mips(runs.iter().filter(|f| f.cores > 1))),
+        json_f64(acc.sampled_seconds),
+        json_f64(acc.sampled_simulate),
+        json_f64(acc.speedup()),
+        json_f64(acc.mpki_rel_err),
+        json_f64(acc.ipc_rel_err),
         json_f64(instructions as f64 / seconds / 1e6)
     ));
     out
+}
+
+/// The sampled pass's aggregate accuracy and speed against the full one.
+struct Accuracy {
+    sampled_seconds: f64,
+    full_simulate: f64,
+    sampled_simulate: f64,
+    mpki_rel_err: f64,
+    ipc_rel_err: f64,
+}
+
+impl Accuracy {
+    fn new(runs: &[FigureRun], sampled: &[FigureRun]) -> Self {
+        let agg = |rs: &[FigureRun]| {
+            rs.iter().fold((0u64, 0u64, 0u64), |(i, m, c), f| {
+                (
+                    i + f.record_instructions,
+                    m + f.record_istlb_misses,
+                    c + f.record_cycles,
+                )
+            })
+        };
+        let (fi, fm, fc) = agg(runs);
+        let (si, sm, sc) = agg(sampled);
+        let mpki = |misses: u64, instr: u64| misses as f64 / instr.max(1) as f64 * 1000.0;
+        let ipc = |instr: u64, cycles: u64| instr as f64 / cycles.max(1) as f64;
+        Accuracy {
+            sampled_seconds: sampled.iter().map(|f| f.seconds).sum(),
+            full_simulate: runs.iter().map(|f| f.simulate_seconds).sum(),
+            sampled_simulate: sampled.iter().map(|f| f.simulate_seconds).sum(),
+            mpki_rel_err: rel_err(mpki(fm, fi), mpki(sm, si)),
+            ipc_rel_err: rel_err(ipc(fi, fc), ipc(si, sc)),
+        }
+    }
+
+    /// Full-pass simulate seconds over sampled-pass simulate seconds.
+    fn speedup(&self) -> f64 {
+        if self.sampled_simulate > 0.0 {
+            self.full_simulate / self.sampled_simulate
+        } else {
+            0.0
+        }
+    }
 }
 
 fn totals(runs: &[FigureRun]) -> (u64, f64) {
@@ -273,7 +397,8 @@ fn main() -> ExitCode {
          {} cores x {} tenants",
         scale.warmup, scale.measure, scale.workloads, scale.smt_pairs, scale.cores, scale.tenants
     );
-    let runs = run_figures(&scale);
+    let runs = run_figures(&scale, None);
+    let sampled = run_figures(&scale, Some(SamplingConfig::default_schedule()));
     let (instructions, seconds) = totals(&runs);
     let mips = instructions as f64 / seconds / 1e6;
     let single_core_mips = subset_mips(runs.iter().filter(|f| f.cores == 1));
@@ -281,10 +406,41 @@ fn main() -> ExitCode {
         "simbench: {instructions} instructions in {seconds:.3} s = {mips:.2} MIPS \
          aggregate, {single_core_mips:.2} single-core"
     );
+    let acc = Accuracy::new(&runs, &sampled);
+    println!(
+        "simbench: sampled pass {:.3} s simulate vs {:.3} s full = {:.2}x speedup, \
+         MPKI deviation {:.4}, IPC deviation {:.4}",
+        acc.sampled_simulate,
+        acc.full_simulate,
+        acc.speedup(),
+        acc.mpki_rel_err,
+        acc.ipc_rel_err,
+    );
+
+    // Every row must report a real simulate phase: a figure whose
+    // simulate_seconds reads 0.0 means the phase plumbing dropped its
+    // profile (the multi-core machine used to), not that simulation was
+    // free. Enforced in both modes so a regenerated baseline can never
+    // re-commit the bug.
+    let mut failed = false;
+    for f in runs.iter().chain(sampled.iter()) {
+        // `<=` also catches a NaN smuggled in by a broken phase profile.
+        if f.simulate_seconds <= 0.0 || f.simulate_seconds.is_nan() {
+            eprintln!(
+                "simbench: PHASE ACCOUNTING BUG: {} ({} core(s)) reports \
+                 simulate_seconds = {}",
+                f.name, f.cores, f.simulate_seconds
+            );
+            failed = true;
+        }
+    }
 
     match check_path {
         None => {
-            std::fs::write(&out_path, render(&scale, &runs)).expect("write baseline");
+            if failed {
+                return ExitCode::FAILURE;
+            }
+            std::fs::write(&out_path, render(&scale, &runs, &sampled)).expect("write baseline");
             println!("simbench: baseline written to {out_path}");
             ExitCode::SUCCESS
         }
@@ -297,7 +453,6 @@ fn main() -> ExitCode {
                 "simbench: committed baseline {committed:.2} MIPS, floor {floor:.2} \
                  (tolerance {tolerance})"
             );
-            let mut failed = false;
             if mips < floor {
                 eprintln!("simbench: THROUGHPUT REGRESSION: {mips:.2} < {floor:.2} MIPS");
                 failed = true;
@@ -346,6 +501,33 @@ fn main() -> ExitCode {
                 eprintln!(
                     "simbench: WORKLOAD-GENERATION REGRESSION: ratio {current_ratio:.4} > \
                      {ratio_ceiling:.4} — is the workload cache still amortizing?"
+                );
+                failed = true;
+            }
+
+            // Sampled-accuracy gate: miss counters are measured on every
+            // instruction in a sampled run (never extrapolated), so the
+            // MPKI deviation is scale-insensitive and must stay within
+            // 1 % even at CI's reduced MORRIGAN_INSTR.
+            if acc.mpki_rel_err > 0.01 {
+                eprintln!(
+                    "simbench: SAMPLED ACCURACY REGRESSION: iSTLB MPKI deviates {:.4} \
+                     (> 0.01) from the full run",
+                    acc.mpki_rel_err
+                );
+                failed = true;
+            }
+
+            // Sampled-speed gate: the fast-forward path must actually be
+            // faster than detailed stepping. The floor is deliberately
+            // loose (1.2x) because CI checks at a reduced scale where
+            // warmup transients dominate; the bench-scale >= 2x claim is
+            // pinned by the committed baseline's sampled_speedup (see
+            // tests/baseline.rs).
+            if acc.speedup() < 1.2 {
+                eprintln!(
+                    "simbench: SAMPLED SPEED REGRESSION: simulate-phase speedup {:.2}x < 1.2x",
+                    acc.speedup()
                 );
                 failed = true;
             }

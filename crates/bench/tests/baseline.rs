@@ -1,0 +1,127 @@
+//! Pins the committed `BENCH_simloop.json` baseline's shape and claims.
+//!
+//! These tests parse the checked-in document (no simulation runs), so
+//! they catch a regenerated baseline that silently re-commits a bug the
+//! bench gates only check at run time:
+//!
+//! * every figure row — including the multi-core `fig21_multicore` one —
+//!   must report a nonzero `simulate_seconds` (the machine used to drop
+//!   its per-core phase profiles, zeroing the row);
+//! * the bench-scale sampled pass must actually deliver its headline
+//!   speedup (`sampled_speedup >= 2`) at honest accuracy
+//!   (`sampled_mpki_rel_err <= 0.01`).
+
+/// The committed baseline at the workspace root.
+fn committed_baseline() -> String {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_simloop.json");
+    std::fs::read_to_string(path).expect("committed BENCH_simloop.json at the workspace root")
+}
+
+/// Extracts `"key": <number>` from `obj` (the same narrow convention as
+/// simbench's own baseline parser: it reads exactly what `render` wrote).
+fn field(obj: &str, key: &str) -> f64 {
+    let needle = format!("\"{key}\": ");
+    let start = obj
+        .find(&needle)
+        .unwrap_or_else(|| panic!("field {key:?} in {obj:.120}"))
+        + needle.len();
+    let value = &obj[start..];
+    let end = value
+        .find(|c: char| c != '.' && c != '-' && c != 'e' && !c.is_ascii_digit())
+        .unwrap_or(value.len());
+    value[..end]
+        .parse()
+        .unwrap_or_else(|_| panic!("numeric {key:?}, got {:?}", &value[..end]))
+}
+
+/// The figure-row objects of the document, in order.
+fn figure_rows(doc: &str) -> Vec<&str> {
+    let body = &doc[doc.find("\"figures\": [").expect("figures array")..];
+    let body = &body[..body
+        .find("\"total\"")
+        .expect("total object follows the figures")];
+    let rows: Vec<&str> = body
+        .split("{\"figure\": ")
+        .skip(1)
+        .map(|row| &row[..row.find('}').expect("row object closes")])
+        .collect();
+    assert!(
+        rows.len() >= 19,
+        "all 19 figures present, got {}",
+        rows.len()
+    );
+    rows
+}
+
+#[test]
+fn committed_baseline_is_schema_v5() {
+    let doc = committed_baseline();
+    assert!(
+        doc.contains("\"schema\": \"morrigan-bench-simloop-v5\""),
+        "baseline must be the v5 schema (regenerate with `simbench --out`)"
+    );
+    assert!(
+        doc.contains("\"sampling\": \""),
+        "v5 baselines record the sampled pass's schedule"
+    );
+}
+
+#[test]
+fn every_figure_row_reports_a_real_simulate_phase() {
+    let doc = committed_baseline();
+    let mut saw_multi_core = false;
+    for row in figure_rows(&doc) {
+        let cores = field(row, "cores");
+        saw_multi_core |= cores > 1.0;
+        let simulate = field(row, "simulate_seconds");
+        assert!(
+            simulate > 0.0,
+            "row with cores={cores} reports simulate_seconds={simulate}: {row:.120}"
+        );
+        assert!(
+            field(row, "sampled_simulate_seconds") > 0.0,
+            "sampled pass must report a real simulate phase too: {row:.120}"
+        );
+    }
+    assert!(
+        saw_multi_core,
+        "the baseline must carry a multi-core row (fig21) — the zero-seconds bug hid there"
+    );
+}
+
+#[test]
+fn committed_sampled_speedup_and_accuracy_hold() {
+    let doc = committed_baseline();
+    let total = &doc[doc.rfind("\"total\"").expect("total object")..];
+    let speedup = field(total, "sampled_speedup");
+    assert!(
+        speedup >= 2.0,
+        "bench-scale sampled simulate-phase speedup must be >= 2x, got {speedup:.2}x"
+    );
+    let mpki_err = field(total, "sampled_mpki_rel_err");
+    assert!(
+        mpki_err <= 0.01,
+        "bench-scale sampled MPKI deviation must be <= 1%, got {mpki_err:.4}"
+    );
+    let ipc_err = field(total, "sampled_ipc_rel_err");
+    assert!(
+        ipc_err.abs() <= 0.01,
+        "bench-scale sampled IPC deviation must be <= 1%, got {ipc_err:.4}"
+    );
+}
+
+#[test]
+fn committed_per_figure_mpki_deviation_is_bounded() {
+    // MPKI is *measured* during fast-forward (every translation runs the
+    // real MMU paths), so per-figure deviation should be essentially
+    // zero; 1 % bounds the second-order timestamp effects on the
+    // timing-sensitive structures (PB, walker) without flakiness.
+    let doc = committed_baseline();
+    for row in figure_rows(&doc) {
+        let err = field(row, "sampled_mpki_rel_err");
+        assert!(
+            err.abs() <= 0.01,
+            "per-figure sampled MPKI deviation must be <= 1%: {row:.120}"
+        );
+    }
+}

@@ -8,11 +8,13 @@
 //! figures --json out.json fig15   # also write machine-readable records
 //! figures --trace t.json fig02    # also write an event trace (Perfetto)
 //! figures --interval 10000 ...    # per-epoch time-series in the JSON
+//! figures --sample 10000:40000 .. # SMARTS sampled simulation (or --sample 1)
 //! MORRIGAN_FULL=1 figures         # paper-scale run lengths (slow)
 //! MORRIGAN_THREADS=4 figures      # worker-pool size override
 //! MORRIGAN_VERBOSE=1 figures      # per-simulation progress on stderr
 //! MORRIGAN_TRACE=t.json figures   # --trace via the environment
 //! MORRIGAN_INTERVAL=10000 figures # --interval via the environment
+//! MORRIGAN_SAMPLE=10000:40000 figures  # --sample via the environment
 //! figures --no-workload-cache     # force live workload generation
 //! MORRIGAN_WORKLOAD_CACHE=dir figures  # persist workload traces on disk
 //! ```
@@ -66,10 +68,11 @@ fn closest_figure(name: &str) -> &'static str {
 
 /// Every flag the binary accepts, for the "did you mean" hint on
 /// unknown `--…` arguments.
-const FLAGS: [&str; 8] = [
+const FLAGS: [&str; 9] = [
     "--json",
     "--trace",
     "--interval",
+    "--sample",
     "--cores",
     "--tenants",
     "--no-workload-cache",
@@ -141,6 +144,16 @@ fn parse_interval(value: &str) -> Result<u64, String> {
     }
 }
 
+/// Parses a `--sample` value: `1` for the default schedule, otherwise
+/// the `detail:skip` notation.
+fn parse_sample(value: &str) -> Result<morrigan_sim::SamplingConfig, String> {
+    let value = value.trim();
+    if value == "1" {
+        return Ok(morrigan_sim::SamplingConfig::default_schedule());
+    }
+    morrigan_sim::SamplingConfig::parse(value).map_err(|e| format!("--sample: {e}"))
+}
+
 struct Args {
     /// Figure names to run (empty = all).
     selected: Vec<String>,
@@ -152,6 +165,9 @@ struct Args {
     /// Interval-sampler epoch length (`--interval`; `MORRIGAN_INTERVAL`
     /// is handled by [`Runner::from_env`] when the flag is absent).
     interval: Option<u64>,
+    /// SMARTS sampled-simulation schedule (`--sample`; `MORRIGAN_SAMPLE`
+    /// is handled by [`Runner::from_env`] when the flag is absent).
+    sample: Option<morrigan_sim::SamplingConfig>,
     /// Fig 21 sweep ceiling (`--cores`; `MORRIGAN_CORES` when absent).
     cores: Option<usize>,
     /// Fig 21 tenants per core (`--tenants`; `MORRIGAN_TENANTS` when
@@ -168,7 +184,8 @@ struct Args {
 fn usage() -> String {
     format!(
         "usage: figures [--json <path>] [--trace <path>.json|.jsonl] [--interval <n>] \
-         [--cores <1|2|4|8|…>] [--tenants <n>] [--no-workload-cache] [{}]...",
+         [--sample <detail:skip|1>] [--cores <1|2|4|8|…>] [--tenants <n>] \
+         [--no-workload-cache] [{}]...",
         FIGURES.join("|")
     )
 }
@@ -178,6 +195,7 @@ fn parse_args() -> Result<Args, String> {
     let mut json_path = None;
     let mut trace_path = None;
     let mut interval = None;
+    let mut sample = None;
     let mut cores = None;
     let mut tenants = None;
     let mut no_workload_cache = false;
@@ -203,6 +221,12 @@ fn parse_args() -> Result<Args, String> {
                     .next()
                     .ok_or_else(|| "--interval requires an epoch length".to_string())?;
                 interval = Some(parse_interval(&value)?);
+            }
+            "--sample" => {
+                let value = args
+                    .next()
+                    .ok_or_else(|| "--sample requires a detail:skip schedule".to_string())?;
+                sample = Some(parse_sample(&value)?);
             }
             "--cores" => {
                 let value = args
@@ -243,11 +267,29 @@ fn parse_args() -> Result<Args, String> {
             }
         }
     }
+    // Sampling is incompatible with the other telemetry modes: the
+    // interval time-series would mix estimated and measured epochs, and
+    // a sampled trace would silently omit the fast-forwarded stretches.
+    if sample.is_some() && interval.is_some() {
+        return Err(
+            "--sample and --interval are mutually exclusive: interval epochs assume full \
+             detailed timing"
+                .to_string(),
+        );
+    }
+    if sample.is_some() && trace_path.is_some() {
+        return Err(
+            "--sample and --trace are mutually exclusive: an event trace of a sampled run \
+             would omit the fast-forwarded stretches"
+                .to_string(),
+        );
+    }
     Ok(Args {
         selected,
         json_path,
         trace_path,
         interval,
+        sample,
         cores,
         tenants,
         no_workload_cache,
@@ -277,10 +319,24 @@ fn main() -> ExitCode {
     }
     let mut runner = Runner::from_env();
     if args.interval.is_some() {
-        runner = runner.with_interval(args.interval);
+        // An explicit --interval overrides any MORRIGAN_SAMPLE default
+        // (the two modes are mutually exclusive at the runner).
+        runner = runner.with_sampling(None).with_interval(args.interval);
+    }
+    if args.sample.is_some() {
+        runner = runner.with_interval(None).with_sampling(args.sample);
     }
     if args.no_workload_cache {
         runner = runner.with_workload_cache(morrigan_runner::WorkloadCache::disabled());
+    }
+    // --sample may also arrive via MORRIGAN_SAMPLE, which parse_args
+    // cannot see; re-check the trace exclusion against the runner.
+    if args.trace_path.is_some() && runner.sampling().is_some() {
+        eprintln!(
+            "--trace and sampled simulation (--sample / MORRIGAN_SAMPLE) are mutually \
+             exclusive: an event trace of a sampled run would omit the fast-forwarded stretches"
+        );
+        return ExitCode::FAILURE;
     }
     let want = |name: &str| args.selected.is_empty() || args.selected.iter().any(|a| a == name);
     eprintln!(
@@ -372,6 +428,16 @@ fn write_trace(runner: &Runner, path: &str) -> Result<(), String> {
         .into_iter()
         .next()
         .ok_or_else(|| "--trace: no simulation ran, nothing to trace".to_string())?;
+    if matches!(
+        first.spec.workload,
+        morrigan_runner::WorkloadSpec::Multi { .. }
+    ) {
+        return Err(format!(
+            "--trace: the first record ({}) is a multi-core machine, which has no event \
+             recorder; rerun with a single-core figure (e.g. fig02) listed first",
+            first.spec.workload.name()
+        ));
+    }
     eprintln!(
         "tracing {} / {}...",
         first.spec.workload.name(),

@@ -3,6 +3,7 @@
 //! The same structure backs every level of the hierarchy; TLBs use their own
 //! generic buffer in `morrigan-vm` because they key on pages, not lines.
 
+use morrigan_types::scan;
 use morrigan_types::CacheLine;
 use serde::{Deserialize, Serialize};
 
@@ -138,10 +139,10 @@ impl Cache {
             return true;
         }
         let range = self.set_range(line);
-        // One slice per probe: the tag scan compiles to a straight run
-        // over contiguous u64s with no per-way bounds checks.
+        // One slice per probe: the branch-free kernel scans the set's
+        // contiguous tags as one or two vector compares.
         let start = range.start;
-        if let Some(w) = self.lines[range].iter().position(|&l| l == key) {
+        if let Some(w) = scan::find_tag(&self.lines[range], key) {
             self.stamps[start + w] = self.tick;
             self.last_idx = start + w;
             return true;
@@ -153,6 +154,31 @@ impl Cache {
     pub fn contains(&self, line: CacheLine) -> bool {
         let key = line.raw();
         self.lines[self.set_range(line)].contains(&key)
+    }
+
+    /// Software-prefetches the tag array of the set `line` maps to — a
+    /// scheduling hint for batched probes; never required for
+    /// correctness.
+    #[inline]
+    pub fn prefetch_set(&self, line: CacheLine) {
+        scan::prefetch_tags(&self.lines[self.set_range(line)]);
+    }
+
+    /// Batched residency probe over up to [`scan::BATCH`] lines: bit `i`
+    /// of the result is set iff `lines[i]` is resident. Each scan
+    /// prefetches the following key's set; LRU state is untouched, so
+    /// the batch equals calling [`contains`](Self::contains) per key.
+    pub fn probe_batch(&self, batch: &[CacheLine]) -> u32 {
+        debug_assert!(batch.len() <= scan::BATCH);
+        let mut mask = 0u32;
+        for (i, &line) in batch.iter().enumerate() {
+            if let Some(&next) = batch.get(i + 1) {
+                self.prefetch_set(next);
+            }
+            let resident = scan::find_tag(&self.lines[self.set_range(line)], line.raw()).is_some();
+            mask |= (resident as u32) << i;
+        }
+        mask
     }
 
     /// Installs `line` as MRU, returning the evicted victim line, if any.
@@ -168,28 +194,19 @@ impl Cache {
         let start = range.start;
         let lines = &mut self.lines[range.clone()];
         let stamps = &mut self.stamps[range];
-        // Refresh a resident line, and find the victim in the same pass:
-        // empty ways carry stamp 0 (below every live stamp ≥ 1) and ties
-        // pick the lowest index, so the min-stamp way is the first free
-        // way if one exists, the LRU way otherwise.
-        let mut victim = 0;
-        let mut victim_stamp = stamps[0];
-        let mut hit = None;
-        for (w, (&l, &s)) in lines.iter().zip(stamps.iter()).enumerate() {
-            if l == key {
-                hit = Some(w);
-                break;
-            }
-            if s < victim_stamp {
-                victim_stamp = s;
-                victim = w;
-            }
-        }
-        if let Some(w) = hit {
-            stamps[w] = tick;
-            self.last_idx = start + w;
+        // Refresh a resident line, else replace the min-stamp way: empty
+        // ways carry stamp 0 (below every live stamp ≥ 1) and ties pick
+        // the lowest index, so the min-stamp way is the first free way
+        // if one exists, the LRU way otherwise (pinned against the
+        // fused scalar scan by the kernel's tests).
+        let (way, hit) = scan::find_hit_or_victim(lines, stamps, key);
+        if hit {
+            stamps[way] = tick;
+            self.last_idx = start + way;
             return None;
         }
+        let victim = way;
+        let victim_stamp = stamps[victim];
         let evicted = (victim_stamp != 0).then(|| CacheLine::new(lines[victim]));
         lines[victim] = key;
         stamps[victim] = tick;
@@ -315,6 +332,23 @@ mod tests {
         assert_eq!(c.fill(CacheLine::new(3)), None);
         assert!(c.contains(set0_line(1)));
         assert!(c.contains(set0_line(2)));
+    }
+
+    #[test]
+    fn probe_batch_matches_contains() {
+        let mut c = Cache::new(CacheConfig {
+            sets: 4,
+            ways: 2,
+            latency: 1,
+        });
+        for i in 0..5u64 {
+            c.fill(CacheLine::new(i * 3));
+        }
+        let keys: Vec<CacheLine> = (0..8u64).map(CacheLine::new).collect();
+        let mask = c.probe_batch(&keys);
+        for (i, &line) in keys.iter().enumerate() {
+            assert_eq!(mask & (1 << i) != 0, c.contains(line), "key {i}");
+        }
     }
 
     #[test]

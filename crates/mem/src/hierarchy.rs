@@ -322,6 +322,16 @@ impl MemoryHierarchy {
         self.l1i.contains(line)
     }
 
+    /// Software-prefetches the L1I tag array of the set the *next*
+    /// sequential line maps to. The fast-forward front end nearly always
+    /// probes `line + 1` next (straight-line fetch), so pulling that
+    /// set's tags into the host cache hides the SoA scan's memory
+    /// latency; it is a host-side hint with no architectural effect.
+    #[inline]
+    pub fn prefetch_next_ifetch_set(&self, line: CacheLine) {
+        self.l1i.prefetch_set(CacheLine::new(line.raw() + 1));
+    }
+
     /// Exchanges this hierarchy's LLC with `other`.
     ///
     /// The multi-core machine owns the one shared (possibly multi-bank)

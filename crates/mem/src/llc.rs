@@ -88,6 +88,28 @@ impl Llc {
         self.shards[shard].contains(key)
     }
 
+    /// Software-prefetches the tag array of the set `line` maps to in
+    /// its owning shard — a scheduling hint for batched probes.
+    #[inline]
+    pub fn prefetch_set(&self, line: CacheLine) {
+        let (shard, key) = self.split(line);
+        self.shards[shard].prefetch_set(key);
+    }
+
+    /// Batched residency probe: bit `i` is set iff `batch[i]` is
+    /// resident in its owning shard. LRU state is untouched; equals
+    /// calling [`contains`](Self::contains) per key.
+    pub fn probe_batch(&self, batch: &[CacheLine]) -> u32 {
+        let mut mask = 0u32;
+        for (i, &line) in batch.iter().enumerate() {
+            if let Some(&next) = batch.get(i + 1) {
+                self.prefetch_set(next);
+            }
+            mask |= (self.contains(line) as u32) << i;
+        }
+        mask
+    }
+
     /// Installs `line` as MRU in its owning shard.
     #[inline]
     pub fn fill(&mut self, line: CacheLine) {

@@ -200,7 +200,11 @@ fn intervals_json(samples: &[IntervalSample]) -> String {
 }
 
 /// Renders the machine section of a multi-core record: the topology it
-/// ran under, per-core headline metrics, and the shootdown ledger.
+/// ran under, per-core headline metrics, and the shootdown ledger. When
+/// the machine recorded per-core interval time-series, each core's epoch
+/// array rides along as `per_core_intervals`; the field is omitted
+/// entirely otherwise so interval-off output keeps its exact historical
+/// shape.
 fn machine_json(record: &RunRecord, m: &morrigan_sim::MachineSummary) -> String {
     let spec = &record.spec;
     let topology = &spec.system.topology;
@@ -223,7 +227,7 @@ fn machine_json(record: &RunRecord, m: &morrigan_sim::MachineSummary) -> String 
         })
         .collect::<Vec<_>>()
         .join(", ");
-    obj(vec![
+    let mut fields = vec![
         kv("cores", m.cores.to_string()),
         kv("shared_stlb", topology.shared_stlb.to_string()),
         kv("llc_shards", topology.llc_shards.to_string()),
@@ -238,7 +242,17 @@ fn machine_json(record: &RunRecord, m: &morrigan_sim::MachineSummary) -> String 
         kv("shootdowns_received", m.shootdowns_received.to_string()),
         kv("shootdown_hits", m.shootdown_hits.to_string()),
         kv("per_core", format!("[{per_core}]")),
-    ])
+    ];
+    if !m.per_core_intervals.is_empty() {
+        let series = m
+            .per_core_intervals
+            .iter()
+            .map(|samples| intervals_json(samples))
+            .collect::<Vec<_>>()
+            .join(", ");
+        fields.push(kv("per_core_intervals", format!("[{series}]")));
+    }
+    obj(fields)
 }
 
 /// Renders one record as a JSON object.

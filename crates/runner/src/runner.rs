@@ -5,6 +5,7 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
 use morrigan_obs::PhaseProfile;
+use morrigan_sim::SamplingConfig;
 
 use crate::spec::{RunRecord, RunSpec};
 use crate::workload_cache::{WorkloadCache, WorkloadCacheStats};
@@ -32,6 +33,11 @@ pub struct Runner {
     /// contract: it is fixed at construction, so every cached record was
     /// produced under the same sampling setting.
     interval: Option<u64>,
+    /// Default SMARTS sampled-simulation schedule for specs that don't
+    /// pin one themselves; `None` (the default) runs full detailed
+    /// timing. Construction-time only, same cache-key contract as
+    /// `interval`.
+    sampling: Option<SamplingConfig>,
     cache: Mutex<HashMap<String, Arc<RunRecord>>>,
     /// Records every record handed out, in request order, across batches.
     /// Lets callers attribute records to request ranges (the `figures`
@@ -58,6 +64,7 @@ impl Runner {
             threads: threads.max(1),
             verbose: false,
             interval: None,
+            sampling: None,
             cache: Mutex::new(HashMap::new()),
             journal: Mutex::new(Vec::new()),
             sims_executed: AtomicU64::new(0),
@@ -72,7 +79,10 @@ impl Runner {
     /// `MORRIGAN_THREADS` if set (falling back to
     /// [`std::thread::available_parallelism`]), per-job narration when
     /// `MORRIGAN_VERBOSE=1`, interval sampling from `MORRIGAN_INTERVAL`
-    /// (a positive epoch length in retired instructions).
+    /// (a positive epoch length in retired instructions), and SMARTS
+    /// sampled simulation from `MORRIGAN_SAMPLE` (`1` for the default
+    /// `detail:skip` schedule, or an explicit one; see
+    /// [`SamplingConfig::from_env`]).
     pub fn from_env() -> Self {
         let fallback = std::thread::available_parallelism()
             .map(|n| n.get())
@@ -83,6 +93,7 @@ impl Runner {
         Runner::new(threads)
             .verbose(std::env::var("MORRIGAN_VERBOSE").is_ok_and(|v| v == "1"))
             .with_interval(interval)
+            .with_sampling(SamplingConfig::from_env())
             .with_workload_cache(WorkloadCache::from_env())
     }
 
@@ -100,11 +111,17 @@ impl Runner {
     ///
     /// # Panics
     ///
-    /// Panics on `Some(0)`.
+    /// Panics on `Some(0)`, or when a sampled-simulation schedule is also
+    /// configured (the two telemetry modes are mutually exclusive).
     pub fn with_interval(mut self, interval: Option<u64>) -> Self {
         assert!(
             interval != Some(0),
             "sampling interval must be positive when set"
+        );
+        assert!(
+            interval.is_none() || self.sampling.is_none(),
+            "interval time-series and sampled simulation are mutually exclusive \
+             (MORRIGAN_INTERVAL vs MORRIGAN_SAMPLE)"
         );
         self.interval = interval;
         self
@@ -113,6 +130,32 @@ impl Runner {
     /// The interval-sampler epoch length applied to executed specs.
     pub fn interval(&self) -> Option<u64> {
         self.interval
+    }
+
+    /// Sets the default SMARTS sampled-simulation schedule for specs that
+    /// don't pin one themselves (`None` runs full detailed timing).
+    ///
+    /// Construction-time only — same cache-key contract as
+    /// [`Runner::with_interval`]. The two telemetry modes are mutually
+    /// exclusive per simulator, so a runner configured with both rejects
+    /// the combination here rather than deep inside a worker.
+    ///
+    /// # Panics
+    ///
+    /// Panics when an interval is also configured.
+    pub fn with_sampling(mut self, sampling: Option<SamplingConfig>) -> Self {
+        assert!(
+            sampling.is_none() || self.interval.is_none(),
+            "interval time-series and sampled simulation are mutually exclusive \
+             (MORRIGAN_INTERVAL vs MORRIGAN_SAMPLE)"
+        );
+        self.sampling = sampling;
+        self
+    }
+
+    /// The default sampled-simulation schedule applied to executed specs.
+    pub fn sampling(&self) -> Option<SamplingConfig> {
+        self.sampling
     }
 
     /// Replaces the workload-trace cache (construction-time only, like
@@ -225,7 +268,7 @@ impl Runner {
                         spec.prefetcher.name()
                     );
                 }
-                let record = spec.execute_cached(self.interval, &self.workloads);
+                let record = spec.execute_cached(self.interval, self.sampling, &self.workloads);
                 self.sims_executed.fetch_add(1, Ordering::Relaxed);
                 self.instructions_simulated
                     .fetch_add(spec.instructions_cost(), Ordering::Relaxed);

@@ -13,7 +13,8 @@ use morrigan_baselines::{
 };
 use morrigan_obs::{PhaseProfile, TraceRecorder};
 use morrigan_sim::{
-    IntervalSample, Machine, MachineSummary, Metrics, SimConfig, Simulator, SystemConfig,
+    IntervalSample, Machine, MachineSummary, Metrics, SamplingConfig, SimConfig, Simulator,
+    SystemConfig,
 };
 use morrigan_types::prefetcher::NullPrefetcher;
 use morrigan_types::{AuditReport, TlbPrefetcher};
@@ -338,6 +339,13 @@ pub struct RunSpec {
     pub sim: SimConfig,
     /// STLB prefetcher description.
     pub prefetcher: PrefetcherSpec,
+    /// SMARTS-style sampled-simulation schedule; `None` (the default)
+    /// runs full detailed timing. Part of the spec's identity: sampled
+    /// and full runs of the same job produce different cycle metrics, so
+    /// the [content key](RunSpec::content_key) — derived from the spec's
+    /// `Debug` rendering — keeps their cached records apart.
+    #[serde(default)]
+    pub sampling: Option<SamplingConfig>,
 }
 
 impl RunSpec {
@@ -353,6 +361,7 @@ impl RunSpec {
             system,
             sim,
             prefetcher: prefetcher.into(),
+            sampling: None,
         }
     }
 
@@ -368,6 +377,7 @@ impl RunSpec {
             system,
             sim,
             prefetcher: prefetcher.into(),
+            sampling: None,
         }
     }
 
@@ -383,6 +393,7 @@ impl RunSpec {
             system,
             sim,
             prefetcher: prefetcher.into(),
+            sampling: None,
         }
     }
 
@@ -414,6 +425,7 @@ impl RunSpec {
             system,
             sim,
             prefetcher: prefetcher.into(),
+            sampling: None,
         }
     }
 
@@ -449,17 +461,18 @@ impl RunSpec {
     /// `interval` is `Some(n)`: the record's `intervals` carries one
     /// [`IntervalSample`] per `n` retired instructions of the window.
     ///
-    /// Multi-core specs run on the [`Machine`], which has no interval
-    /// sampler — their records' `intervals` stay empty regardless of
-    /// `interval`.
+    /// Multi-core specs run on the [`Machine`]: the record-level
+    /// `intervals` stays empty, and each core's epoch series rides the
+    /// [`MachineSummary`]'s `per_core_intervals` instead.
     pub fn execute_observed(&self, interval: Option<u64>) -> RunRecord {
         if matches!(self.workload, WorkloadSpec::Multi { .. }) {
-            return self.execute_machine(None);
+            return self.execute_machine(interval, None, None);
         }
         let prefetcher = self.prefetcher.build();
         let streams = self.workload.build_streams();
         let mut simulator = Simulator::new_smt(self.system, streams, prefetcher);
         simulator.set_interval(interval);
+        simulator.set_sampling(self.sampling);
         let metrics = simulator.run(self.sim);
         self.finish(&simulator, metrics)
     }
@@ -477,10 +490,21 @@ impl RunSpec {
     /// excluded from the record's JSON rendering, so `figures --json`
     /// output stays byte-identical cache-on vs. cache-off.
     ///
+    /// `sampling` is a *default* schedule (e.g. the
+    /// [`Runner`](crate::Runner)'s `MORRIGAN_SAMPLE`-configured one): a
+    /// spec whose own [`sampling`](RunSpec::sampling) field is set keeps
+    /// its pinned schedule; only unset specs inherit the default.
+    ///
     /// [`Phase::TraceBuild`]: morrigan_obs::Phase::TraceBuild
-    pub fn execute_cached(&self, interval: Option<u64>, cache: &WorkloadCache) -> RunRecord {
+    pub fn execute_cached(
+        &self,
+        interval: Option<u64>,
+        sampling: Option<SamplingConfig>,
+        cache: &WorkloadCache,
+    ) -> RunRecord {
+        let sampling = self.sampling.or(sampling);
         if matches!(self.workload, WorkloadSpec::Multi { .. }) {
-            return self.execute_machine(Some(cache));
+            return self.execute_machine(interval, sampling, Some(cache));
         }
         let prefetcher = self.prefetcher.build();
         let trace_len =
@@ -490,6 +514,7 @@ impl RunSpec {
         let trace_build = build_start.elapsed().as_secs_f64();
         let mut simulator = Simulator::new_smt(self.system, streams, prefetcher);
         simulator.set_interval(interval);
+        simulator.set_sampling(sampling);
         let metrics = simulator.run(self.sim);
         let mut record = self.finish(&simulator, metrics);
         record
@@ -522,6 +547,7 @@ impl RunSpec {
             TraceRecorder::with_capacity(capacity),
         );
         simulator.set_interval(interval);
+        simulator.set_sampling(self.sampling);
         let metrics = simulator.run(self.sim);
         let record = self.finish(&simulator, metrics);
         (record, simulator.into_recorder())
@@ -529,7 +555,21 @@ impl RunSpec {
 
     /// Builds and runs the [`Machine`] of a [`WorkloadSpec::Multi`] spec;
     /// tenant streams go through the workload cache when one is given.
-    fn execute_machine(&self, cache: Option<&WorkloadCache>) -> RunRecord {
+    ///
+    /// The record's `phases` is the machine's own wall-attributed profile
+    /// (total = machine wall time, buckets = summed per-core fine phases;
+    /// see the machine's module docs), plus a [`Phase::TraceBuild`]
+    /// bucket when tenant streams were materialized through the cache —
+    /// so multi-core rows in the throughput bench report real
+    /// `workload_gen` / `simulate` splits, not zeros.
+    ///
+    /// [`Phase::TraceBuild`]: morrigan_obs::Phase::TraceBuild
+    fn execute_machine(
+        &self,
+        interval: Option<u64>,
+        sampling: Option<SamplingConfig>,
+        cache: Option<&WorkloadCache>,
+    ) -> RunRecord {
         assert_eq!(
             self.system.topology.cores,
             self.workload.cores(),
@@ -545,8 +585,10 @@ impl RunSpec {
             .map(|_| self.prefetcher.build())
             .collect();
         let mut machine = Machine::new(self.system, streams, prefetchers);
+        machine.set_interval(interval);
+        machine.set_sampling(sampling);
         let metrics = machine.run(self.sim);
-        let mut phases = PhaseProfile::new();
+        let mut phases = *machine.phase_profile();
         if cache.is_some() {
             phases.add(morrigan_obs::Phase::TraceBuild, trace_build);
             phases.add_total(trace_build);
@@ -601,7 +643,9 @@ pub struct RunRecord {
     pub audit: Option<AuditReport>,
     /// The interval sampler's epoch time-series, non-empty iff the record
     /// was produced by [`RunSpec::execute_observed`] with an interval (or
-    /// a [`Runner`](crate::Runner) configured with one).
+    /// a [`Runner`](crate::Runner) configured with one). Multi-core
+    /// records keep this empty; their per-core epoch series ride the
+    /// [`MachineSummary`]'s `per_core_intervals`.
     pub intervals: Vec<IntervalSample>,
     /// Host wall-time phase split of this run. Wall-clock, therefore
     /// nondeterministic — deliberately *not* part of the record's JSON

@@ -30,6 +30,17 @@
 //! prediction tables (each thread keeps its own previous-miss register
 //! inside Morrigan).
 //!
+//! ## Sampled simulation
+//!
+//! [`sampling`] adds a SMARTS-style mode (enable with
+//! [`Simulator::set_sampling`]): detailed timing runs only on sampled
+//! windows and the stream fast-forwards functionally between them, with
+//! all translation/cache/prefetcher state staying warm and trained.
+//! Miss-derived metrics are measured on every instruction (never
+//! extrapolated); cycle-derived metrics are estimated from the detail
+//! windows (DESIGN.md §11 documents the error-bound methodology). With
+//! sampling off, the run is byte-identical to previous revisions.
+//!
 //! # Examples
 //!
 //! ```
@@ -51,10 +62,12 @@ pub mod audit;
 mod config;
 mod machine;
 mod metrics;
+pub mod sampling;
 mod simulator;
 
 pub use audit::{audit_metrics, audit_state};
 pub use config::{CoreConfig, IcachePrefetcherKind, SimConfig, SystemConfig, TopologyConfig};
 pub use machine::{Machine, MachineSummary, INTERLEAVE_QUANTUM};
 pub use metrics::{IntervalSample, Metrics};
+pub use sampling::SamplingConfig;
 pub use simulator::Simulator;

@@ -30,21 +30,39 @@
 //! STLB, modelling the IPI broadcast of a real shootdown. The machine
 //! audit pins the conservation law `received == issued × cores`.
 //!
-//! ## What the machine does not do
+//! ## Telemetry
 //!
-//! Interval sampling and trace recording remain single-core features;
-//! the machine reports per-core window [`Metrics`], an aggregate (sum of
-//! counters, makespan cycles), and a machine-wide audit report.
+//! The machine reports per-core window [`Metrics`], an aggregate (sum
+//! of counters, makespan cycles), a machine-wide audit report, and —
+//! when enabled — a per-core interval time-series
+//! ([`Machine::set_interval`]) and SMARTS-style sampled stepping
+//! ([`Machine::set_sampling`], each core's schedule anchored to its own
+//! retirement counter). Interval epochs are recorded at quantum
+//! boundaries so the instruction schedule is *identical* with the
+//! sampler on or off; each sample carries its actual start/end
+//! instruction counts (within [`INTERLEAVE_QUANTUM`] of the nominal
+//! epoch). Trace recording remains a single-core feature.
+//!
+//! Host wall time is profiled machine-wide ([`Machine::phase_profile`]):
+//! the total is the machine's own run wall time (so scheduling and
+//! swap overhead are included), while the attributed buckets are the
+//! sums of the per-core buckets timed inside each simulator's loop.
+
+use std::time::Instant;
 
 use morrigan_mem::Llc;
+use morrigan_obs::PhaseProfile;
 use morrigan_types::{AuditReport, TlbPrefetcher, VirtPage};
 use morrigan_vm::Tlb;
 use morrigan_workloads::InstructionStream;
 
 use crate::audit::{audit_metrics, audit_state};
 use crate::config::{SimConfig, SystemConfig, TopologyConfig};
-use crate::metrics::Metrics;
-use crate::simulator::{audit_default, window_metrics, Simulator};
+use crate::metrics::{IntervalSample, Metrics};
+use crate::sampling::SamplingConfig;
+use crate::simulator::{
+    audit_default, profile_default, scale_sampled_metrics, window_metrics, Simulator, Snapshot,
+};
 
 /// Instructions a core executes per scheduling decision. Small enough
 /// that shared-structure contention is visible at sub-epoch granularity,
@@ -72,6 +90,10 @@ pub struct MachineSummary {
     /// Deliveries that found the translation cached in at least one of
     /// the receiving core's private structures.
     pub shootdown_hits: u64,
+    /// Per-core interval time-series (core-id order); empty unless
+    /// [`Machine::set_interval`] enabled the sampler.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub per_core_intervals: Vec<Vec<IntervalSample>>,
 }
 
 /// The N-core machine. See the module docs for the model.
@@ -94,6 +116,27 @@ pub struct Machine {
     audit: Option<AuditReport>,
     summary: Option<MachineSummary>,
     ran: bool,
+    // --- per-core interval time-series ---
+    /// Epoch length in retired instructions; `None` disables recording.
+    interval: Option<u64>,
+    /// Snapshot at each core's last recorded epoch boundary.
+    epoch_base: Vec<Snapshot>,
+    /// Instructions recorded so far per core (relative to measure start).
+    epoch_done: Vec<u64>,
+    /// Next nominal epoch boundary per core (relative instruction count).
+    next_epoch: Vec<u64>,
+    per_core_intervals: Vec<Vec<IntervalSample>>,
+    /// Measurement base (warmup instructions); valid while `recording`.
+    measure_base: u64,
+    /// Whether `drive` is inside the measurement window with the
+    /// interval sampler armed.
+    recording: bool,
+    // --- SMARTS-style sampled stepping ---
+    /// Mirrors the per-core schedules (each sim owns its own copy).
+    sampling: Option<SamplingConfig>,
+    // --- host-side phase profiling ---
+    phase: PhaseProfile,
+    profile_fine: bool,
 }
 
 impl std::fmt::Debug for Machine {
@@ -178,7 +221,86 @@ impl Machine {
             audit: None,
             summary: None,
             ran: false,
+            interval: None,
+            epoch_base: Vec::new(),
+            epoch_done: Vec::new(),
+            next_epoch: Vec::new(),
+            per_core_intervals: vec![Vec::new(); cores],
+            measure_base: 0,
+            recording: false,
+            sampling: None,
+            phase: PhaseProfile::new(),
+            profile_fine: profile_default(),
         }
+    }
+
+    /// Enables the per-core interval sampler: each core's measurement
+    /// window is cut into epochs of ~`interval` retired instructions
+    /// and an [`IntervalSample`] recorded per epoch. Epoch boundaries
+    /// land on the first quantum boundary at or past each nominal
+    /// multiple, so enabling the sampler never perturbs the instruction
+    /// schedule; samples carry their actual instruction extents.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero interval, after the run has started, or if
+    /// sampled stepping is enabled (mixing measured and estimated epoch
+    /// cycle counts would corrupt the time series).
+    pub fn set_interval(&mut self, interval: Option<u64>) {
+        assert!(
+            interval != Some(0),
+            "sampling interval must be positive when set"
+        );
+        assert!(!self.ran, "interval must be set before running");
+        assert!(
+            interval.is_none() || self.sampling.is_none(),
+            "interval time-series and sampled simulation are mutually exclusive: \
+             epoch cycle counts would mix measured and estimated time"
+        );
+        self.interval = interval;
+    }
+
+    /// Enables SMARTS-style sampled stepping on every core. Each core
+    /// runs the schedule against its own retirement counter (schedules
+    /// are anchored at absolute count zero), so cores enter and leave
+    /// detail windows independently; per-core stall counters are
+    /// rescaled by each core's own detailed-instruction ratio.
+    ///
+    /// # Panics
+    ///
+    /// Panics after the run has started, or if the interval sampler is
+    /// enabled (the two are mutually exclusive).
+    pub fn set_sampling(&mut self, sampling: Option<SamplingConfig>) {
+        assert!(!self.ran, "sampling must be set before running");
+        assert!(
+            sampling.is_none() || self.interval.is_none(),
+            "interval time-series and sampled simulation are mutually exclusive: \
+             epoch cycle counts would mix measured and estimated time"
+        );
+        self.sampling = sampling;
+        for sim in &mut self.sims {
+            sim.set_sampling(sampling);
+        }
+    }
+
+    /// Forces fine phase profiling on or off for this run, overriding
+    /// the `MORRIGAN_PROFILE` default, on the machine and every core.
+    pub fn set_phase_profiling(&mut self, fine: bool) {
+        assert!(!self.ran, "phase profiling must be set before running");
+        self.profile_fine = fine;
+        for sim in &mut self.sims {
+            sim.set_phase_profiling(fine);
+        }
+    }
+
+    /// Host wall-time split of the completed run. The total is the
+    /// machine's own wall time (scheduling and shared-structure swaps
+    /// included); the buckets are sums over the per-core simulators'
+    /// buckets, so `simulate()` — total minus workload-gen/trace-build —
+    /// attributes the swap and scheduling overhead to simulation, which
+    /// is where it is spent.
+    pub fn phase_profile(&self) -> &PhaseProfile {
+        &self.phase
     }
 
     /// Forces the stats-invariant audit on or off for this run,
@@ -225,6 +347,7 @@ impl Machine {
             "Machine::run called twice: build a new Machine for every run"
         );
         self.ran = true;
+        let run_start = Instant::now();
         let mut report = self.audit_enabled.then(|| {
             AuditReport::new(format!(
                 "machine run ({} cores, shared_stlb={}, llc_shards={}, \
@@ -245,23 +368,62 @@ impl Machine {
         }
         for sim in &mut self.sims {
             sim.mmu_mut().miss_stream.break_chain();
+            sim.reset_cpi_pool();
         }
         let starts: Vec<_> = self.sims.iter().map(Simulator::snapshot).collect();
 
+        if let Some(interval) = self.interval {
+            self.measure_base = cfg.warmup_instructions;
+            self.epoch_base = starts.clone();
+            self.epoch_done = vec![0; self.sims.len()];
+            self.next_epoch = vec![interval; self.sims.len()];
+            self.recording = true;
+        }
         self.drive(cfg.warmup_instructions + cfg.measure_instructions);
+        self.recording = false;
         let ends: Vec<_> = self.sims.iter().map(Simulator::snapshot).collect();
+        if self.interval.is_some() {
+            // Flush each core's final (possibly partial) epoch so the
+            // samples tile the measurement window exactly — summing
+            // them reconstitutes the per-core window metrics.
+            for (i, end) in ends.iter().enumerate() {
+                let done = end.retired - cfg.warmup_instructions;
+                if done > self.epoch_done[i] {
+                    self.per_core_intervals[i].push(IntervalSample {
+                        start_instruction: self.epoch_done[i],
+                        end_instruction: done,
+                        start_cycle: self.epoch_base[i].last_retire,
+                        end_cycle: end.last_retire,
+                        metrics: window_metrics(&self.epoch_base[i], end),
+                    });
+                }
+            }
+        }
         let per_core: Vec<Metrics> = starts
             .iter()
             .zip(&ends)
             .map(|(start, end)| {
                 let mut m = window_metrics(start, end);
                 m.cycles = m.cycles.max(1);
+                if self.sampling.is_some() {
+                    scale_sampled_metrics(&mut m, start, end);
+                }
                 m
             })
             .collect();
 
         let mut aggregate = per_core.iter().fold(Metrics::default(), |acc, &m| acc + m);
         aggregate.cycles = per_core.iter().map(|m| m.cycles).max().unwrap_or(1);
+
+        // Machine-wide phase profile: per-core buckets summed, total
+        // timed around this whole run (the per-core sims never call
+        // `Simulator::run`, so their own totals are zero and merging
+        // only contributes buckets).
+        for sim in &self.sims {
+            self.phase.merge(sim.phase_profile());
+        }
+        self.phase.add_total(run_start.elapsed().as_secs_f64());
+        self.phase.set_fine(self.profile_fine);
 
         if let Some(mut r) = report {
             for (i, sim) in self.sims.iter().enumerate() {
@@ -285,6 +447,14 @@ impl Machine {
             shootdowns_issued: self.shootdowns_issued,
             shootdowns_received: self.shootdowns_received,
             shootdown_hits: self.shootdown_hits,
+            // Interval-off runs must keep the exact historical record
+            // shape, so collapse the N-empty-series case to an empty
+            // outer vec (the JSON layer omits the field entirely).
+            per_core_intervals: if self.per_core_intervals.iter().all(Vec::is_empty) {
+                Vec::new()
+            } else {
+                std::mem::take(&mut self.per_core_intervals)
+            },
         });
         aggregate
     }
@@ -310,7 +480,7 @@ impl Machine {
                 self.sims[i].mmu_mut().swap_stlb(stlb);
             }
             for _ in 0..quantum {
-                self.sims[i].step();
+                self.sims[i].step_auto();
             }
             self.sims[i].mem_mut().swap_llc(&mut self.shared_llc);
             if let Some(stlb) = &mut self.shared_stlb {
@@ -324,6 +494,27 @@ impl Machine {
                     .topology
                     .shootdown_interval
                     .expect("shootdown was scheduled");
+            }
+
+            if self.recording {
+                let interval = self.interval.expect("recording implies an interval");
+                let done = self.sims[i].retired() - self.measure_base;
+                if done >= self.next_epoch[i] {
+                    // First quantum boundary at or past the nominal
+                    // epoch: record the actual extent (the schedule is
+                    // never bent to land exactly on the nominal one).
+                    let snap = self.sims[i].snapshot();
+                    self.per_core_intervals[i].push(IntervalSample {
+                        start_instruction: self.epoch_done[i],
+                        end_instruction: done,
+                        start_cycle: self.epoch_base[i].last_retire,
+                        end_cycle: snap.last_retire,
+                        metrics: window_metrics(&self.epoch_base[i], &snap),
+                    });
+                    self.epoch_base[i] = snap;
+                    self.epoch_done[i] = done;
+                    self.next_epoch[i] = (done / interval + 1) * interval;
+                }
             }
         }
     }
@@ -597,6 +788,116 @@ mod tests {
         // Core 0 runs the identical schedule in both machines; under
         // sharing its window can only be as fast or slower.
         assert!(shared.cycles >= private_like.cycles);
+    }
+
+    #[test]
+    fn machine_phase_profile_reports_nonzero_wall_time() {
+        let mut m = machine(2, 2, TopologyConfig::default());
+        let _ = m.run(quick());
+        let p = m.phase_profile();
+        assert!(p.total() > 0.0, "machine wall time must be attributed");
+        assert!(
+            p.workload_gen() > 0.0,
+            "per-core workload-gen buckets must merge into the machine profile"
+        );
+        assert!(
+            p.simulate() > 0.0,
+            "simulate seconds (total − workload_gen − trace_build) must be nonzero"
+        );
+        assert!(!p.fine(), "fine buckets default off");
+    }
+
+    #[test]
+    fn per_core_intervals_tile_the_measurement_window() {
+        let mut m = machine(2, 2, TopologyConfig::default());
+        m.set_interval(Some(10_000));
+        let _ = m.run(quick());
+        let s = m.summary();
+        assert_eq!(s.per_core_intervals.len(), 2);
+        for (core, (samples, window)) in s.per_core_intervals.iter().zip(&s.per_core).enumerate() {
+            assert!(
+                samples.len() >= 3,
+                "core {core}: 30k window / 10k epochs → ≥3 samples, got {}",
+                samples.len()
+            );
+            // Epochs tile [0, measure] contiguously...
+            assert_eq!(samples[0].start_instruction, 0);
+            for pair in samples.windows(2) {
+                assert_eq!(pair[0].end_instruction, pair[1].start_instruction);
+                assert_eq!(pair[0].end_cycle, pair[1].start_cycle);
+            }
+            assert_eq!(
+                samples.last().unwrap().end_instruction,
+                quick().measure_instructions
+            );
+            // ...within a quantum of the nominal boundary...
+            for s in samples {
+                assert!(
+                    s.end_instruction.is_multiple_of(10_000)
+                        || s.end_instruction - (s.end_instruction / 10_000) * 10_000
+                            < INTERLEAVE_QUANTUM
+                        || s.end_instruction == quick().measure_instructions,
+                    "epoch end {} strays more than a quantum past its boundary",
+                    s.end_instruction
+                );
+            }
+            // ...and their metrics telescope to the window metrics.
+            let summed = s.per_core_intervals[core]
+                .iter()
+                .fold(Metrics::default(), |acc, s| acc + s.metrics);
+            assert_eq!(summed.instructions, window.instructions);
+            assert_eq!(summed.mmu.istlb_misses, window.mmu.istlb_misses);
+            assert_eq!(summed.cycles, window.cycles);
+        }
+    }
+
+    #[test]
+    fn interval_recording_never_perturbs_the_simulation() {
+        let base = {
+            let mut m = machine(2, 2, TopologyConfig::default());
+            m.run(quick())
+        };
+        let with_intervals = {
+            let mut m = machine(2, 2, TopologyConfig::default());
+            m.set_interval(Some(7_000));
+            m.run(quick())
+        };
+        assert_eq!(
+            base, with_intervals,
+            "epoch recording is telemetry only; the instruction schedule must not bend"
+        );
+    }
+
+    #[test]
+    fn sampled_machine_runs_audited_and_tracks_full() {
+        let full = {
+            let mut m = machine(2, 2, TopologyConfig::default());
+            m.run(quick())
+        };
+        let mut m = machine(2, 2, TopologyConfig::default());
+        m.set_audit(true);
+        m.set_sampling(Some(crate::SamplingConfig {
+            detail: 5_000,
+            skip: 15_000,
+        }));
+        let sampled = m.run(quick());
+        assert!(m.audit_report().expect("audit on").is_clean());
+        assert_eq!(sampled.instructions, full.instructions);
+        let rel = (sampled.istlb_mpki() - full.istlb_mpki()).abs() / full.istlb_mpki();
+        assert!(
+            rel < 0.10,
+            "sampled machine MPKI drifted: {} vs {}",
+            sampled.istlb_mpki(),
+            full.istlb_mpki()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "mutually exclusive")]
+    fn machine_interval_and_sampling_are_mutually_exclusive() {
+        let mut m = machine(1, 1, TopologyConfig::default());
+        m.set_interval(Some(5_000));
+        m.set_sampling(Some(crate::SamplingConfig::default_schedule()));
     }
 
     #[test]

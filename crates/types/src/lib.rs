@@ -17,6 +17,9 @@
 //! * [`audit`] — the stats-invariant audit vocabulary: [`AuditReport`]
 //!   accumulates conservation-law checks, [`CounterSet`] exposes a stats
 //!   struct's monotone counters for generic window-monotonicity checks.
+//! * [`scan`] — branch-free, autovectorizable tag-scan kernels shared by
+//!   every SoA set-associative structure (TLBs, PSCs, caches), pinned
+//!   byte-for-byte to the scalar scans they replace.
 //!
 //! # Examples
 //!
@@ -33,6 +36,7 @@ pub mod addr;
 pub mod audit;
 pub mod prefetcher;
 pub mod rng;
+pub mod scan;
 pub mod stats;
 
 pub use addr::{

@@ -8,6 +8,7 @@
 //! and a full miss costs all 4 — exactly the "1.4 memory references per
 //! walk" regime the paper measures for the QMM workloads (§6.4).
 
+use morrigan_types::scan;
 use morrigan_types::VirtPage;
 use serde::{Deserialize, Serialize};
 
@@ -120,7 +121,7 @@ impl PscLevel {
         debug_assert_ne!(tag, NO_TAG);
         let range = self.range(tag);
         let start = range.start;
-        if let Some(w) = self.tags[range].iter().position(|&t| t == tag) {
+        if let Some(w) = scan::find_tag(&self.tags[range], tag) {
             self.stamps[start + w] = self.tick;
             return true;
         }
@@ -135,26 +136,16 @@ impl PscLevel {
         let tags = &mut self.tags[range.clone()];
         let stamps = &mut self.stamps[range];
         // Refresh on residency, otherwise overwrite the min-stamp way
-        // (first free way if one exists, LRU way otherwise).
-        let mut victim = 0;
-        let mut victim_stamp = stamps[0];
-        let mut hit = None;
-        for (w, (&t, &s)) in tags.iter().zip(stamps.iter()).enumerate() {
-            if t == tag {
-                hit = Some(w);
-                break;
-            }
-            if s < victim_stamp {
-                victim_stamp = s;
-                victim = w;
-            }
-        }
-        if let Some(w) = hit {
-            stamps[w] = tick;
+        // (first free way if one exists, LRU way otherwise) — the
+        // branch-free kernel is pinned to the fused scalar scan it
+        // replaced.
+        let (way, hit) = scan::find_hit_or_victim(tags, stamps, tag);
+        if hit {
+            stamps[way] = tick;
             return;
         }
-        tags[victim] = tag;
-        stamps[victim] = tick;
+        tags[way] = tag;
+        stamps[way] = tick;
     }
 
     fn flush(&mut self) {

@@ -1,5 +1,6 @@
 //! A generic set-associative TLB keyed by virtual page number.
 
+use morrigan_types::scan;
 use morrigan_types::{PhysPage, VirtPage};
 use serde::{Deserialize, Serialize};
 
@@ -155,10 +156,10 @@ impl Tlb {
             return Some(PhysPage::new(self.pfns[li]));
         }
         let range = self.set_range(vpn);
-        // One slice per probe: the tag scan compiles to a straight run
-        // over contiguous u64s with no per-way bounds checks.
+        // One slice per probe: the branch-free kernel scans the set's
+        // contiguous tags as one or two vector compares.
         let start = range.start;
-        if let Some(w) = self.vpns[range].iter().position(|&v| v == key) {
+        if let Some(w) = scan::find_tag(&self.vpns[range], key) {
             self.stamps[start + w] = self.tick;
             self.last_idx = start + w;
             return Some(PhysPage::new(self.pfns[start + w]));
@@ -170,6 +171,35 @@ impl Tlb {
     pub fn contains(&self, vpn: VirtPage) -> bool {
         let key = vpn.raw();
         self.vpns[self.set_range(vpn)].contains(&key)
+    }
+
+    /// Software-prefetches the tag array of the set `vpn` maps to.
+    ///
+    /// A scheduling hint for callers that know the next probe target
+    /// (the sampled fast-forward path decodes a block of upcoming
+    /// accesses); correctness never depends on it.
+    #[inline]
+    pub fn prefetch_set(&self, vpn: VirtPage) {
+        scan::prefetch_tags(&self.vpns[self.set_range(vpn)]);
+    }
+
+    /// Batched residency probe over up to [`scan::BATCH`] VPNs: bit `i`
+    /// of the result is set iff `vpns[i]` is resident. Each scan
+    /// prefetches the following key's set so the tag-array loads
+    /// overlap the current compare. LRU state is not disturbed — the
+    /// batch is a pure pre-screen, identical to calling
+    /// [`contains`](Self::contains) per key.
+    pub fn probe_batch(&self, vpns: &[VirtPage]) -> u32 {
+        debug_assert!(vpns.len() <= scan::BATCH);
+        let mut mask = 0u32;
+        for (i, &vpn) in vpns.iter().enumerate() {
+            if let Some(&next) = vpns.get(i + 1) {
+                self.prefetch_set(next);
+            }
+            let resident = scan::find_tag(&self.vpns[self.set_range(vpn)], vpn.raw()).is_some();
+            mask |= (resident as u32) << i;
+        }
+        mask
     }
 
     /// Installs a translation as MRU; returns the evicted VPN, if any.
@@ -184,30 +214,21 @@ impl Tlb {
         let start = range.start;
         let vpns = &mut self.vpns[range.clone()];
         let stamps = &mut self.stamps[range];
-        // Refresh a resident entry, and find the victim in the same pass:
-        // the min-stamp way. Empty ways carry stamp 0 while live stamps
-        // are ≥ 1, so a free way always wins and ties pick the lowest
-        // index — exactly the first-free-way-else-LRU order.
-        let mut victim = 0;
-        let mut victim_stamp = stamps[0];
-        let mut hit = None;
-        for (w, (&v, &s)) in vpns.iter().zip(stamps.iter()).enumerate() {
-            if v == key {
-                hit = Some(w);
-                break;
-            }
-            if s < victim_stamp {
-                victim_stamp = s;
-                victim = w;
-            }
-        }
-        if let Some(w) = hit {
-            stamps[w] = tick;
-            self.pfns[start + w] = pfn.raw();
-            self.instr[start + w] = instruction;
-            self.last_idx = start + w;
+        // Refresh a resident entry, else replace the min-stamp way.
+        // Empty ways carry stamp 0 while live stamps are ≥ 1, so a free
+        // way always wins and ties pick the lowest index — exactly the
+        // first-free-way-else-LRU order (pinned against the fused
+        // scalar scan by the kernel's tests).
+        let (way, hit) = scan::find_hit_or_victim(vpns, stamps, key);
+        if hit {
+            stamps[way] = tick;
+            self.pfns[start + way] = pfn.raw();
+            self.instr[start + way] = instruction;
+            self.last_idx = start + way;
             return None;
         }
+        let victim = way;
+        let victim_stamp = stamps[victim];
         let evicted = (victim_stamp != 0).then(|| {
             if self.instr[start + victim] && !instruction {
                 self.instr_evicted_by_data += 1;
@@ -393,6 +414,37 @@ mod tests {
         assert_eq!(tlb.occupancy_for_asid(2), 2);
         assert_eq!(tlb.occupancy(), 2);
         assert_eq!(tlb.lookup(VirtPage::new(0).with_asid(2)), Some(pfn(10)));
+    }
+
+    #[test]
+    fn probe_batch_matches_contains_and_keeps_lru() {
+        let mut tlb = Tlb::new(TlbConfig {
+            entries: 16,
+            ways: 4,
+            latency: 1,
+        });
+        for i in 0..6u64 {
+            tlb.insert(VirtPage::new(i * 3), pfn(i), true);
+        }
+        let keys: Vec<VirtPage> = (0..8u64).map(|i| VirtPage::new(i * 2)).collect();
+        let mask = tlb.probe_batch(&keys);
+        for (i, &vpn) in keys.iter().enumerate() {
+            assert_eq!(mask & (1 << i) != 0, tlb.contains(vpn), "key {i}");
+        }
+        // The batch is a pure pre-screen: LRU order is untouched, so the
+        // next insert evicts the same victim as if no batch had run.
+        let mut twin = Tlb::new(TlbConfig {
+            entries: 16,
+            ways: 4,
+            latency: 1,
+        });
+        for i in 0..6u64 {
+            twin.insert(VirtPage::new(i * 3), pfn(i), true);
+        }
+        assert_eq!(
+            tlb.insert(VirtPage::new(64), pfn(99), true),
+            twin.insert(VirtPage::new(64), pfn(99), true)
+        );
     }
 
     #[test]
