@@ -23,6 +23,15 @@
 //! faster. The bench-scale speedup claim itself is pinned by the
 //! committed baseline's `sampled_speedup` (see `tests/baseline.rs`).
 //!
+//! The v6 schema also measures the threaded multi-core machine: the
+//! figure list gains an 8-core scaling row (the fig21 sweep with its
+//! ceiling raised to 8), every multi-core row records its effective
+//! epoch-driver width (`machine_threads`) and the simulate-phase
+//! speedup of that width over a serial (width-1) reference pass
+//! (`parallel_speedup`; `0.0` on hosts without spare cores, where
+//! nothing was measured). `--check` gates the committed 4-core row:
+//! when it was produced at width >= 4, its speedup must be >= 2x.
+//!
 //! Scale comes from [`bench_scale`]: the criterion profile unless
 //! `MORRIGAN_INSTR`/`MORRIGAN_FULL` override it.
 
@@ -39,10 +48,19 @@ use morrigan_sim::SamplingConfig;
 struct FigureRun {
     name: &'static str,
     /// Largest machine the figure steps (1 for the single-core figures;
-    /// `Scale::cores` for the multicore sweep). `instructions` already
+    /// the sweep ceiling for the multicore rows). `instructions` already
     /// counts every core's retirement, so `mips` is aggregate throughput
     /// and `per_core_mips` is the per-simulated-core rate.
     cores: usize,
+    /// Effective epoch-driver width of the timed pass:
+    /// min(cores, host parallelism). `1` on single-core figures and on
+    /// hosts without spare cores.
+    machine_threads: usize,
+    /// Serial-reference simulate seconds over the timed pass's — how
+    /// much the threaded epoch driver actually bought. `0.0` when not
+    /// measured: single-core figures, sampled passes, and hosts where
+    /// the effective width is already 1 (nothing to compare).
+    parallel_speedup: f64,
     instructions: u64,
     seconds: f64,
     /// Wall time the figure's simulators spent pulling instructions
@@ -76,8 +94,17 @@ impl FigureRun {
         self.instructions as f64 / self.seconds / 1e6
     }
 
+    /// Per-simulated-core simulate-phase throughput:
+    /// instructions / (cores × simulate-phase seconds). The v5 formula
+    /// divided aggregate wall-clock MIPS by the core count, billing each
+    /// core for workload generation and trace materialization that
+    /// happen once per machine, not once per core.
     fn per_core_mips(&self) -> f64 {
-        self.mips() / self.cores as f64
+        if self.simulate_seconds > 0.0 {
+            self.instructions as f64 / (self.cores as f64 * self.simulate_seconds) / 1e6
+        } else {
+            0.0
+        }
     }
 
     /// Aggregate iSTLB MPKI over the figure's journaled records.
@@ -121,9 +148,30 @@ fn subset_mips<'a>(runs: impl Iterator<Item = &'a FigureRun>) -> f64 {
     }
 }
 
-/// Every figure the criterion bench suite regenerates, in bench order.
-/// `sampling` selects the pass: `None` runs full detailed timing, `Some`
-/// runs the SMARTS-sampled schedule on every spec.
+/// The epoch-driver width a `cores`-wide machine auto-sizes to on this
+/// host (mirrors the machine's own auto-sizing rule).
+fn effective_machine_threads(cores: usize) -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(cores)
+        .max(1)
+}
+
+/// One bench figure: journal label, the largest machine it steps, the
+/// scale it runs at (the 8-core scaling row raises the sweep ceiling),
+/// and the regeneration entry point.
+struct BenchFigure {
+    name: &'static str,
+    cores: usize,
+    scale: Scale,
+    run: fn(&Runner, &Scale),
+}
+
+/// Every figure the criterion bench suite regenerates, in bench order,
+/// plus the 8-core scaling row. `sampling` selects the pass: `None` runs
+/// full detailed timing, `Some` runs the SMARTS-sampled schedule on
+/// every spec.
 fn run_figures(scale: &Scale, sampling: Option<SamplingConfig>) -> Vec<FigureRun> {
     macro_rules! figs {
         ($($name:literal => $module:ident),+ $(,)?) => {
@@ -153,6 +201,32 @@ fn run_figures(scale: &Scale, sampling: Option<SamplingConfig>) -> Vec<FigureRun
         "fig21_multicore" => fig21_multicore,
         "table_irip_tuning" => tuning,
     ];
+    let mut figures: Vec<BenchFigure> = figures
+        .into_iter()
+        .map(|(name, run)| BenchFigure {
+            name,
+            cores: if name == "fig21_multicore" {
+                scale.cores
+            } else {
+                1
+            },
+            scale: *scale,
+            run,
+        })
+        .collect();
+    // The 8-core scaling row: the same machine sweep with the ceiling
+    // raised to 8, recording how the epoch driver scales past the
+    // default 4-core topology.
+    let mut eight_core = *scale;
+    eight_core.cores = 8;
+    figures.push(BenchFigure {
+        name: "fig21_multicore_8core",
+        cores: 8,
+        scale: eight_core,
+        run: (|runner: &Runner, scale: &Scale| {
+            std::hint::black_box(exp::fig21_multicore::run(runner, scale));
+        }) as fn(&Runner, &Scale),
+    });
 
     let label = if sampling.is_some() {
         "sampled"
@@ -160,7 +234,14 @@ fn run_figures(scale: &Scale, sampling: Option<SamplingConfig>) -> Vec<FigureRun
         "full"
     };
     let mut runs = Vec::with_capacity(figures.len());
-    for (name, run) in figures {
+    for BenchFigure {
+        name,
+        cores,
+        scale,
+        run,
+    } in figures
+    {
+        let scale = &scale;
         // Fresh per figure so neither the record cache nor the workload
         // cache amortizes *across* figures; the workload cache comes
         // from the environment so `MORRIGAN_NO_WORKLOAD_CACHE=1` gives
@@ -182,13 +263,37 @@ fn run_figures(scale: &Scale, sampling: Option<SamplingConfig>) -> Vec<FigureRun
             record_istlb_misses += record.metrics.mmu.istlb_misses;
             record_cycles += record.metrics.cycles;
         }
+        let machine_threads = if cores > 1 {
+            effective_machine_threads(cores)
+        } else {
+            1
+        };
+        // Serial-reference pass: the same figure with the epoch driver
+        // pinned to one thread, so the baseline records how much the
+        // threaded driver actually bought. Skipped on the sampled pass
+        // and wherever the timed pass already ran at width 1 (narrow
+        // host) — there is nothing to compare, and the sentinel 0.0
+        // says "not measured" rather than faking a 1.0.
+        let parallel_speedup = if cores > 1 && machine_threads > 1 && sampling.is_none() {
+            let serial = Runner::new(1)
+                .with_machine_threads(Some(1))
+                .with_workload_cache(morrigan_runner::WorkloadCache::from_env());
+            run(&serial, scale);
+            let serial_simulate = serial.phase_totals().simulate();
+            let threaded_simulate = phases.simulate();
+            if threaded_simulate > 0.0 {
+                serial_simulate / threaded_simulate
+            } else {
+                0.0
+            }
+        } else {
+            0.0
+        };
         let fig = FigureRun {
             name,
-            cores: if name == "fig21_multicore" {
-                scale.cores
-            } else {
-                1
-            },
+            cores,
+            machine_threads,
+            parallel_speedup,
             instructions,
             seconds,
             workload_gen_seconds: phases.workload_gen(),
@@ -202,15 +307,18 @@ fn run_figures(scale: &Scale, sampling: Option<SamplingConfig>) -> Vec<FigureRun
         };
         eprintln!(
             "[simbench] {label} {name}: {instructions} instructions in {seconds:.3} s = \
-             {:.2} MIPS over {} core(s) (workload-gen {:.3} s, trace-build {:.3} s over {} \
-             traces serving {} streams, simulate {:.3} s)",
+             {:.2} MIPS over {} core(s) at width {} (workload-gen {:.3} s, trace-build \
+             {:.3} s over {} traces serving {} streams, simulate {:.3} s, parallel \
+             speedup {:.2})",
             fig.mips(),
             fig.cores,
+            fig.machine_threads,
             fig.workload_gen_seconds,
             fig.trace_build_seconds,
             fig.workloads_materialized,
             fig.streams_served,
             fig.simulate_seconds,
+            fig.parallel_speedup,
         );
         runs.push(fig);
     }
@@ -222,7 +330,7 @@ fn run_figures(scale: &Scale, sampling: Option<SamplingConfig>) -> Vec<FigureRun
 /// the SMARTS-sampled pass, aligned with `runs` by index.
 fn render(scale: &Scale, runs: &[FigureRun], sampled: &[FigureRun]) -> String {
     let mut out = String::with_capacity(4096);
-    out.push_str("{\n  \"schema\": \"morrigan-bench-simloop-v5\",\n");
+    out.push_str("{\n  \"schema\": \"morrigan-bench-simloop-v6\",\n");
     out.push_str(&format!(
         "  \"scale\": {{\"warmup\": {}, \"measure\": {}, \"workloads\": {}, \"smt_pairs\": {}, \
          \"cores\": {}, \"tenants\": {}}},\n",
@@ -235,14 +343,14 @@ fn render(scale: &Scale, runs: &[FigureRun], sampled: &[FigureRun]) -> String {
     out.push_str("  \"figures\": [\n");
     for (i, (f, s)) in runs.iter().zip(sampled).enumerate() {
         out.push_str(&format!(
-            "    {{\"figure\": \"{}\", \"cores\": {}, \"instructions\": {}, \"seconds\": {}, \
+            "    {{\"figure\": \"{}\", \"cores\": {}, \"machine_threads\": {}, \
+             \"instructions\": {}, \"seconds\": {}, \
              \"workload_gen_seconds\": {}, \"trace_build_seconds\": {}, \
              \"simulate_seconds\": {}, \"workloads_materialized\": {}, \
-             \"streams_served\": {}, \"mips\": {}, \"per_core_mips\": {}, \
-             \"sampled_seconds\": {}, \"sampled_simulate_seconds\": {}, \
-             \"sampled_mpki_rel_err\": {}, \"sampled_ipc_rel_err\": {}}}{}\n",
+             \"streams_served\": {}, \"mips\": {}, \"per_core_mips\": {}",
             f.name,
             f.cores,
+            f.machine_threads,
             f.instructions,
             json_f64(f.seconds),
             json_f64(f.workload_gen_seconds),
@@ -252,6 +360,16 @@ fn render(scale: &Scale, runs: &[FigureRun], sampled: &[FigureRun]) -> String {
             f.streams_served,
             json_f64(f.mips()),
             json_f64(f.per_core_mips()),
+        ));
+        if f.cores > 1 {
+            out.push_str(&format!(
+                ", \"parallel_speedup\": {}",
+                json_f64(f.parallel_speedup)
+            ));
+        }
+        out.push_str(&format!(
+            ", \"sampled_seconds\": {}, \"sampled_simulate_seconds\": {}, \
+             \"sampled_mpki_rel_err\": {}, \"sampled_ipc_rel_err\": {}}}{}\n",
             json_f64(s.seconds),
             json_f64(s.simulate_seconds),
             json_f64(rel_err(f.istlb_mpki(), s.istlb_mpki())),
@@ -351,6 +469,18 @@ fn baseline_total_field(doc: &str, key: &str) -> Option<f64> {
     let total = &doc[doc.rfind("\"total\"")?..];
     let needle = format!("\"{key}\": ");
     let value = &total[total.find(&needle)? + needle.len()..];
+    let end = value.find(|c: char| c != '.' && c != '-' && c != 'e' && !c.is_ascii_digit())?;
+    value[..end].parse().ok()
+}
+
+/// Pulls one numeric field out of a named figure row of the baseline
+/// (the trailing quote in the needle keeps `fig21_multicore` from
+/// matching its `_8core` sibling).
+fn baseline_figure_field(doc: &str, figure: &str, key: &str) -> Option<f64> {
+    let row = &doc[doc.find(&format!("\"figure\": \"{figure}\","))?..];
+    let row = &row[..row.find('}')?];
+    let needle = format!("\"{key}\": ");
+    let value = &row[row.find(&needle)? + needle.len()..];
     let end = value.find(|c: char| c != '.' && c != '-' && c != 'e' && !c.is_ascii_digit())?;
     value[..end].parse().ok()
 }
@@ -516,6 +646,29 @@ fn main() -> ExitCode {
                     acc.mpki_rel_err
                 );
                 failed = true;
+            }
+
+            // Parallel-scaling gate: a committed bench-scale baseline
+            // produced on a host with >= 4 spare cores must show the
+            // 4-core epoch driver actually scaling (>= 2x its serial
+            // reference). Baselines regenerated on narrower hosts record
+            // machine_threads < 4 and are exempt — there was nothing to
+            // scale onto, and parallel_speedup reads 0.0 (unmeasured).
+            let committed_width = baseline_figure_field(&doc, "fig21_multicore", "machine_threads");
+            let committed_parallel =
+                baseline_figure_field(&doc, "fig21_multicore", "parallel_speedup");
+            if let (Some(width), Some(speedup)) = (committed_width, committed_parallel) {
+                println!(
+                    "simbench: committed 4-core parallel speedup {speedup:.2}x at width \
+                     {width:.0}"
+                );
+                if width >= 4.0 && speedup < 2.0 {
+                    eprintln!(
+                        "simbench: PARALLEL SCALING REGRESSION: committed 4-core \
+                         parallel_speedup {speedup:.2}x < 2x at width {width:.0}"
+                    );
+                    failed = true;
+                }
             }
 
             // Sampled-speed gate: the fast-forward path must actually be

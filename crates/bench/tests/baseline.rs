@@ -46,23 +46,27 @@ fn figure_rows(doc: &str) -> Vec<&str> {
         .map(|row| &row[..row.find('}').expect("row object closes")])
         .collect();
     assert!(
-        rows.len() >= 19,
-        "all 19 figures present, got {}",
+        rows.len() >= 20,
+        "all 19 figures plus the 8-core scaling row present, got {}",
         rows.len()
     );
     rows
 }
 
 #[test]
-fn committed_baseline_is_schema_v5() {
+fn committed_baseline_is_schema_v6() {
     let doc = committed_baseline();
     assert!(
-        doc.contains("\"schema\": \"morrigan-bench-simloop-v5\""),
-        "baseline must be the v5 schema (regenerate with `simbench --out`)"
+        doc.contains("\"schema\": \"morrigan-bench-simloop-v6\""),
+        "baseline must be the v6 schema (regenerate with `simbench --out`)"
     );
     assert!(
         doc.contains("\"sampling\": \""),
-        "v5 baselines record the sampled pass's schedule"
+        "v6 baselines record the sampled pass's schedule"
+    );
+    assert!(
+        doc.contains("\"figure\": \"fig21_multicore_8core\""),
+        "v6 baselines carry the 8-core scaling row"
     );
 }
 
@@ -107,6 +111,44 @@ fn committed_sampled_speedup_and_accuracy_hold() {
     assert!(
         ipc_err.abs() <= 0.01,
         "bench-scale sampled IPC deviation must be <= 1%, got {ipc_err:.4}"
+    );
+}
+
+#[test]
+fn committed_multi_core_rows_report_parallel_scaling() {
+    // Every multi-core row must say how wide its epoch driver ran
+    // (`machine_threads`) and what that width bought
+    // (`parallel_speedup`; 0.0 = unmeasured, recorded on hosts whose
+    // effective width was already 1). A baseline regenerated on a host
+    // with >= 4 spare cores must demonstrate real 4-core scaling —
+    // that's the headline claim of the threaded machine.
+    let doc = committed_baseline();
+    let mut multi_core_rows = 0;
+    for row in figure_rows(&doc) {
+        if field(row, "cores") <= 1.0 {
+            continue;
+        }
+        multi_core_rows += 1;
+        let width = field(row, "machine_threads");
+        assert!(width >= 1.0, "machine_threads must be positive: {row:.120}");
+        let speedup = field(row, "parallel_speedup");
+        if width >= 4.0 {
+            assert!(
+                speedup >= 2.0,
+                "a width-{width} epoch driver must deliver >= 2x over serial, \
+                 got {speedup:.2}x: {row:.120}"
+            );
+        } else if width <= 1.0 {
+            assert!(
+                speedup == 0.0,
+                "width-1 rows record the unmeasured sentinel 0.0: {row:.120}"
+            );
+        }
+    }
+    assert!(
+        multi_core_rows >= 2,
+        "the 4-core fig21 row and the 8-core scaling row must both be multi-core, \
+         got {multi_core_rows}"
     );
 }
 

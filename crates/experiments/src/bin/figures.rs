@@ -11,6 +11,8 @@
 //! figures --sample 10000:40000 .. # SMARTS sampled simulation (or --sample 1)
 //! MORRIGAN_FULL=1 figures         # paper-scale run lengths (slow)
 //! MORRIGAN_THREADS=4 figures      # worker-pool size override
+//! figures --machine-threads 4     # host threads per multi-core machine
+//! MORRIGAN_MACHINE_THREADS=4 figures  # --machine-threads via the environment
 //! MORRIGAN_VERBOSE=1 figures      # per-simulation progress on stderr
 //! MORRIGAN_TRACE=t.json figures   # --trace via the environment
 //! MORRIGAN_INTERVAL=10000 figures # --interval via the environment
@@ -68,13 +70,14 @@ fn closest_figure(name: &str) -> &'static str {
 
 /// Every flag the binary accepts, for the "did you mean" hint on
 /// unknown `--…` arguments.
-const FLAGS: [&str; 9] = [
+const FLAGS: [&str; 10] = [
     "--json",
     "--trace",
     "--interval",
     "--sample",
     "--cores",
     "--tenants",
+    "--machine-threads",
     "--no-workload-cache",
     "--help",
     "-h",
@@ -133,6 +136,17 @@ fn parse_tenants(value: &str) -> Result<usize, String> {
     }
 }
 
+/// Parses a `--machine-threads` value: the host-thread budget each
+/// multi-core machine's epoch driver may use, a positive integer.
+fn parse_machine_threads(value: &str) -> Result<usize, String> {
+    match value.trim().parse::<usize>() {
+        Ok(0) | Err(_) => Err(format!(
+            "--machine-threads requires a positive thread count, got '{value}'"
+        )),
+        Ok(n) => Ok(n),
+    }
+}
+
 /// Parses an `--interval` value: a positive integer epoch length.
 fn parse_interval(value: &str) -> Result<u64, String> {
     match value.trim().parse::<u64>() {
@@ -173,6 +187,10 @@ struct Args {
     /// Fig 21 tenants per core (`--tenants`; `MORRIGAN_TENANTS` when
     /// absent).
     tenants: Option<usize>,
+    /// Per-machine host-thread budget (`--machine-threads`;
+    /// `MORRIGAN_MACHINE_THREADS` is handled by [`Runner::from_env`]
+    /// when the flag is absent). Never changes results, only wall time.
+    machine_threads: Option<usize>,
     /// `--no-workload-cache`: force live workload generation, bypassing
     /// the materialized-trace cache (`MORRIGAN_NO_WORKLOAD_CACHE=1` is
     /// the env equivalent, handled by [`Runner::from_env`]).
@@ -185,7 +203,7 @@ fn usage() -> String {
     format!(
         "usage: figures [--json <path>] [--trace <path>.json|.jsonl] [--interval <n>] \
          [--sample <detail:skip|1>] [--cores <1|2|4|8|…>] [--tenants <n>] \
-         [--no-workload-cache] [{}]...",
+         [--machine-threads <n>] [--no-workload-cache] [{}]...",
         FIGURES.join("|")
     )
 }
@@ -198,6 +216,7 @@ fn parse_args() -> Result<Args, String> {
     let mut sample = None;
     let mut cores = None;
     let mut tenants = None;
+    let mut machine_threads = None;
     let mut no_workload_cache = false;
     let mut help = false;
     let mut args = std::env::args().skip(1);
@@ -239,6 +258,12 @@ fn parse_args() -> Result<Args, String> {
                     .next()
                     .ok_or_else(|| "--tenants requires a tenant count".to_string())?;
                 tenants = Some(parse_tenants(&value)?);
+            }
+            "--machine-threads" => {
+                let value = args
+                    .next()
+                    .ok_or_else(|| "--machine-threads requires a thread count".to_string())?;
+                machine_threads = Some(parse_machine_threads(&value)?);
             }
             "--no-workload-cache" => no_workload_cache = true,
             "--help" | "-h" => help = true,
@@ -292,6 +317,7 @@ fn parse_args() -> Result<Args, String> {
         sample,
         cores,
         tenants,
+        machine_threads,
         no_workload_cache,
         help,
     })
@@ -325,6 +351,9 @@ fn main() -> ExitCode {
     }
     if args.sample.is_some() {
         runner = runner.with_interval(None).with_sampling(args.sample);
+    }
+    if args.machine_threads.is_some() {
+        runner = runner.with_machine_threads(args.machine_threads);
     }
     if args.no_workload_cache {
         runner = runner.with_workload_cache(morrigan_runner::WorkloadCache::disabled());

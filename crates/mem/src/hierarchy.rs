@@ -3,9 +3,11 @@
 use morrigan_types::{CacheLine, CounterSet};
 use serde::{Deserialize, Serialize};
 
+use std::sync::Arc;
+
 use crate::cache::{Cache, CacheConfig};
 use crate::l2_prefetch::{L2Prefetcher, L2PrefetcherConfig};
-use crate::llc::Llc;
+use crate::llc::{Llc, LlcView};
 
 /// The level of the memory hierarchy that served a reference.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
@@ -184,10 +186,15 @@ pub struct MemoryHierarchy {
     l1i: Cache,
     l1d: Cache,
     l2: Cache,
-    /// Single-bank by default; the multi-core machine swaps a shared,
-    /// multi-bank [`Llc`] in and out around each core's step (see
-    /// [`MemoryHierarchy::swap_llc`]).
+    /// Single-bank by default; the multi-core machine either swaps a
+    /// shared, multi-bank [`Llc`] in and out around each core's step
+    /// (`cores == 1`, see [`MemoryHierarchy::swap_llc`]) or routes LLC
+    /// traffic through an epoch-buffered [`LlcView`] instead
+    /// (`cores > 1`, see [`MemoryHierarchy::install_llc_view`]).
     llc: Llc,
+    /// When installed, LLC probes/fills bypass `llc` and go through the
+    /// epoch-frozen shared view (parallel machine mode).
+    llc_view: Option<LlcView>,
     cfg: HierarchyConfig,
     l2_prefetcher: L2Prefetcher,
     /// Reused between [`MemoryHierarchy::access`] calls so the prefetcher
@@ -208,6 +215,7 @@ impl MemoryHierarchy {
             l1d: Cache::new(cfg.l1d),
             l2: Cache::new(cfg.l2),
             llc: Llc::new(cfg.llc, 1),
+            llc_view: None,
             l2_prefetcher: L2Prefetcher::new(cfg.l2_prefetch),
             l2_pref_scratch: Vec::with_capacity(8),
             cfg,
@@ -268,7 +276,7 @@ impl MemoryHierarchy {
                 // L2 prefetches fill L2 (and LLC for inclusion) silently.
                 let pf = self.l2_pref_scratch[i];
                 self.l2.fill(pf);
-                self.llc.fill(pf);
+                self.llc_fill(pf);
             }
         }
         if l2_hit {
@@ -282,7 +290,7 @@ impl MemoryHierarchy {
 
         // LLC.
         latency += self.cfg.llc.latency;
-        if self.llc.probe(line) {
+        if self.llc_probe(line) {
             self.l2.fill(line);
             self.fill_l1(line, instruction_side);
             self.record(MemLevel::Llc, class);
@@ -294,13 +302,31 @@ impl MemoryHierarchy {
 
         // DRAM.
         latency += self.cfg.dram_latency;
-        self.llc.fill(line);
+        self.llc_fill(line);
         self.l2.fill(line);
         self.fill_l1(line, instruction_side);
         self.record(MemLevel::Dram, class);
         AccessOutcome {
             latency,
             served_by: MemLevel::Dram,
+        }
+    }
+
+    /// LLC probe, routed through the epoch view when one is installed.
+    #[inline]
+    fn llc_probe(&mut self, line: CacheLine) -> bool {
+        match &mut self.llc_view {
+            Some(view) => view.probe(line),
+            None => self.llc.probe(line),
+        }
+    }
+
+    /// LLC fill, routed through the epoch view when one is installed.
+    #[inline]
+    fn llc_fill(&mut self, line: CacheLine) {
+        match &mut self.llc_view {
+            Some(view) => view.fill(line),
+            None => self.llc.fill(line),
         }
     }
 
@@ -345,6 +371,20 @@ impl MemoryHierarchy {
     /// The LLC (shared-structure occupancy auditing).
     pub fn llc(&self) -> &Llc {
         &self.llc
+    }
+
+    /// Routes this hierarchy's LLC traffic through an epoch-frozen view
+    /// of `shared` (parallel-machine mode). The private `llc` stays
+    /// empty and untouched; [`MemoryHierarchy::llc_view_mut`] hands the
+    /// machine the buffered operations to replay at each barrier.
+    pub fn install_llc_view(&mut self, shared: Arc<Llc>) {
+        self.llc_view = Some(LlcView::new(shared));
+    }
+
+    /// The installed epoch view, if any (the machine drains its logs at
+    /// each epoch barrier).
+    pub fn llc_view_mut(&mut self) -> Option<&mut LlcView> {
+        self.llc_view.as_mut()
     }
 
     /// References served by `level`, broken down by class.

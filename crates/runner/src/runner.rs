@@ -38,6 +38,14 @@ pub struct Runner {
     /// timing. Construction-time only, same cache-key contract as
     /// `interval`.
     sampling: Option<SamplingConfig>,
+    /// Host-thread budget handed to each multi-core [`Machine`]'s epoch
+    /// driver; `None` (the default) lets the machine auto-size to
+    /// min(cores, available parallelism). Never part of the cache key:
+    /// the epoch protocol is bit-deterministic at any width, so records
+    /// are identical whatever this is set to.
+    ///
+    /// [`Machine`]: morrigan_sim::Machine
+    machine_threads: Option<usize>,
     cache: Mutex<HashMap<String, Arc<RunRecord>>>,
     /// Records every record handed out, in request order, across batches.
     /// Lets callers attribute records to request ranges (the `figures`
@@ -65,6 +73,7 @@ impl Runner {
             verbose: false,
             interval: None,
             sampling: None,
+            machine_threads: None,
             cache: Mutex::new(HashMap::new()),
             journal: Mutex::new(Vec::new()),
             sims_executed: AtomicU64::new(0),
@@ -82,7 +91,9 @@ impl Runner {
     /// (a positive epoch length in retired instructions), and SMARTS
     /// sampled simulation from `MORRIGAN_SAMPLE` (`1` for the default
     /// `detail:skip` schedule, or an explicit one; see
-    /// [`SamplingConfig::from_env`]).
+    /// [`SamplingConfig::from_env`]), and the per-machine host-thread
+    /// budget from `MORRIGAN_MACHINE_THREADS` (a positive thread count;
+    /// malformed or zero values abort, like `MORRIGAN_SAMPLE`).
     pub fn from_env() -> Self {
         let fallback = std::thread::available_parallelism()
             .map(|n| n.get())
@@ -90,10 +101,14 @@ impl Runner {
         let threads =
             threads_from_env_value(std::env::var("MORRIGAN_THREADS").ok().as_deref(), fallback);
         let interval = interval_from_env_value(std::env::var("MORRIGAN_INTERVAL").ok().as_deref());
+        let machine_threads = machine_threads_from_env_value(
+            std::env::var("MORRIGAN_MACHINE_THREADS").ok().as_deref(),
+        );
         Runner::new(threads)
             .verbose(std::env::var("MORRIGAN_VERBOSE").is_ok_and(|v| v == "1"))
             .with_interval(interval)
             .with_sampling(SamplingConfig::from_env())
+            .with_machine_threads(machine_threads)
             .with_workload_cache(WorkloadCache::from_env())
     }
 
@@ -156,6 +171,30 @@ impl Runner {
     /// The default sampled-simulation schedule applied to executed specs.
     pub fn sampling(&self) -> Option<SamplingConfig> {
         self.sampling
+    }
+
+    /// Sets the host-thread budget each multi-core machine's epoch
+    /// driver may use (`None` auto-sizes to min(cores, available
+    /// parallelism)). Thread width never changes results — only
+    /// wall-clock time — so this is *not* part of the cache key; it does
+    /// shrink the worker pool so that pool width × machine threads stays
+    /// within this runner's thread budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics on `Some(0)`.
+    pub fn with_machine_threads(mut self, machine_threads: Option<usize>) -> Self {
+        assert!(
+            machine_threads != Some(0),
+            "machine threads must be positive when set"
+        );
+        self.machine_threads = machine_threads;
+        self
+    }
+
+    /// The per-machine host-thread budget applied to multi-core specs.
+    pub fn machine_threads(&self) -> Option<usize> {
+        self.machine_threads
     }
 
     /// Replaces the workload-trace cache (construction-time only, like
@@ -248,7 +287,15 @@ impl Runner {
 
         if !pending.is_empty() {
             let total = pending.len();
-            let workers = self.threads.min(total);
+            // Pool width × per-machine threads must stay within the
+            // runner's thread budget, so a batch of 4-core machines at
+            // machine-threads 4 doesn't oversubscribe the host 4×.
+            let widest = pending
+                .iter()
+                .map(|(_, spec)| spec.host_threads(self.machine_threads))
+                .max()
+                .unwrap_or(1);
+            let workers = self.threads.min(total).min((self.threads / widest).max(1));
             let slots: Vec<Mutex<Option<RunRecord>>> =
                 (0..total).map(|_| Mutex::new(None)).collect();
             let next = AtomicUsize::new(0);
@@ -268,7 +315,12 @@ impl Runner {
                         spec.prefetcher.name()
                     );
                 }
-                let record = spec.execute_cached(self.interval, self.sampling, &self.workloads);
+                let record = spec.execute_cached(
+                    self.interval,
+                    self.sampling,
+                    self.machine_threads,
+                    &self.workloads,
+                );
                 self.sims_executed.fetch_add(1, Ordering::Relaxed);
                 self.instructions_simulated
                     .fetch_add(spec.instructions_cost(), Ordering::Relaxed);
@@ -319,6 +371,23 @@ fn interval_from_env_value(value: Option<&str>) -> Option<u64> {
     value
         .and_then(|v| v.trim().parse::<u64>().ok())
         .filter(|&n| n > 0)
+}
+
+/// Resolves the per-machine thread budget from a
+/// `MORRIGAN_MACHINE_THREADS` value. Unset or empty means auto; a
+/// malformed or zero value aborts (like `MORRIGAN_SAMPLE`) instead of
+/// silently running a different experiment than the user asked for.
+fn machine_threads_from_env_value(value: Option<&str>) -> Option<usize> {
+    let value = value?.trim();
+    if value.is_empty() {
+        return None;
+    }
+    match value.parse::<usize>() {
+        Ok(0) | Err(_) => {
+            panic!("MORRIGAN_MACHINE_THREADS: expected a positive thread count, got {value:?}")
+        }
+        Ok(n) => Some(n),
+    }
 }
 
 #[cfg(test)]
@@ -432,5 +501,52 @@ mod tests {
         assert_eq!(threads_from_env_value(Some("0"), 6), 1);
         assert_eq!(threads_from_env_value(Some("lots"), 6), 6);
         assert_eq!(threads_from_env_value(Some(""), 6), 6);
+    }
+
+    #[test]
+    fn machine_thread_env_parsing() {
+        assert_eq!(machine_threads_from_env_value(None), None);
+        assert_eq!(machine_threads_from_env_value(Some("")), None);
+        assert_eq!(machine_threads_from_env_value(Some(" 4 ")), Some(4));
+        assert_eq!(machine_threads_from_env_value(Some("1")), Some(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "MORRIGAN_MACHINE_THREADS")]
+    fn malformed_machine_thread_env_aborts() {
+        machine_threads_from_env_value(Some("fast"));
+    }
+
+    #[test]
+    #[should_panic(expected = "MORRIGAN_MACHINE_THREADS")]
+    fn zero_machine_thread_env_aborts() {
+        machine_threads_from_env_value(Some("0"));
+    }
+
+    #[test]
+    #[should_panic(expected = "machine threads must be positive")]
+    fn zero_machine_threads_builder_rejected() {
+        let _ = Runner::new(2).with_machine_threads(Some(0));
+    }
+
+    #[test]
+    fn machine_thread_width_does_not_change_multi_core_records() {
+        let tenants = vec![
+            ServerWorkloadConfig::qmm_like("mt-a", 3),
+            ServerWorkloadConfig::qmm_like("mt-b", 4),
+        ];
+        let mixes = vec![tenants.clone(); 4];
+        let mut system = SystemConfig::default();
+        system.topology.shared_stlb = true;
+        system.topology.llc_shards = 4;
+        system.topology.shootdown_interval = Some(25_000);
+        let spec = RunSpec::multi(mixes, 10_000, system, tiny_sim(), PrefetcherKind::Morrigan);
+        let narrow = Runner::new(1).with_machine_threads(Some(1)).run_one(&spec);
+        let wide = Runner::new(4).with_machine_threads(Some(4)).run_one(&spec);
+        assert_eq!(
+            crate::json::record_json(&narrow),
+            crate::json::record_json(&wide),
+            "machine thread width must not leak into results"
+        );
     }
 }

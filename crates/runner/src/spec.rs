@@ -437,6 +437,24 @@ impl RunSpec {
             * self.workload.cores() as u64
     }
 
+    /// Host threads this spec's execution occupies inside one worker:
+    /// `1` for single-core specs (the simulator is single-threaded), the
+    /// effective epoch-driver width for multi-core machines —
+    /// `machine_threads` when set, else min(cores, available
+    /// parallelism). The [`Runner`](crate::Runner) divides its thread
+    /// budget by the widest pending spec so pool width × machine width
+    /// never oversubscribes the budget.
+    pub fn host_threads(&self, machine_threads: Option<usize>) -> usize {
+        let cores = self.workload.cores();
+        if cores <= 1 || !matches!(self.workload, WorkloadSpec::Multi { .. }) {
+            return 1;
+        }
+        let available = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        machine_threads.unwrap_or(available).min(cores).max(1)
+    }
+
     /// The content key the result cache memoizes on.
     ///
     /// Derived from the spec's `Debug` rendering: every field of every
@@ -466,7 +484,7 @@ impl RunSpec {
     /// [`MachineSummary`]'s `per_core_intervals` instead.
     pub fn execute_observed(&self, interval: Option<u64>) -> RunRecord {
         if matches!(self.workload, WorkloadSpec::Multi { .. }) {
-            return self.execute_machine(interval, None, None);
+            return self.execute_machine(interval, None, None, None);
         }
         let prefetcher = self.prefetcher.build();
         let streams = self.workload.build_streams();
@@ -495,16 +513,22 @@ impl RunSpec {
     /// spec whose own [`sampling`](RunSpec::sampling) field is set keeps
     /// its pinned schedule; only unset specs inherit the default.
     ///
+    /// `machine_threads` is the host-thread budget for multi-core
+    /// machines (`None` auto-sizes); single-core specs ignore it. The
+    /// epoch-barrier protocol makes records bitwise-identical at any
+    /// width, so it is not part of the cache key.
+    ///
     /// [`Phase::TraceBuild`]: morrigan_obs::Phase::TraceBuild
     pub fn execute_cached(
         &self,
         interval: Option<u64>,
         sampling: Option<SamplingConfig>,
+        machine_threads: Option<usize>,
         cache: &WorkloadCache,
     ) -> RunRecord {
         let sampling = self.sampling.or(sampling);
         if matches!(self.workload, WorkloadSpec::Multi { .. }) {
-            return self.execute_machine(interval, sampling, Some(cache));
+            return self.execute_machine(interval, sampling, machine_threads, Some(cache));
         }
         let prefetcher = self.prefetcher.build();
         let trace_len =
@@ -568,6 +592,7 @@ impl RunSpec {
         &self,
         interval: Option<u64>,
         sampling: Option<SamplingConfig>,
+        machine_threads: Option<usize>,
         cache: Option<&WorkloadCache>,
     ) -> RunRecord {
         assert_eq!(
@@ -587,6 +612,7 @@ impl RunSpec {
         let mut machine = Machine::new(self.system, streams, prefetchers);
         machine.set_interval(interval);
         machine.set_sampling(sampling);
+        machine.set_threads(machine_threads);
         let metrics = machine.run(self.sim);
         let mut phases = *machine.phase_profile();
         if cache.is_some() {

@@ -17,12 +17,14 @@ fn sim() -> SimConfig {
 }
 
 fn multi_spec(cores: usize, tenants: usize, quantum: u64) -> RunSpec {
-    let mut system = SystemConfig::default();
-    system.topology = TopologyConfig {
-        cores,
-        shared_stlb: true,
-        llc_shards: 2,
-        shootdown_interval: Some(9_000),
+    let system = SystemConfig {
+        topology: TopologyConfig {
+            cores,
+            shared_stlb: true,
+            llc_shards: 2,
+            shootdown_interval: Some(9_000),
+        },
+        ..SystemConfig::default()
     };
     RunSpec::multi(
         suites::tenant_mixes(cores, tenants),

@@ -108,12 +108,14 @@ fn sampled_multi_core_counters_match_and_phases_are_nonzero() {
         warmup_instructions: 20_000,
         measure_instructions: 60_000,
     };
-    let mut system = SystemConfig::default();
-    system.topology = TopologyConfig {
-        cores: 2,
-        shared_stlb: true,
-        llc_shards: 2,
-        shootdown_interval: Some(9_000),
+    let system = SystemConfig {
+        topology: TopologyConfig {
+            cores: 2,
+            shared_stlb: true,
+            llc_shards: 2,
+            shootdown_interval: Some(9_000),
+        },
+        ..SystemConfig::default()
     };
     let spec = RunSpec::multi(
         suites::tenant_mixes(2, 2),

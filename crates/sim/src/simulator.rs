@@ -616,11 +616,6 @@ impl<R: Recorder> Simulator<R> {
         self.retired
     }
 
-    /// The front end's current fetch cycle — the machine's interleave key.
-    pub(crate) fn fetch_cycle(&self) -> u64 {
-        self.fetch_cycle
-    }
-
     /// Emits one simulator-side trace event; compiles to nothing under
     /// [`NullRecorder`].
     #[inline(always)]

@@ -40,6 +40,7 @@ mod mmu;
 mod page_table;
 mod prefetch_buffer;
 mod psc;
+mod stlb_view;
 mod tlb;
 mod walker;
 
@@ -48,5 +49,6 @@ pub use mmu::{Mmu, MmuConfig, MmuStats, PrefetchPlacement, TranslationOutcome};
 pub use page_table::{PageTable, PtLevel, WalkStep};
 pub use prefetch_buffer::{PbEntry, PbStats, PrefetchBuffer};
 pub use psc::{PagingStructureCaches, PscConfig, PscHit};
+pub use stlb_view::{replay_stlb_ops, StlbOp, StlbView};
 pub use tlb::{Tlb, TlbConfig};
 pub use walker::{WalkKind, WalkResult, Walker, WalkerConfig, WalkerStats};

@@ -32,6 +32,7 @@ use serde::{Deserialize, Serialize};
 use crate::miss_stream::MissStreamStats;
 use crate::page_table::PageTable;
 use crate::prefetch_buffer::PrefetchBuffer;
+use crate::stlb_view::StlbView;
 use crate::tlb::{Tlb, TlbConfig};
 use crate::walker::{WalkKind, WalkResult, Walker, WalkerConfig, WalkerStats};
 
@@ -241,6 +242,11 @@ pub struct Mmu<R: Recorder = NullRecorder> {
     itlb: Tlb,
     dtlb: Tlb,
     stlb: Tlb,
+    /// Epoch-frozen window onto a machine-shared STLB. When installed
+    /// (the parallel multi-core machine), every second-level lookup,
+    /// insert, and flush routes through it instead of the private
+    /// `stlb`, which then stays empty.
+    stlb_view: Option<StlbView>,
     pb: PrefetchBuffer,
     walker: Walker,
     page_table: PageTable,
@@ -291,6 +297,7 @@ impl<R: Recorder> Mmu<R> {
             itlb: Tlb::new(cfg.itlb),
             dtlb: Tlb::new(cfg.dtlb),
             stlb: Tlb::new(cfg.stlb),
+            stlb_view: None,
             pb: PrefetchBuffer::new(cfg.pb_entries, cfg.pb_latency),
             walker: Walker::new(cfg.walker),
             page_table,
@@ -410,6 +417,50 @@ impl<R: Recorder> Mmu<R> {
         std::mem::swap(&mut self.stlb, other);
     }
 
+    /// Routes this MMU's second-level lookups through an epoch-frozen
+    /// [`StlbView`] over a machine-shared STLB (the parallel multi-core
+    /// topology). The private `stlb` stays empty while a view is
+    /// installed, just as it did under the serial swap model.
+    pub fn install_stlb_view(&mut self, view: StlbView) {
+        self.stlb_view = Some(view);
+    }
+
+    /// The installed shared-STLB view, if any (epoch log collection).
+    pub fn stlb_view_mut(&mut self) -> Option<&mut StlbView> {
+        self.stlb_view.as_mut()
+    }
+
+    /// Second-level promoting lookup: the shared view when installed,
+    /// the private STLB otherwise.
+    #[inline]
+    fn stlb_lookup(&mut self, vpn: VirtPage) -> Option<PhysPage> {
+        match &mut self.stlb_view {
+            Some(view) => view.lookup(vpn),
+            None => self.stlb.lookup(vpn),
+        }
+    }
+
+    /// Second-level insert, routed like [`Self::stlb_lookup`].
+    #[inline]
+    fn stlb_insert(&mut self, vpn: VirtPage, pfn: PhysPage, instruction: bool) {
+        match &mut self.stlb_view {
+            Some(view) => view.insert(vpn, pfn, instruction),
+            None => {
+                self.stlb.insert(vpn, pfn, instruction);
+            }
+        }
+    }
+
+    /// Second-level non-promoting residency check, routed like
+    /// [`Self::stlb_lookup`].
+    #[inline]
+    fn stlb_resident(&self, vpn: VirtPage) -> bool {
+        match &self.stlb_view {
+            Some(view) => view.contains(vpn),
+            None => self.stlb.contains(vpn),
+        }
+    }
+
     /// Drops every translation belonging to `asid` from all four
     /// translation structures (address-space teardown); returns the
     /// total number of entries removed. Unlike [`Self::shootdown`] this
@@ -464,7 +515,7 @@ impl<R: Recorder> Mmu<R> {
                 .translate(vpn)
                 .expect("fetched page must be mapped");
             self.itlb.insert(vpn, pfn, true);
-            self.stlb.insert(vpn, pfn, true);
+            self.stlb_insert(vpn, pfn, true);
             return TranslationOutcome {
                 latency,
                 l1_miss: true,
@@ -474,7 +525,7 @@ impl<R: Recorder> Mmu<R> {
             };
         }
 
-        if let Some(pfn) = self.stlb.lookup(vpn) {
+        if let Some(pfn) = self.stlb_lookup(vpn) {
             self.itlb.insert(vpn, pfn, true);
             if self.cfg.engage_on_stlb_hits {
                 self.engage_prefetcher(vpn, pc, thread, false, now, mem);
@@ -520,7 +571,7 @@ impl<R: Recorder> Mmu<R> {
                 if let Some(origin) = hit.origin {
                     self.prefetcher.on_prefetch_hit(&origin);
                 }
-                self.stlb.insert(vpn, hit.pfn, true);
+                self.stlb_insert(vpn, hit.pfn, true);
                 self.itlb.insert(vpn, hit.pfn, true);
                 (true, hit.pfn)
             }
@@ -532,7 +583,7 @@ impl<R: Recorder> Mmu<R> {
                     .expect("demand-fetched instruction page must be mapped");
                 self.emit_walk(vpn, WalkClass::DemandInstruction, &walk);
                 latency += walk.latency;
-                self.stlb.insert(vpn, walk.pfn, true);
+                self.stlb_insert(vpn, walk.pfn, true);
                 self.itlb.insert(vpn, walk.pfn, true);
                 (false, walk.pfn)
             }
@@ -586,7 +637,7 @@ impl<R: Recorder> Mmu<R> {
         // contend with demand lookups (§2.1).
         let already_staged = match self.cfg.placement {
             PrefetchPlacement::Buffer => self.pb.contains(vpn),
-            PrefetchPlacement::Stlb => self.stlb.contains(vpn),
+            PrefetchPlacement::Stlb => self.stlb_resident(vpn),
         };
         if already_staged {
             self.stats.prefetches_duplicate += 1;
@@ -612,7 +663,7 @@ impl<R: Recorder> Mmu<R> {
                 self.correct_eviction(victim, now, mem);
             }
             PrefetchPlacement::Stlb => {
-                self.stlb.insert(vpn, walk.pfn, true);
+                self.stlb_insert(vpn, walk.pfn, true);
             }
         }
         if decision.spatial {
@@ -632,7 +683,7 @@ impl<R: Recorder> Mmu<R> {
                         }
                     }
                     PrefetchPlacement::Stlb => {
-                        self.stlb.insert(neighbor, pfn, true);
+                        self.stlb_insert(neighbor, pfn, true);
                         self.stats.spatial_ptes_staged += 1;
                     }
                 }
@@ -685,7 +736,7 @@ impl<R: Recorder> Mmu<R> {
         self.stats.dtlb_misses += 1;
         latency += self.cfg.stlb.latency;
 
-        if let Some(pfn) = self.stlb.lookup(vpn) {
+        if let Some(pfn) = self.stlb_lookup(vpn) {
             self.dtlb.insert(vpn, pfn, false);
             return TranslationOutcome {
                 latency,
@@ -703,7 +754,7 @@ impl<R: Recorder> Mmu<R> {
             .expect("demand-accessed data page must be mapped");
         self.emit_walk(vpn, WalkClass::DemandData, &walk);
         latency += walk.latency;
-        self.stlb.insert(vpn, walk.pfn, false);
+        self.stlb_insert(vpn, walk.pfn, false);
         self.dtlb.insert(vpn, walk.pfn, false);
         TranslationOutcome {
             latency,
@@ -726,7 +777,7 @@ impl<R: Recorder> Mmu<R> {
         now: u64,
         mem: &mut MemoryHierarchy,
     ) -> Option<u64> {
-        if self.itlb.contains(vpn) || self.stlb.contains(vpn) || self.pb.contains(vpn) {
+        if self.itlb.contains(vpn) || self.stlb_resident(vpn) || self.pb.contains(vpn) {
             return None;
         }
         let walk = self
@@ -782,7 +833,7 @@ impl<R: Recorder> Mmu<R> {
     /// Whether the translation for `vpn` is immediately available to an
     /// instruction fetch (I-TLB, STLB, or a ready PB entry).
     pub fn instr_translation_ready(&self, vpn: VirtPage, now: u64) -> bool {
-        self.itlb.contains(vpn) || self.stlb.contains(vpn) || self.pb_ready(vpn, now)
+        self.itlb.contains(vpn) || self.stlb_resident(vpn) || self.pb_ready(vpn, now)
     }
 
     fn pb_ready(&self, _vpn: VirtPage, _now: u64) -> bool {
@@ -808,7 +859,10 @@ impl<R: Recorder> Mmu<R> {
         }
         self.itlb.flush();
         self.dtlb.flush();
-        self.stlb.flush();
+        match &mut self.stlb_view {
+            Some(view) => view.flush(),
+            None => self.stlb.flush(),
+        }
         self.pb.flush();
         self.walker.flush_psc();
         self.prefetcher.flush();

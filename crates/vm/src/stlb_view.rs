@@ -1,0 +1,261 @@
+//! A core's epoch-local window onto the machine-wide shared STLB.
+//!
+//! The parallel machine freezes the shared STLB between epoch barriers:
+//! every core reads the epoch-start image (non-promoting [`Tlb::peek`]
+//! under a shared lock) plus an overlay of its own in-epoch inserts,
+//! and logs each operation in program order. At the barrier one thread
+//! replays all cores' logs against the real structure in (core,
+//! sequence) order, so the final state is a pure function of the logs —
+//! independent of host thread count and scheduling.
+//!
+//! Flush semantics carry over from the serial swap model: a core that
+//! context-switches mid-epoch flushes the *shared* STLB (under swapping
+//! the shared structure was resident in the switching core's MMU). The
+//! view models that by hiding the frozen image from this core for the
+//! rest of the epoch and logging a [`StlbOp::Flush`] for replay.
+
+use std::sync::{Arc, RwLock};
+
+use morrigan_types::{PhysPage, VirtPage};
+
+use crate::tlb::Tlb;
+
+/// One buffered shared-STLB operation, replayed at the epoch barrier in
+/// (core, sequence) order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StlbOp {
+    /// A lookup hit: replay promotes the entry to MRU.
+    Touch(VirtPage),
+    /// An insert (the `bool` is the instruction-class tag).
+    Insert(VirtPage, PhysPage, bool),
+    /// Address-space teardown for one ASID.
+    InvalidateAsid(u16),
+    /// A context-switch flush.
+    Flush,
+}
+
+/// The epoch-frozen shared-STLB window of one core. See the module docs.
+#[derive(Debug, Clone)]
+pub struct StlbView {
+    shared: Arc<RwLock<Tlb>>,
+    /// Operation log for barrier replay, program order.
+    ops: Vec<StlbOp>,
+    /// Inserts this core performed this epoch: `(vpn, pfn, live)`.
+    /// Scanned newest-first so re-inserts shadow older entries.
+    overlay: Vec<(u64, u64, bool)>,
+    /// This core flushed the shared STLB this epoch: the frozen image
+    /// is invisible for the remainder of the epoch.
+    frozen_hidden: bool,
+    /// ASIDs this core tore down this epoch (frozen entries of these
+    /// ASIDs are invisible for the remainder of the epoch).
+    hidden_asids: Vec<u16>,
+}
+
+impl StlbView {
+    /// A fresh view over `shared` with empty overlay and log.
+    pub fn new(shared: Arc<RwLock<Tlb>>) -> Self {
+        Self {
+            shared,
+            ops: Vec::new(),
+            overlay: Vec::new(),
+            frozen_hidden: false,
+            hidden_asids: Vec::new(),
+        }
+    }
+
+    fn frozen_visible(&self, vpn: VirtPage) -> bool {
+        !self.frozen_hidden && !self.hidden_asids.contains(&vpn.asid())
+    }
+
+    fn overlay_get(&self, vpn: VirtPage) -> Option<Option<PhysPage>> {
+        let key = vpn.raw();
+        self.overlay
+            .iter()
+            .rev()
+            .find(|&&(v, _, _)| v == key)
+            .map(|&(_, pfn, live)| live.then(|| PhysPage::new(pfn)))
+    }
+
+    /// Epoch-frozen lookup. Hits log a [`StlbOp::Touch`] so the LRU
+    /// promotion replays at the barrier.
+    pub fn lookup(&mut self, vpn: VirtPage) -> Option<PhysPage> {
+        let hit = match self.overlay_get(vpn) {
+            Some(resolved) => resolved,
+            None if self.frozen_visible(vpn) => {
+                self.shared.read().expect("shared stlb lock").peek(vpn)
+            }
+            None => None,
+        };
+        if hit.is_some() {
+            self.ops.push(StlbOp::Touch(vpn));
+        }
+        hit
+    }
+
+    /// Epoch-frozen residency check (non-promoting, nothing logged).
+    pub fn contains(&self, vpn: VirtPage) -> bool {
+        match self.overlay_get(vpn) {
+            Some(resolved) => resolved.is_some(),
+            None if self.frozen_visible(vpn) => {
+                self.shared.read().expect("shared stlb lock").contains(vpn)
+            }
+            None => false,
+        }
+    }
+
+    /// Buffers an insert: visible to this core immediately, to everyone
+    /// after the barrier replay.
+    pub fn insert(&mut self, vpn: VirtPage, pfn: PhysPage, instruction: bool) {
+        self.ops.push(StlbOp::Insert(vpn, pfn, instruction));
+        self.overlay.push((vpn.raw(), pfn.raw(), true));
+    }
+
+    /// Buffers an ASID teardown: entries of `asid` become invisible to
+    /// this core immediately and are dropped at the barrier replay.
+    pub fn invalidate_asid(&mut self, asid: u16) {
+        self.ops.push(StlbOp::InvalidateAsid(asid));
+        for entry in &mut self.overlay {
+            if VirtPage::new(entry.0).asid() == asid {
+                entry.2 = false;
+            }
+        }
+        if !self.hidden_asids.contains(&asid) {
+            self.hidden_asids.push(asid);
+        }
+    }
+
+    /// Buffers a context-switch flush: the shared STLB becomes invisible
+    /// to this core immediately and is emptied at the barrier replay.
+    pub fn flush(&mut self) {
+        self.ops.push(StlbOp::Flush);
+        for entry in &mut self.overlay {
+            entry.2 = false;
+        }
+        self.frozen_hidden = true;
+    }
+
+    /// Hands this epoch's log to the caller (swapping in the cleared
+    /// buffer `into`) and resets the overlay and visibility state.
+    pub fn take_epoch(&mut self, into: &mut Vec<StlbOp>) {
+        debug_assert!(into.is_empty());
+        std::mem::swap(&mut self.ops, into);
+        self.overlay.clear();
+        self.frozen_hidden = false;
+        self.hidden_asids.clear();
+    }
+}
+
+/// Replays one core's epoch log against the real shared STLB (caller
+/// holds the write lock and iterates cores in id order).
+pub fn replay_stlb_ops(stlb: &mut Tlb, ops: &[StlbOp]) {
+    for op in ops {
+        match *op {
+            StlbOp::Touch(vpn) => {
+                stlb.lookup(vpn);
+            }
+            StlbOp::Insert(vpn, pfn, instruction) => {
+                stlb.insert(vpn, pfn, instruction);
+            }
+            StlbOp::InvalidateAsid(asid) => {
+                stlb.invalidate_asid(asid);
+            }
+            StlbOp::Flush => stlb.flush(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tlb::TlbConfig;
+
+    fn shared() -> Arc<RwLock<Tlb>> {
+        Arc::new(RwLock::new(Tlb::new(TlbConfig::stlb())))
+    }
+
+    fn vp(i: u64) -> VirtPage {
+        VirtPage::new(0x400 + i)
+    }
+
+    fn pp(i: u64) -> PhysPage {
+        PhysPage::new(0x900 + i)
+    }
+
+    #[test]
+    fn own_inserts_are_visible_before_replay() {
+        let stlb = shared();
+        let mut view = StlbView::new(Arc::clone(&stlb));
+        assert_eq!(view.lookup(vp(1)), None);
+        view.insert(vp(1), pp(1), true);
+        assert_eq!(view.lookup(vp(1)), Some(pp(1)));
+        assert!(view.contains(vp(1)));
+        assert_eq!(
+            stlb.read().unwrap().occupancy(),
+            0,
+            "shared structure stays frozen until the barrier"
+        );
+    }
+
+    #[test]
+    fn replay_applies_logs_in_order() {
+        let stlb = shared();
+        let mut view = StlbView::new(Arc::clone(&stlb));
+        view.insert(vp(1), pp(1), true);
+        view.insert(vp(2), pp(2), false);
+        let mut ops = Vec::new();
+        view.take_epoch(&mut ops);
+        replay_stlb_ops(&mut stlb.write().unwrap(), &ops);
+        assert_eq!(stlb.read().unwrap().peek(vp(1)), Some(pp(1)));
+        assert_eq!(stlb.read().unwrap().peek(vp(2)), Some(pp(2)));
+        assert_eq!(view.lookup(vp(1)), Some(pp(1)), "frozen image now has it");
+    }
+
+    #[test]
+    fn flush_hides_frozen_image_for_the_rest_of_the_epoch() {
+        let stlb = shared();
+        stlb.write().unwrap().insert(vp(7), pp(7), true);
+        let mut view = StlbView::new(Arc::clone(&stlb));
+        assert_eq!(view.lookup(vp(7)), Some(pp(7)));
+        view.flush();
+        assert_eq!(view.lookup(vp(7)), None);
+        view.insert(vp(8), pp(8), true);
+        assert_eq!(view.lookup(vp(8)), Some(pp(8)), "post-flush inserts live");
+        let mut ops = Vec::new();
+        view.take_epoch(&mut ops);
+        replay_stlb_ops(&mut stlb.write().unwrap(), &ops);
+        let guard = stlb.read().unwrap();
+        assert_eq!(guard.peek(vp(7)), None, "flush replayed");
+        assert_eq!(guard.peek(vp(8)), Some(pp(8)));
+    }
+
+    #[test]
+    fn asid_teardown_hides_only_that_asid() {
+        let tagged = |page: u64, asid: u16| {
+            VirtPage::new(page | (u64::from(asid) << morrigan_types::ASID_SHIFT))
+        };
+        let stlb = shared();
+        stlb.write().unwrap().insert(tagged(0x10, 1), pp(1), true);
+        stlb.write().unwrap().insert(tagged(0x11, 2), pp(2), true);
+        let mut view = StlbView::new(Arc::clone(&stlb));
+        view.invalidate_asid(1);
+        assert!(!view.contains(tagged(0x10, 1)));
+        assert!(view.contains(tagged(0x11, 2)));
+        let mut ops = Vec::new();
+        view.take_epoch(&mut ops);
+        replay_stlb_ops(&mut stlb.write().unwrap(), &ops);
+        assert_eq!(stlb.read().unwrap().occupancy(), 1);
+    }
+
+    #[test]
+    fn take_epoch_resets_visibility() {
+        let stlb = shared();
+        stlb.write().unwrap().insert(vp(3), pp(3), true);
+        let mut view = StlbView::new(Arc::clone(&stlb));
+        view.flush();
+        let mut ops = Vec::new();
+        view.take_epoch(&mut ops);
+        // The replayed flush emptied nothing here (we dropped the ops),
+        // so the frozen image must be visible again next epoch.
+        assert_eq!(view.lookup(vp(3)), Some(pp(3)));
+    }
+}

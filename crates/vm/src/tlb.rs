@@ -173,6 +173,17 @@ impl Tlb {
         self.vpns[self.set_range(vpn)].contains(&key)
     }
 
+    /// The translation for `vpn` if resident, without disturbing LRU
+    /// state — the frozen-epoch read the parallel machine's shared-STLB
+    /// view performs between barriers (the promote is logged and
+    /// replayed as a [`lookup`](Self::lookup) at the barrier).
+    pub fn peek(&self, vpn: VirtPage) -> Option<PhysPage> {
+        let key = vpn.raw();
+        let range = self.set_range(vpn);
+        let start = range.start;
+        scan::find_tag(&self.vpns[range], key).map(|w| PhysPage::new(self.pfns[start + w]))
+    }
+
     /// Software-prefetches the tag array of the set `vpn` maps to.
     ///
     /// A scheduling hint for callers that know the next probe target
