@@ -15,7 +15,10 @@
 //!   RLFU by default (see [`crate::replacement`]).
 
 use morrigan_types::rng::Xoshiro256StarStar;
-use morrigan_types::{PageDistance, PrefetchDecision, PrefetchOrigin, SatCounter, VirtPage};
+use morrigan_types::{
+    PageDistance, PrefetchComponent, PrefetchDecision, PrefetchOrigin, PrefetcherEvent, SatCounter,
+    VirtPage,
+};
 use serde::{Deserialize, Serialize};
 
 use crate::config::{IripConfig, PrtConfig};
@@ -137,6 +140,10 @@ pub struct Irip {
     tick: u64,
     /// Counters.
     pub stats: IripStats,
+    /// When true, replacement evictions are queued in `events` for the
+    /// traced MMU to drain onto the event timeline. Off by default.
+    capture_events: bool,
+    events: Vec<PrefetcherEvent>,
 }
 
 impl Irip {
@@ -167,7 +174,22 @@ impl Irip {
             tick: 0,
             cfg,
             stats: IripStats::default(),
+            capture_events: false,
+            events: Vec::new(),
         }
+    }
+
+    /// Enables or disables eviction-event capture (traced runs only).
+    pub fn set_event_capture(&mut self, on: bool) {
+        self.capture_events = on;
+        if !on {
+            self.events = Vec::new();
+        }
+    }
+
+    /// Moves captured eviction events into `out`, oldest first.
+    pub fn drain_events(&mut self, out: &mut Vec<PrefetcherEvent>) {
+        out.append(&mut self.events);
     }
 
     /// This ensemble's configuration.
@@ -230,6 +252,7 @@ impl Irip {
                         source: vpn,
                         distance: slot.dist,
                     }),
+                    component: PrefetchComponent::IripTable(t as u8),
                 });
                 emitted += 1;
             }
@@ -337,6 +360,12 @@ impl Irip {
             .cfg
             .policy
             .choose_victim(&candidates, &self.freq, &mut self.rng);
+        if self.capture_events {
+            self.events.push(PrefetcherEvent::TableEvict {
+                table: t as u8,
+                vpn: candidates[victim].0,
+            });
+        }
         self.tables[t].entries[range.start + victim] = entry;
         self.stats.evictions += 1;
     }

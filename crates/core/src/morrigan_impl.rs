@@ -1,7 +1,8 @@
 //! The composite Morrigan prefetcher: IRIP + SDP orchestration (§4.2).
 
 use morrigan_types::{
-    MissContext, PrefetchDecision, PrefetchOrigin, ThreadId, TlbPrefetcher, VirtPage,
+    MissContext, PrefetchDecision, PrefetchOrigin, PrefetcherEvent, ThreadId, TlbPrefetcher,
+    VirtPage,
 };
 use serde::{Deserialize, Serialize};
 
@@ -117,6 +118,18 @@ impl TlbPrefetcher for Morrigan {
 
     fn storage_bits(&self) -> u64 {
         self.irip.storage_bits()
+    }
+
+    fn set_event_capture(&mut self, on: bool) {
+        self.irip.set_event_capture(on);
+    }
+
+    fn drain_events(&mut self, out: &mut Vec<PrefetcherEvent>) {
+        self.irip.drain_events(out);
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
     }
 }
 

@@ -10,7 +10,7 @@
 //! prediction for the missing page, so the composite prefetcher emits
 //! prefetches on *every* miss without double-spending walker bandwidth.
 
-use morrigan_types::{PrefetchDecision, VirtPage};
+use morrigan_types::{PrefetchComponent, PrefetchDecision, VirtPage};
 
 /// The Small Delta Prefetcher. Stateless: requires no flush on context
 /// switches (§4.3) and contributes zero bits of prediction storage.
@@ -40,7 +40,7 @@ impl Sdp {
     /// assert!(out[0].spatial);
     /// ```
     pub fn prefetch(&mut self, vpn: VirtPage, out: &mut Vec<PrefetchDecision>) {
-        out.push(PrefetchDecision::spatial(vpn.offset(1)));
+        out.push(PrefetchDecision::spatial(vpn.offset(1)).with_component(PrefetchComponent::Sdp));
         self.issued += 1;
     }
 }

@@ -7,6 +7,9 @@
 //! figures fig15 fig16             # run a subset
 //! figures --json out.json fig15   # also write machine-readable records
 //! figures --trace t.json fig02    # also write an event trace (Perfetto)
+//! figures --explain why.json fig02  # per-run "why" report (+ .md sibling)
+//! figures explain a.json b.json   # differential between two --json dumps
+//! MORRIGAN_DIGEST=1 figures       # one-line top-insight digest per figure
 //! figures --interval 10000 ...    # per-epoch time-series in the JSON
 //! figures --sample 10000:40000 .. # SMARTS sampled simulation (or --sample 1)
 //! MORRIGAN_FULL=1 figures         # paper-scale run lengths (slow)
@@ -30,6 +33,15 @@
 //! format the extension selects: `.json` for Chrome `trace_event` (open
 //! in Perfetto / `chrome://tracing`), `.jsonl` for flat JSON-lines. The
 //! traced run is asserted bitwise-identical to the untraced one.
+//!
+//! `--explain` likewise re-executes the first record, but streams every
+//! event through the analysis engine and writes a structured per-run
+//! diagnosis (miss anatomy, per-component attribution, replacement
+//! forensics, reconciliation laws) as JSON at the given path plus a
+//! human-facing markdown sibling. `figures explain a.json b.json`
+//! instead reads two previously written `--json` dumps and emits a
+//! differential report decomposing the metric deltas along the audit
+//! conservation laws.
 
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -70,9 +82,11 @@ fn closest_figure(name: &str) -> &'static str {
 
 /// Every flag the binary accepts, for the "did you mean" hint on
 /// unknown `--…` arguments.
-const FLAGS: [&str; 10] = [
+const FLAGS: [&str; 12] = [
     "--json",
     "--trace",
+    "--explain",
+    "--out",
     "--interval",
     "--sample",
     "--cores",
@@ -176,6 +190,9 @@ struct Args {
     /// Where to write the event trace of the first record, if requested
     /// (`--trace`, or `MORRIGAN_TRACE` when the flag is absent).
     trace_path: Option<String>,
+    /// Where to write the analysis report of the first record
+    /// (`--explain`; a markdown sibling is written next to it).
+    explain_path: Option<String>,
     /// Interval-sampler epoch length (`--interval`; `MORRIGAN_INTERVAL`
     /// is handled by [`Runner::from_env`] when the flag is absent).
     interval: Option<u64>,
@@ -201,9 +218,10 @@ struct Args {
 
 fn usage() -> String {
     format!(
-        "usage: figures [--json <path>] [--trace <path>.json|.jsonl] [--interval <n>] \
-         [--sample <detail:skip|1>] [--cores <1|2|4|8|…>] [--tenants <n>] \
-         [--machine-threads <n>] [--no-workload-cache] [{}]...",
+        "usage: figures [--json <path>] [--trace <path>.json|.jsonl] [--explain <path>.json] \
+         [--interval <n>] [--sample <detail:skip|1>] [--cores <1|2|4|8|…>] [--tenants <n>] \
+         [--machine-threads <n>] [--no-workload-cache] [{}]...\n\
+         \x20      figures explain <a.json> <b.json> [--out <path>]",
         FIGURES.join("|")
     )
 }
@@ -212,6 +230,7 @@ fn parse_args() -> Result<Args, String> {
     let mut selected = Vec::new();
     let mut json_path = None;
     let mut trace_path = None;
+    let mut explain_path = None;
     let mut interval = None;
     let mut sample = None;
     let mut cores = None;
@@ -234,6 +253,18 @@ fn parse_args() -> Result<Args, String> {
                     .ok_or_else(|| "--trace requires a file path".to_string())?;
                 trace_format(&path)?;
                 trace_path = Some(path);
+            }
+            "--explain" => {
+                let path = args
+                    .next()
+                    .ok_or_else(|| "--explain requires a file path".to_string())?;
+                if !path.ends_with(".json") {
+                    return Err(format!(
+                        "--explain path '{path}' must end in .json (the report is JSON; \
+                         a markdown sibling is written next to it)"
+                    ));
+                }
+                explain_path = Some(path);
             }
             "--interval" => {
                 let value = args
@@ -309,10 +340,18 @@ fn parse_args() -> Result<Args, String> {
                 .to_string(),
         );
     }
+    if sample.is_some() && explain_path.is_some() {
+        return Err(
+            "--sample and --explain are mutually exclusive: an analysis of a sampled run \
+             would omit the fast-forwarded stretches"
+                .to_string(),
+        );
+    }
     Ok(Args {
         selected,
         json_path,
         trace_path,
+        explain_path,
         interval,
         sample,
         cores,
@@ -324,6 +363,17 @@ fn parse_args() -> Result<Args, String> {
 }
 
 fn main() -> ExitCode {
+    // `figures explain a.json b.json [--out <path>]` is a subcommand:
+    // it reads records back instead of running simulations.
+    if std::env::args().nth(1).as_deref() == Some("explain") {
+        return match run_explain(std::env::args().skip(2).collect()) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(message) => {
+                eprintln!("{message}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     let args = match parse_args() {
         Ok(args) => args,
         Err(message) => {
@@ -359,14 +409,16 @@ fn main() -> ExitCode {
         runner = runner.with_workload_cache(morrigan_runner::WorkloadCache::disabled());
     }
     // --sample may also arrive via MORRIGAN_SAMPLE, which parse_args
-    // cannot see; re-check the trace exclusion against the runner.
-    if args.trace_path.is_some() && runner.sampling().is_some() {
+    // cannot see; re-check the trace/explain exclusions against the
+    // runner.
+    if (args.trace_path.is_some() || args.explain_path.is_some()) && runner.sampling().is_some() {
         eprintln!(
-            "--trace and sampled simulation (--sample / MORRIGAN_SAMPLE) are mutually \
-             exclusive: an event trace of a sampled run would omit the fast-forwarded stretches"
+            "--trace/--explain and sampled simulation (--sample / MORRIGAN_SAMPLE) are mutually \
+             exclusive: telemetry of a sampled run would omit the fast-forwarded stretches"
         );
         return ExitCode::FAILURE;
     }
+    let digest = std::env::var("MORRIGAN_DIGEST").is_ok_and(|v| v == "1");
     let want = |name: &str| args.selected.is_empty() || args.selected.iter().any(|a| a == name);
     eprintln!(
         "scale: {} warmup + {} measured instructions, {} workloads, {} SMT pairs ({} worker threads)",
@@ -388,6 +440,9 @@ fn main() -> ExitCode {
                 eprintln!("running {}...", $name);
                 let watermark = runner.journal_len();
                 println!("{}\n", exp::$module::run(&runner, &scale));
+                if digest {
+                    eprintln!("digest {}: {}", $name, figure_digest(&runner, watermark));
+                }
                 if args.json_path.is_some() {
                     json_figures.push(($name.to_string(), runner.journal_since(watermark)));
                 }
@@ -444,7 +499,180 @@ fn main() -> ExitCode {
         }
     }
 
+    if let Some(path) = &args.explain_path {
+        if let Err(message) = write_explain(&runner, path) {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    }
+
     ExitCode::SUCCESS
+}
+
+/// One-line top insight for the records a figure just journaled
+/// (`MORRIGAN_DIGEST=1`). Counter-based — no re-execution: single-core
+/// figures contrast the baseline against the best prefetcher record of
+/// the same workload; multi-core figures report the worst interference
+/// core via the machine analysis.
+fn figure_digest(runner: &Runner, watermark: usize) -> String {
+    let records = runner.journal_since(watermark);
+    if records.is_empty() {
+        return "no simulations ran (all cached upstream of this figure)".to_string();
+    }
+    // Prefer the widest machine record: a 1-core machine's
+    // interference attribution is trivially "core 0 bears 100%".
+    if let Some(machine) = records
+        .iter()
+        .filter(|r| r.machine.is_some())
+        .max_by_key(|r| r.machine.as_ref().map_or(0, |m| m.cores))
+    {
+        return morrigan_runner::AnalysisReport::from_machine(machine).digest();
+    }
+    let baseline = records
+        .iter()
+        .find(|r| r.spec.prefetcher.name() == "baseline");
+    let best = records
+        .iter()
+        .filter(|r| r.spec.prefetcher.name() != "baseline")
+        .max_by(|a, b| {
+            a.metrics
+                .coverage()
+                .total_cmp(&b.metrics.coverage())
+                .then(a.metrics.ipc().total_cmp(&b.metrics.ipc()))
+        });
+    match (baseline, best) {
+        (Some(base), Some(best)) => format!(
+            "{} / {} covers {:.0}% of iSTLB misses (mpki {:.2} → {:.2} walked, \
+             speedup {:.3}x over baseline)",
+            best.spec.workload.name(),
+            best.spec.prefetcher.name(),
+            best.metrics.coverage() * 100.0,
+            base.metrics.istlb_mpki(),
+            best.metrics.istlb_mpki() * (1.0 - best.metrics.coverage()),
+            best.metrics.speedup_over(&base.metrics),
+        ),
+        _ => {
+            let r = &records[0];
+            format!(
+                "{} / {}: ipc {:.3}, istlb mpki {:.2}, coverage {:.0}% ({} records)",
+                r.spec.workload.name(),
+                r.spec.prefetcher.name(),
+                r.metrics.ipc(),
+                r.metrics.istlb_mpki(),
+                r.metrics.coverage() * 100.0,
+                records.len()
+            )
+        }
+    }
+}
+
+/// Re-executes the first journaled record's spec with the streaming
+/// analysis engine attached and writes the diagnosis to `path` (JSON)
+/// plus a markdown sibling. The analyzed run is asserted bitwise-equal
+/// to the journaled one, and the report must reconcile: every law ties
+/// an event-derived number to its audited counter.
+fn write_explain(runner: &Runner, path: &str) -> Result<(), String> {
+    let first = runner
+        .journal_since(0)
+        .into_iter()
+        .next()
+        .ok_or_else(|| "--explain: no simulation ran, nothing to analyze".to_string())?;
+    eprintln!(
+        "analyzing {} / {}...",
+        first.spec.workload.name(),
+        first.spec.prefetcher.name()
+    );
+    let record = first.spec.execute_analyzed(runner.interval());
+    assert_eq!(
+        record.metrics, first.metrics,
+        "analysis must not perturb the simulation"
+    );
+    let report = record
+        .analysis
+        .as_ref()
+        .expect("execute_analyzed always attaches a report");
+    if !report.complete {
+        eprintln!(
+            "--explain: WARNING: {} events were dropped upstream; the report refuses to \
+             claim completeness (\"complete\": false)",
+            report.dropped_events
+        );
+    }
+    if !report.reconciles() {
+        return Err(format!(
+            "--explain: report does not reconcile with the audited counters: {:?}",
+            report
+                .laws
+                .iter()
+                .filter(|l| !l.ok())
+                .map(|l| l.law.as_str())
+                .collect::<Vec<_>>()
+        ));
+    }
+    let md_path = format!("{}.md", path.trim_end_matches(".json"));
+    std::fs::write(path, format!("{}\n", report.to_json()))
+        .map_err(|error| format!("failed to write {path}: {error}"))?;
+    std::fs::write(&md_path, report.to_markdown())
+        .map_err(|error| format!("failed to write {md_path}: {error}"))?;
+    eprintln!(
+        "wrote {path} and {md_path} ({} events analyzed, {} dropped, {} laws reconciled)",
+        report.events_seen,
+        report.dropped_events,
+        report.laws.len()
+    );
+    Ok(())
+}
+
+/// The `figures explain <a.json> <b.json> [--out <path>]` subcommand:
+/// reads two `--json` dumps (or `--explain` reports' record dumps) back
+/// and writes a differential report decomposing the metric deltas along
+/// the audit conservation laws.
+fn run_explain(argv: Vec<String>) -> Result<(), String> {
+    let mut paths = Vec::new();
+    let mut out = None;
+    let mut iter = argv.into_iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--out" => {
+                out = Some(
+                    iter.next()
+                        .ok_or_else(|| "explain: --out requires a file path".to_string())?,
+                );
+            }
+            unknown if unknown.starts_with('-') => {
+                return Err(format!("explain: unknown flag '{unknown}'\n{}", usage()));
+            }
+            _ => paths.push(arg),
+        }
+    }
+    let [a_path, b_path] = paths.as_slice() else {
+        return Err(format!(
+            "explain requires exactly two record dumps (got {}): \
+             figures explain <a.json> <b.json> [--out <path>]",
+            paths.len()
+        ));
+    };
+    let digest_of = |path: &str| -> Result<morrigan_runner::RecordDigest, String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|error| format!("explain: failed to read {path}: {error}"))?;
+        let doc = morrigan_runner::jsonval::parse(&text)
+            .map_err(|error| format!("explain: {path} is not valid JSON: {error}"))?;
+        let record = morrigan_runner::first_record(&doc)
+            .map_err(|error| format!("explain: {path}: {error}"))?;
+        morrigan_runner::digest_record(record).map_err(|error| format!("explain: {path}: {error}"))
+    };
+    let a = digest_of(a_path)?;
+    let b = digest_of(b_path)?;
+    let report = morrigan_runner::explain_diff(&a, &b);
+    match out {
+        Some(out_path) => {
+            std::fs::write(&out_path, &report)
+                .map_err(|error| format!("explain: failed to write {out_path}: {error}"))?;
+            eprintln!("wrote {out_path}");
+        }
+        None => print!("{report}"),
+    }
+    Ok(())
 }
 
 /// Re-executes the first journaled record's spec with a trace recorder

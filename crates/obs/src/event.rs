@@ -49,6 +49,100 @@ impl WalkClass {
     }
 }
 
+/// The engine inside the prefetch stack that produced a prefetch.
+/// Mirrors the types crate's `PrefetchComponent` (dense-index form) the
+/// same way [`WalkClass`] mirrors `WalkKind`, so `morrigan-obs` stays
+/// dependency-free. IRIP tables above 3 fold into [`Self::Irip3`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PrefetchComponent {
+    /// IRIP prediction table 0 (the 1-slot table).
+    Irip0,
+    /// IRIP prediction table 1.
+    Irip1,
+    /// IRIP prediction table 2.
+    Irip2,
+    /// IRIP prediction table 3 (and any wider tuning tables).
+    Irip3,
+    /// The Small Delta Prefetcher.
+    Sdp,
+    /// FNL+MMA page-crossing translation prefetches.
+    Icache,
+    /// Engines without finer attribution (dSTLB baselines).
+    Other,
+}
+
+impl PrefetchComponent {
+    /// All components, in [`Self::index`] order.
+    pub const ALL: [PrefetchComponent; 7] = [
+        PrefetchComponent::Irip0,
+        PrefetchComponent::Irip1,
+        PrefetchComponent::Irip2,
+        PrefetchComponent::Irip3,
+        PrefetchComponent::Sdp,
+        PrefetchComponent::Icache,
+        PrefetchComponent::Other,
+    ];
+
+    /// Number of dense component buckets.
+    pub const COUNT: usize = 7;
+
+    /// Dense index for per-component counter arrays.
+    pub fn index(self) -> usize {
+        match self {
+            PrefetchComponent::Irip0 => 0,
+            PrefetchComponent::Irip1 => 1,
+            PrefetchComponent::Irip2 => 2,
+            PrefetchComponent::Irip3 => 3,
+            PrefetchComponent::Sdp => 4,
+            PrefetchComponent::Icache => 5,
+            PrefetchComponent::Other => 6,
+        }
+    }
+
+    /// Component for an IRIP table index (tables above 3 fold into
+    /// [`Self::Irip3`], matching the types-crate dense index).
+    pub fn irip_table(table: u8) -> Self {
+        match table {
+            0 => PrefetchComponent::Irip0,
+            1 => PrefetchComponent::Irip1,
+            2 => PrefetchComponent::Irip2,
+            _ => PrefetchComponent::Irip3,
+        }
+    }
+
+    /// Stable lowercase name used by the exporters and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            PrefetchComponent::Irip0 => "irip0",
+            PrefetchComponent::Irip1 => "irip1",
+            PrefetchComponent::Irip2 => "irip2",
+            PrefetchComponent::Irip3 => "irip3",
+            PrefetchComponent::Sdp => "sdp",
+            PrefetchComponent::Icache => "icache",
+            PrefetchComponent::Other => "other",
+        }
+    }
+}
+
+/// Why an emitted prefetch decision never became a prefetch walk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PrefetchDropReason {
+    /// The target translation was already resident (PB or STLB).
+    Duplicate,
+    /// The target page is unmapped; faulting prefetches are suppressed.
+    Fault,
+}
+
+impl PrefetchDropReason {
+    /// Stable lowercase name used by the exporters.
+    pub fn name(self) -> &'static str {
+        match self {
+            PrefetchDropReason::Duplicate => "duplicate",
+            PrefetchDropReason::Fault => "fault",
+        }
+    }
+}
+
 /// Outcome of a prefetch-buffer probe on the iSTLB miss path.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PbProbeOutcome {
@@ -106,14 +200,44 @@ pub enum EventKind {
     IstlbMiss,
     /// The prefetch buffer was probed on the iSTLB miss path.
     PbProbe(PbProbeOutcome),
-    /// A PB hit promoted its entry into STLB + iTLB.
-    PbPromote,
+    /// A PB hit promoted its entry into STLB + iTLB. `late` when the
+    /// fill was still in flight at probe time (the timeliness debit).
+    PbPromote {
+        /// Which engine staged the promoted entry.
+        component: PrefetchComponent,
+        /// Whether the miss paid residual in-flight latency.
+        late: bool,
+    },
     /// A translation was staged into the prefetch buffer.
-    PbFill,
+    PbFill {
+        /// Which engine asked for the staged translation.
+        component: PrefetchComponent,
+    },
     /// A PB entry was discarded unused (capacity eviction or flush).
-    PbEvict,
+    PbEvict {
+        /// Which engine had staged the discarded entry.
+        component: PrefetchComponent,
+    },
     /// The prefetch engine issued a speculative translation.
-    PrefetchIssue,
+    PrefetchIssue {
+        /// Which engine produced the decision.
+        component: PrefetchComponent,
+    },
+    /// A prefetch decision was dropped before reaching the walker.
+    PrefetchDrop {
+        /// Which engine produced the dropped decision.
+        component: PrefetchComponent,
+        /// Why it was dropped.
+        reason: PrefetchDropReason,
+    },
+    /// IRIP's replacement policy evicted a valid prediction-table entry;
+    /// `vpn` is the victim's tag page. Fuel for replacement forensics:
+    /// a demand re-miss on the victim page shortly after is a premature
+    /// eviction.
+    IripEvict {
+        /// Index of the prediction table the entry was evicted from.
+        table: u8,
+    },
     /// A page walk entered the walker.
     WalkIssue {
         /// Demand class of the walk.
@@ -168,6 +292,25 @@ pub struct EventCounts {
     pub icache_cross_ready: u64,
     pub icache_cross_walk_issued: u64,
     pub icache_cross_suppressed: u64,
+    /// Prefetches issued, indexed by [`PrefetchComponent::index`]; sums
+    /// to `prefetch_issue`.
+    pub prefetch_issue_by_component: [u64; PrefetchComponent::COUNT],
+    /// Decisions dropped as duplicates, per component.
+    pub prefetch_drop_duplicate: [u64; PrefetchComponent::COUNT],
+    /// Decisions dropped because the target page faults, per component.
+    pub prefetch_drop_fault: [u64; PrefetchComponent::COUNT],
+    /// PB fills per component; sums to `pb_fill`.
+    pub pb_fill_by_component: [u64; PrefetchComponent::COUNT],
+    /// PB-hit promotions per component; sums to `pb_promote`.
+    pub pb_promote_by_component: [u64; PrefetchComponent::COUNT],
+    /// The late (fill still in flight) subset of promotions, per
+    /// component; sums to `pb_probe_hit_inflight`.
+    pub pb_promote_late_by_component: [u64; PrefetchComponent::COUNT],
+    /// Unused PB evictions per component; sums to `pb_evict`.
+    pub pb_evict_by_component: [u64; PrefetchComponent::COUNT],
+    /// IRIP replacement evictions per prediction table (tables above 3
+    /// fold into the last bucket).
+    pub irip_evict_by_table: [u64; 4],
 }
 
 impl EventCounts {
@@ -178,10 +321,34 @@ impl EventCounts {
             EventKind::PbProbe(PbProbeOutcome::HitReady) => self.pb_probe_hit_ready += 1,
             EventKind::PbProbe(PbProbeOutcome::HitInflight) => self.pb_probe_hit_inflight += 1,
             EventKind::PbProbe(PbProbeOutcome::Miss) => self.pb_probe_miss += 1,
-            EventKind::PbPromote => self.pb_promote += 1,
-            EventKind::PbFill => self.pb_fill += 1,
-            EventKind::PbEvict => self.pb_evict += 1,
-            EventKind::PrefetchIssue => self.prefetch_issue += 1,
+            EventKind::PbPromote { component, late } => {
+                self.pb_promote += 1;
+                self.pb_promote_by_component[component.index()] += 1;
+                if late {
+                    self.pb_promote_late_by_component[component.index()] += 1;
+                }
+            }
+            EventKind::PbFill { component } => {
+                self.pb_fill += 1;
+                self.pb_fill_by_component[component.index()] += 1;
+            }
+            EventKind::PbEvict { component } => {
+                self.pb_evict += 1;
+                self.pb_evict_by_component[component.index()] += 1;
+            }
+            EventKind::PrefetchIssue { component } => {
+                self.prefetch_issue += 1;
+                self.prefetch_issue_by_component[component.index()] += 1;
+            }
+            EventKind::PrefetchDrop { component, reason } => match reason {
+                PrefetchDropReason::Duplicate => {
+                    self.prefetch_drop_duplicate[component.index()] += 1
+                }
+                PrefetchDropReason::Fault => self.prefetch_drop_fault[component.index()] += 1,
+            },
+            EventKind::IripEvict { table } => {
+                self.irip_evict_by_table[(table as usize).min(3)] += 1
+            }
             EventKind::WalkIssue { class, .. } => self.walk_issue[class.index()] += 1,
             EventKind::WalkComplete { class, .. } => self.walk_complete[class.index()] += 1,
             EventKind::IcacheCross(IcacheCrossOutcome::Ready) => self.icache_cross_ready += 1,
@@ -194,7 +361,9 @@ impl EventCounts {
         }
     }
 
-    /// Total events tallied across every kind.
+    /// Total events tallied across every kind. The per-component arrays
+    /// for issue/fill/promote/evict are breakdowns of their scalar
+    /// totals, so only the drop and IRIP-evict arrays add events here.
     pub fn total(&self) -> u64 {
         self.istlb_miss
             + self.pb_probe_hit_ready
@@ -209,5 +378,8 @@ impl EventCounts {
             + self.icache_cross_ready
             + self.icache_cross_walk_issued
             + self.icache_cross_suppressed
+            + self.prefetch_drop_duplicate.iter().sum::<u64>()
+            + self.prefetch_drop_fault.iter().sum::<u64>()
+            + self.irip_evict_by_table.iter().sum::<u64>()
     }
 }

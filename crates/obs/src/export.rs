@@ -5,7 +5,7 @@
 //! The workspace deliberately carries no JSON dependency; both
 //! exporters hand-render their (entirely numeric/ASCII) documents.
 
-use crate::event::{EventKind, WalkClass};
+use crate::event::{EventKind, TraceEvent, WalkClass};
 use crate::recorder::TraceRecorder;
 
 /// Chrome trace thread lanes, one per pipeline station.
@@ -13,14 +13,40 @@ const TID_TRANSLATION: u32 = 0;
 const TID_WALKER: u32 = 1;
 const TID_PREFETCH: u32 = 2;
 const TID_ICACHE: u32 = 3;
+const TID_IRIP: u32 = 4;
 
-fn lane(kind: &EventKind) -> u32 {
+/// ASID bit position inside a fused VPN. Mirrors the types crate's
+/// `ASID_SHIFT` (obs stays dependency-free, like [`WalkClass`] mirrors
+/// `WalkKind`); ASID 0 is the single-tenant identity.
+pub const ASID_SHIFT: u32 = 40;
+
+/// The process/tenant an event belongs to, recovered from its fused VPN.
+fn asid_of(vpn: u64) -> u64 {
+    vpn >> ASID_SHIFT
+}
+
+/// Lanes are grouped per ASID: tenant `a`'s stations live at
+/// `a * 100 + station`, so ASID 0 (single-tenant runs) keeps the
+/// original lane numbers and multi-tenant traces read side by side.
+const ASID_LANE_STRIDE: u32 = 100;
+
+fn station(kind: &EventKind) -> u32 {
     match kind {
-        EventKind::IstlbMiss | EventKind::PbProbe(_) | EventKind::PbPromote => TID_TRANSLATION,
+        EventKind::IstlbMiss | EventKind::PbProbe(_) | EventKind::PbPromote { .. } => {
+            TID_TRANSLATION
+        }
         EventKind::WalkIssue { .. } | EventKind::WalkComplete { .. } => TID_WALKER,
-        EventKind::PbFill | EventKind::PbEvict | EventKind::PrefetchIssue => TID_PREFETCH,
+        EventKind::PbFill { .. } | EventKind::PbEvict { .. } | EventKind::PrefetchIssue { .. } => {
+            TID_PREFETCH
+        }
+        EventKind::PrefetchDrop { .. } => TID_PREFETCH,
+        EventKind::IripEvict { .. } => TID_IRIP,
         EventKind::IcacheCross(_) => TID_ICACHE,
     }
+}
+
+fn lane(event: &TraceEvent) -> u32 {
+    asid_of(event.vpn) as u32 * ASID_LANE_STRIDE + station(&event.kind)
 }
 
 /// Short human-facing event name shown on the timeline.
@@ -28,13 +54,40 @@ fn display_name(kind: &EventKind) -> String {
     match kind {
         EventKind::IstlbMiss => "istlb_miss".into(),
         EventKind::PbProbe(outcome) => format!("pb_probe_{}", outcome.name()),
-        EventKind::PbPromote => "pb_promote".into(),
-        EventKind::PbFill => "pb_fill".into(),
-        EventKind::PbEvict => "pb_evict".into(),
-        EventKind::PrefetchIssue => "prefetch_issue".into(),
+        EventKind::PbPromote { .. } => "pb_promote".into(),
+        EventKind::PbFill { .. } => "pb_fill".into(),
+        EventKind::PbEvict { .. } => "pb_evict".into(),
+        EventKind::PrefetchIssue { .. } => "prefetch_issue".into(),
+        EventKind::PrefetchDrop { reason, .. } => format!("prefetch_drop_{}", reason.name()),
+        EventKind::IripEvict { .. } => "irip_evict".into(),
         EventKind::WalkIssue { class, .. } => format!("walk_issue_{}", class.name()),
         EventKind::WalkComplete { class, .. } => format!("walk_{}", class.name()),
         EventKind::IcacheCross(outcome) => format!("icache_cross_{}", outcome.name()),
+    }
+}
+
+/// Extra `"key":value` args (beyond `vpn`) an event carries.
+fn extra_args(kind: &EventKind) -> String {
+    match kind {
+        EventKind::PbPromote { component, late } => {
+            format!(",\"component\":\"{}\",\"late\":{late}", component.name())
+        }
+        EventKind::PbFill { component }
+        | EventKind::PbEvict { component }
+        | EventKind::PrefetchIssue { component } => {
+            format!(",\"component\":\"{}\"", component.name())
+        }
+        EventKind::PrefetchDrop { component, reason } => format!(
+            ",\"component\":\"{}\",\"reason\":\"{}\"",
+            component.name(),
+            reason.name()
+        ),
+        EventKind::IripEvict { table } => format!(",\"table\":{table}"),
+        EventKind::WalkIssue { psc_skip, .. } => format!(",\"psc_skip\":{psc_skip}"),
+        EventKind::WalkComplete { refs, duration, .. } => {
+            format!(",\"refs\":{refs},\"duration\":{duration}")
+        }
+        _ => String::new(),
     }
 }
 
@@ -45,6 +98,12 @@ fn walk_class_lane_offset(class: WalkClass) -> u32 {
     class.index() as u32
 }
 
+/// Renders the retained events as Chrome `trace_event` JSON for core 0.
+/// See [`to_chrome_trace_for_core`].
+pub fn to_chrome_trace(trace: &TraceRecorder) -> String {
+    to_chrome_trace_for_core(trace, 0)
+}
+
 /// Renders the retained events as Chrome `trace_event` JSON (the
 /// "JSON object format": `{"traceEvents": [...], ...}`).
 ///
@@ -52,34 +111,51 @@ fn walk_class_lane_offset(class: WalkClass) -> u32 {
 /// Perfetto's timeline is most comfortable at. `WalkComplete` events
 /// become `"X"` complete spans covering the walk's issue-to-completion
 /// window; everything else becomes an `"i"` instant. Metadata records
-/// name the process and the per-station thread lanes.
-pub fn to_chrome_trace(trace: &TraceRecorder) -> String {
+/// name the process after the simulated core and each station lane
+/// after its core and ASID (each tenant's stations get their own lane
+/// block), so multi-core, multi-tenant traces stay legible when opened
+/// side by side.
+pub fn to_chrome_trace_for_core(trace: &TraceRecorder, core: u32) -> String {
+    let pid = core + 1;
     let mut out = String::with_capacity(128 + trace.len() * 96);
     out.push_str("{\"traceEvents\":[\n");
-    out.push_str(
-        "{\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":\"process_name\",\
-         \"args\":{\"name\":\"morrigan-sim\"}},\n",
-    );
-    for (tid, name) in [
-        (TID_TRANSLATION, "translation"),
-        (TID_WALKER, "walker (demand_instr)"),
-        (TID_PREFETCH, "prefetch-buffer"),
-        (TID_ICACHE, "icache-prefetch"),
-    ] {
-        out.push_str(&format!(
-            "{{\"ph\":\"M\",\"pid\":1,\"tid\":{tid},\"name\":\"thread_name\",\
-             \"args\":{{\"name\":\"{name}\"}}}},\n"
-        ));
+    out.push_str(&format!(
+        "{{\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\"name\":\"process_name\",\
+         \"args\":{{\"name\":\"morrigan-sim core {core}\"}}}},\n"
+    ));
+    // One lane block per ASID seen in the retained events; ASID 0 keeps
+    // the original lane ids so single-tenant traces are unchanged.
+    let mut asids: Vec<u64> = trace.events().map(|e| asid_of(e.vpn)).collect();
+    asids.sort_unstable();
+    asids.dedup();
+    if asids.is_empty() {
+        asids.push(0);
     }
-    // Extra walker sub-lanes for data/prefetch walks, declared lazily
-    // here so the metadata block stays self-contained.
-    for class in [WalkClass::DemandData, WalkClass::Prefetch] {
-        out.push_str(&format!(
-            "{{\"ph\":\"M\",\"pid\":1,\"tid\":{},\"name\":\"thread_name\",\
-             \"args\":{{\"name\":\"walker ({})\"}}}},\n",
-            TID_WALKER + 10 + walk_class_lane_offset(class),
-            class.name()
-        ));
+    for &asid in &asids {
+        let base = asid as u32 * ASID_LANE_STRIDE;
+        for (tid, name) in [
+            (TID_TRANSLATION, "translation"),
+            (TID_WALKER, "walker (demand_instr)"),
+            (TID_PREFETCH, "prefetch-buffer"),
+            (TID_ICACHE, "icache-prefetch"),
+            (TID_IRIP, "irip-tables"),
+        ] {
+            out.push_str(&format!(
+                "{{\"ph\":\"M\",\"pid\":{pid},\"tid\":{},\"name\":\"thread_name\",\
+                 \"args\":{{\"name\":\"core {core} asid {asid} {name}\"}}}},\n",
+                base + tid
+            ));
+        }
+        // Extra walker sub-lanes for data/prefetch walks, declared in
+        // the metadata block so every lane the events use is named.
+        for class in [WalkClass::DemandData, WalkClass::Prefetch] {
+            out.push_str(&format!(
+                "{{\"ph\":\"M\",\"pid\":{pid},\"tid\":{},\"name\":\"thread_name\",\
+                 \"args\":{{\"name\":\"core {core} asid {asid} walker ({})\"}}}},\n",
+                base + TID_WALKER + 10 + walk_class_lane_offset(class),
+                class.name()
+            ));
+        }
     }
 
     let mut first = true;
@@ -89,48 +165,42 @@ pub fn to_chrome_trace(trace: &TraceRecorder) -> String {
         }
         first = false;
         let name = display_name(&event.kind);
+        let asid = asid_of(event.vpn);
         match event.kind {
             EventKind::WalkComplete {
                 class,
                 refs,
                 duration,
             } => {
+                let base = asid as u32 * ASID_LANE_STRIDE;
                 let tid = if class == WalkClass::DemandInstruction {
-                    TID_WALKER
+                    base + TID_WALKER
                 } else {
-                    TID_WALKER + 10 + walk_class_lane_offset(class)
+                    base + TID_WALKER + 10 + walk_class_lane_offset(class)
                 };
                 let start = event.cycle.saturating_sub(u64::from(duration));
                 out.push_str(&format!(
-                    "{{\"ph\":\"X\",\"pid\":1,\"tid\":{tid},\"ts\":{start},\
+                    "{{\"ph\":\"X\",\"pid\":{pid},\"tid\":{tid},\"ts\":{start},\
                      \"dur\":{duration},\"name\":\"{name}\",\
-                     \"args\":{{\"vpn\":\"{:#x}\",\"refs\":{refs}}}}}",
-                    event.vpn
-                ));
-            }
-            EventKind::WalkIssue { psc_skip, .. } => {
-                out.push_str(&format!(
-                    "{{\"ph\":\"i\",\"pid\":1,\"tid\":{},\"ts\":{},\"s\":\"t\",\
-                     \"name\":\"{name}\",\"args\":{{\"vpn\":\"{:#x}\",\"psc_skip\":{psc_skip}}}}}",
-                    lane(&event.kind),
-                    event.cycle,
+                     \"args\":{{\"vpn\":\"{:#x}\",\"asid\":{asid},\"refs\":{refs}}}}}",
                     event.vpn
                 ));
             }
             _ => {
                 out.push_str(&format!(
-                    "{{\"ph\":\"i\",\"pid\":1,\"tid\":{},\"ts\":{},\"s\":\"t\",\
-                     \"name\":\"{name}\",\"args\":{{\"vpn\":\"{:#x}\"}}}}",
-                    lane(&event.kind),
+                    "{{\"ph\":\"i\",\"pid\":{pid},\"tid\":{},\"ts\":{},\"s\":\"t\",\
+                     \"name\":\"{name}\",\"args\":{{\"vpn\":\"{:#x}\",\"asid\":{asid}{}}}}}",
+                    lane(event),
                     event.cycle,
-                    event.vpn
+                    event.vpn,
+                    extra_args(&event.kind)
                 ));
             }
         }
     }
     out.push_str("\n],\"displayTimeUnit\":\"ms\",");
     out.push_str(&format!(
-        "\"otherData\":{{\"dropped_events\":{},\"total_events\":{}}}}}\n",
+        "\"otherData\":{{\"core\":{core},\"dropped_events\":{},\"total_events\":{}}}}}\n",
         trace.dropped(),
         trace.counts().total()
     ));
@@ -138,26 +208,26 @@ pub fn to_chrome_trace(trace: &TraceRecorder) -> String {
 }
 
 /// Renders the retained events as JSON Lines: one flat object per
-/// event, oldest first, friendly to `jq`/pandas.
+/// event, oldest first, friendly to `jq`/pandas, closed by a summary
+/// line (`"summary":true`) reporting exact totals and how many events
+/// the ring dropped — so saturation is never silent.
 pub fn to_jsonl(trace: &TraceRecorder) -> String {
-    let mut out = String::with_capacity(trace.len() * 80);
+    let mut out = String::with_capacity(trace.len() * 80 + 80);
     for event in trace.events() {
         out.push_str(&format!(
-            "{{\"cycle\":{},\"vpn\":\"{:#x}\",\"event\":\"{}\"",
+            "{{\"cycle\":{},\"vpn\":\"{:#x}\",\"asid\":{},\"event\":\"{}\"{}}}\n",
             event.cycle,
             event.vpn,
-            display_name(&event.kind)
+            asid_of(event.vpn),
+            display_name(&event.kind),
+            extra_args(&event.kind)
         ));
-        match event.kind {
-            EventKind::WalkIssue { psc_skip, .. } => {
-                out.push_str(&format!(",\"psc_skip\":{psc_skip}"));
-            }
-            EventKind::WalkComplete { refs, duration, .. } => {
-                out.push_str(&format!(",\"refs\":{refs},\"duration\":{duration}"));
-            }
-            _ => {}
-        }
-        out.push_str("}\n");
     }
+    out.push_str(&format!(
+        "{{\"summary\":true,\"total_events\":{},\"retained_events\":{},\"dropped_events\":{}}}\n",
+        trace.counts().total(),
+        trace.len(),
+        trace.dropped()
+    ));
     out
 }

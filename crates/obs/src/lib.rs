@@ -28,15 +28,18 @@
 //! assert!(morrigan_obs::to_jsonl(&trace).contains("istlb_miss"));
 //! ```
 
+pub mod analysis;
 mod event;
 mod export;
 mod phase;
 mod recorder;
 
+pub use analysis::{AnalysisConfig, AnalysisRecorder, ComponentTally, LogHistogram, TraceAnalysis};
 pub use event::{
-    EventCounts, EventKind, IcacheCrossOutcome, PbProbeOutcome, TraceEvent, WalkClass,
+    EventCounts, EventKind, IcacheCrossOutcome, PbProbeOutcome, PrefetchComponent,
+    PrefetchDropReason, TraceEvent, WalkClass,
 };
-pub use export::{to_chrome_trace, to_jsonl};
+pub use export::{to_chrome_trace, to_chrome_trace_for_core, to_jsonl, ASID_SHIFT};
 pub use phase::{Phase, PhaseProfile};
 pub use recorder::{NullRecorder, Recorder, TraceRecorder, DEFAULT_TRACE_CAPACITY};
 
@@ -63,7 +66,12 @@ mod tests {
     fn ring_preserves_order_and_counts_after_wrap() {
         let mut trace = TraceRecorder::with_capacity(4);
         for cycle in 0..10 {
-            trace.record(ev(cycle, EventKind::PbFill));
+            trace.record(ev(
+                cycle,
+                EventKind::PbFill {
+                    component: PrefetchComponent::Sdp,
+                },
+            ));
         }
         assert_eq!(trace.len(), 4);
         assert_eq!(trace.dropped(), 6);
@@ -72,6 +80,10 @@ mod tests {
         assert_eq!(cycles, vec![6, 7, 8, 9]);
         // …but the totals cover all ten.
         assert_eq!(trace.counts().pb_fill, 10);
+        assert_eq!(
+            trace.counts().pb_fill_by_component[PrefetchComponent::Sdp.index()],
+            10
+        );
         assert_eq!(trace.counts().total(), 10);
     }
 
@@ -83,10 +95,28 @@ mod tests {
             EventKind::PbProbe(PbProbeOutcome::HitReady),
             EventKind::PbProbe(PbProbeOutcome::HitInflight),
             EventKind::PbProbe(PbProbeOutcome::Miss),
-            EventKind::PbPromote,
-            EventKind::PbFill,
-            EventKind::PbEvict,
-            EventKind::PrefetchIssue,
+            EventKind::PbPromote {
+                component: PrefetchComponent::Irip0,
+                late: false,
+            },
+            EventKind::PbFill {
+                component: PrefetchComponent::Sdp,
+            },
+            EventKind::PbEvict {
+                component: PrefetchComponent::Icache,
+            },
+            EventKind::PrefetchIssue {
+                component: PrefetchComponent::Irip3,
+            },
+            EventKind::PrefetchDrop {
+                component: PrefetchComponent::Other,
+                reason: PrefetchDropReason::Duplicate,
+            },
+            EventKind::PrefetchDrop {
+                component: PrefetchComponent::Sdp,
+                reason: PrefetchDropReason::Fault,
+            },
+            EventKind::IripEvict { table: 1 },
             EventKind::WalkIssue {
                 class: WalkClass::DemandInstruction,
                 psc_skip: 2,
@@ -124,6 +154,30 @@ mod tests {
         }
         assert_eq!(trace.counts().total(), kinds.len() as u64);
         assert_eq!(trace.dropped(), 0);
+        // Component breakdowns telescope to the scalar totals, and the
+        // late flag lands in the dedicated late array.
+        let c = trace.counts();
+        assert_eq!(c.pb_promote_by_component.iter().sum::<u64>(), c.pb_promote);
+        assert_eq!(c.pb_promote_late_by_component.iter().sum::<u64>(), 0);
+        trace.record(ev(
+            99,
+            EventKind::PbPromote {
+                component: PrefetchComponent::Irip1,
+                late: true,
+            },
+        ));
+        let c = trace.counts();
+        assert_eq!(
+            c.pb_promote_late_by_component[PrefetchComponent::Irip1.index()],
+            1
+        );
+        assert_eq!(c.pb_fill_by_component.iter().sum::<u64>(), c.pb_fill);
+        assert_eq!(c.pb_evict_by_component.iter().sum::<u64>(), c.pb_evict);
+        assert_eq!(
+            c.prefetch_issue_by_component.iter().sum::<u64>(),
+            c.prefetch_issue
+        );
+        assert_eq!(c.irip_evict_by_table, [0, 1, 0, 0]);
     }
 
     /// A tiny structural check used in place of a JSON parser: every
@@ -172,9 +226,14 @@ mod tests {
     }
 
     #[test]
-    fn jsonl_emits_one_line_per_event() {
+    fn jsonl_emits_one_line_per_event_plus_summary() {
         let mut trace = TraceRecorder::with_capacity(8);
-        trace.record(ev(1, EventKind::PbFill));
+        trace.record(ev(
+            1,
+            EventKind::PbFill {
+                component: PrefetchComponent::Sdp,
+            },
+        ));
         trace.record(ev(
             2,
             EventKind::WalkIssue {
@@ -184,12 +243,16 @@ mod tests {
         ));
         trace.record(ev(3, EventKind::IcacheCross(IcacheCrossOutcome::Ready)));
         let doc = to_jsonl(&trace);
-        assert_eq!(doc.lines().count(), 3);
+        assert_eq!(doc.lines().count(), 4, "3 events + 1 summary line");
         for line in doc.lines() {
             assert_balanced(line);
         }
         assert!(doc.contains("\"event\":\"walk_issue_prefetch\""));
         assert!(doc.contains("\"psc_skip\":1"));
+        assert!(doc.contains("\"component\":\"sdp\""));
+        let summary = doc.lines().last().unwrap();
+        assert!(summary.contains("\"summary\":true"));
+        assert!(summary.contains("\"dropped_events\":0"));
     }
 
     #[test]

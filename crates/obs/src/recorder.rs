@@ -106,16 +106,25 @@ impl TraceRecorder {
     /// tests; sums probe/walk/cross sub-kinds where the argument kind
     /// carries payload the caller doesn't care about.
     pub fn count_of(&self, kind: &EventKind) -> u64 {
-        use crate::event::{IcacheCrossOutcome, PbProbeOutcome};
+        use crate::event::{IcacheCrossOutcome, PbProbeOutcome, PrefetchDropReason};
         match kind {
             EventKind::IstlbMiss => self.counts.istlb_miss,
             EventKind::PbProbe(PbProbeOutcome::HitReady) => self.counts.pb_probe_hit_ready,
             EventKind::PbProbe(PbProbeOutcome::HitInflight) => self.counts.pb_probe_hit_inflight,
             EventKind::PbProbe(PbProbeOutcome::Miss) => self.counts.pb_probe_miss,
-            EventKind::PbPromote => self.counts.pb_promote,
-            EventKind::PbFill => self.counts.pb_fill,
-            EventKind::PbEvict => self.counts.pb_evict,
-            EventKind::PrefetchIssue => self.counts.prefetch_issue,
+            EventKind::PbPromote { .. } => self.counts.pb_promote,
+            EventKind::PbFill { .. } => self.counts.pb_fill,
+            EventKind::PbEvict { .. } => self.counts.pb_evict,
+            EventKind::PrefetchIssue { .. } => self.counts.prefetch_issue,
+            EventKind::PrefetchDrop {
+                reason: PrefetchDropReason::Duplicate,
+                ..
+            } => self.counts.prefetch_drop_duplicate.iter().sum(),
+            EventKind::PrefetchDrop {
+                reason: PrefetchDropReason::Fault,
+                ..
+            } => self.counts.prefetch_drop_fault.iter().sum(),
+            EventKind::IripEvict { .. } => self.counts.irip_evict_by_table.iter().sum(),
             EventKind::WalkIssue { class, .. } => self.counts.walk_issue[class.index()],
             EventKind::WalkComplete { class, .. } => self.counts.walk_complete[class.index()],
             EventKind::IcacheCross(IcacheCrossOutcome::Ready) => self.counts.icache_cross_ready,

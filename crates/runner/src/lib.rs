@@ -34,12 +34,18 @@
 //! [`SystemConfig`]: morrigan_sim::SystemConfig
 //! [`SimConfig`]: morrigan_sim::SimConfig
 
+pub mod analysis;
 pub mod json;
+pub mod jsonval;
 mod pin;
 mod runner;
 mod spec;
 mod workload_cache;
 
+pub use analysis::{
+    digest_record, explain_diff, first_record, AnalysisReport, ComponentReport, CumulativeStats,
+    HistReport, IripSnapshot, LawCheck, MachineReport, MissAnatomy, RecordDigest, ANALYSIS_SCHEMA,
+};
 pub use pin::{single_core_pin_document, single_core_pin_specs};
 pub use runner::Runner;
 pub use spec::{

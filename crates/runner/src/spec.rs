@@ -25,6 +25,7 @@ use morrigan_workloads::{
 };
 use serde::{Deserialize, Serialize};
 
+use crate::analysis::{AnalysisReport, CumulativeStats, IripSnapshot};
 use crate::workload_cache::WorkloadCache;
 
 /// Morrigan's prediction-state budget in bits (§6.1.3's 3.76 KB point),
@@ -577,6 +578,69 @@ impl RunSpec {
         (record, simulator.into_recorder())
     }
 
+    /// Executes this spec with a streaming [`AnalysisRecorder`] attached
+    /// and attaches the resulting [`AnalysisReport`] to the record.
+    ///
+    /// Single-core specs stream every event through the analysis (never
+    /// drops, so the diagnosis is always complete) and reconcile it
+    /// against the run's *cumulative* structure counters — the trace
+    /// covers warmup and measurement alike, so the laws must target the
+    /// whole-run `MmuStats`/`WalkerStats`/`PbStats`, not the
+    /// measurement-window deltas. When the prefetcher is a Morrigan,
+    /// its internal IRIP/SDP counters join the laws via the `as_any`
+    /// downcast. Analysis observes through the same deterministic step
+    /// sequence, so the record's metrics equal `execute`'s exactly.
+    ///
+    /// Multi-core specs have no event recorder; their report is built
+    /// counter-based from the width-invariant [`MachineSummary`]
+    /// (per-core interference attribution), so it is byte-identical at
+    /// any `machine_threads` width.
+    ///
+    /// [`AnalysisRecorder`]: morrigan_obs::AnalysisRecorder
+    pub fn execute_analyzed(&self, interval: Option<u64>) -> RunRecord {
+        if matches!(self.workload, WorkloadSpec::Multi { .. }) {
+            let mut record = self.execute_machine(interval, None, None, None);
+            record.analysis = Some(AnalysisReport::from_machine(&record));
+            return record;
+        }
+        let prefetcher = self.prefetcher.build();
+        let streams = self.workload.build_streams();
+        let stlb = self.system.mmu.stlb;
+        let cfg = morrigan_obs::AnalysisConfig {
+            stlb_sets: (stlb.entries / stlb.ways).max(1),
+            ..morrigan_obs::AnalysisConfig::default()
+        };
+        let mut simulator = Simulator::with_recorder(
+            self.system,
+            streams,
+            prefetcher,
+            morrigan_obs::AnalysisRecorder::new(cfg),
+        );
+        simulator.set_interval(interval);
+        simulator.set_sampling(self.sampling);
+        let metrics = simulator.run(self.sim);
+        let irip = simulator
+            .mmu()
+            .prefetcher()
+            .as_any()
+            .and_then(|any| any.downcast_ref::<Morrigan>())
+            .map(|m| IripSnapshot {
+                predictions: m.irip().stats.predictions,
+                evictions: m.irip().stats.evictions,
+                sdp_issued: m.sdp().issued,
+            });
+        let cumulative = CumulativeStats {
+            mmu: simulator.mmu().stats,
+            walker: *simulator.mmu().walker_stats(),
+            pb: simulator.mmu().prefetch_buffer().stats,
+            irip,
+        };
+        let mut record = self.finish(&simulator, metrics);
+        let analysis = simulator.into_recorder().into_analysis();
+        record.analysis = Some(AnalysisReport::from_traced(&analysis, &record, &cumulative));
+        record
+    }
+
     /// Builds and runs the [`Machine`] of a [`WorkloadSpec::Multi`] spec;
     /// tenant streams go through the workload cache when one is given.
     ///
@@ -627,6 +691,7 @@ impl RunSpec {
             intervals: Vec::new(),
             phases,
             machine: Some(machine.summary().clone()),
+            analysis: None,
         }
     }
 
@@ -648,6 +713,7 @@ impl RunSpec {
             intervals: simulator.interval_samples().to_vec(),
             phases: *simulator.phase_profile(),
             machine: None,
+            analysis: None,
         }
     }
 }
@@ -682,6 +748,11 @@ pub struct RunRecord {
     /// then carries the machine aggregate: summed counters, makespan
     /// cycles).
     pub machine: Option<MachineSummary>,
+    /// The per-run diagnosis, present iff the record was produced by
+    /// [`RunSpec::execute_analyzed`]. Records without one render
+    /// byte-identical JSON to the pre-analysis format (the `analysis`
+    /// key is simply absent).
+    pub analysis: Option<AnalysisReport>,
 }
 
 #[cfg(test)]

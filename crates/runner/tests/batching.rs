@@ -67,6 +67,7 @@ fn execute_unbatched(spec: &RunSpec) -> RunRecord {
         intervals: simulator.interval_samples().to_vec(),
         phases: *simulator.phase_profile(),
         machine: None,
+        analysis: None,
     }
 }
 

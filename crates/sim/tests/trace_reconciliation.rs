@@ -10,7 +10,7 @@
 //! the measurement-window [`Metrics`] bit for bit.
 
 use morrigan::{Morrigan, MorriganConfig};
-use morrigan_obs::{TraceRecorder, WalkClass};
+use morrigan_obs::{PrefetchComponent, TraceRecorder, WalkClass};
 use morrigan_sim::{IcachePrefetcherKind, Metrics, SimConfig, Simulator, SystemConfig};
 use morrigan_workloads::{InstructionStream, ServerWorkload, ServerWorkloadConfig};
 
@@ -55,6 +55,14 @@ fn trace_events_reconcile_with_audited_counters() {
     let stats = sim.mmu().stats;
     let walker = *sim.mmu().walker_stats();
     let pb = sim.mmu().prefetch_buffer().stats;
+    let morrigan = sim
+        .mmu()
+        .prefetcher()
+        .as_any()
+        .and_then(|any| any.downcast_ref::<Morrigan>())
+        .expect("this run uses a Morrigan prefetcher");
+    let irip_stats = morrigan.irip().stats;
+    let sdp_issued = morrigan.sdp().issued;
     let trace = sim.into_recorder();
     let counts = *trace.counts();
 
@@ -123,6 +131,56 @@ fn trace_events_reconcile_with_audited_counters() {
         counts.walk_complete[WalkClass::Prefetch.index()],
         stats.prefetches_issued + stats.icache_prefetches_issued + stats.correcting_walks,
         "every prefetch-class walk has exactly one issuer"
+    );
+
+    // --- Component attribution telescopes to the scalar counters ---
+    let sum = |a: &[u64]| a.iter().sum::<u64>();
+    assert_eq!(
+        sum(&counts.prefetch_issue_by_component),
+        stats.prefetches_issued
+    );
+    assert_eq!(
+        sum(&counts.prefetch_drop_duplicate),
+        stats.prefetches_duplicate,
+        "every duplicate-suppressed decision is a per-component drop event"
+    );
+    assert_eq!(sum(&counts.pb_fill_by_component), pb.inserts);
+    assert_eq!(sum(&counts.pb_promote_by_component), stats.istlb_covered);
+    assert_eq!(
+        sum(&counts.pb_promote_late_by_component),
+        pb.hits_inflight,
+        "the late promotions are exactly the in-flight PB hits"
+    );
+    assert_eq!(sum(&counts.pb_evict_by_component), pb.evicted_unused);
+
+    // --- Morrigan-internal attribution (via the `as_any` downcast) ---
+    // Every IRIP prediction becomes exactly one issue or drop event
+    // tagged with its table's component; same trichotomy for the SDP.
+    let irip_range = 0..PrefetchComponent::Sdp.index();
+    let irip_sum = |a: &[u64]| a[irip_range.clone()].iter().sum::<u64>();
+    assert_eq!(
+        irip_sum(&counts.prefetch_issue_by_component)
+            + irip_sum(&counts.prefetch_drop_duplicate)
+            + irip_sum(&counts.prefetch_drop_fault),
+        irip_stats.predictions,
+        "IRIP predictions telescope to issue + drop events"
+    );
+    let sdp = PrefetchComponent::Sdp.index();
+    assert_eq!(
+        counts.prefetch_issue_by_component[sdp]
+            + counts.prefetch_drop_duplicate[sdp]
+            + counts.prefetch_drop_fault[sdp],
+        sdp_issued,
+        "SDP decisions telescope to issue + drop events"
+    );
+    assert_eq!(
+        sum(&counts.irip_evict_by_table),
+        irip_stats.evictions,
+        "every IRIP replacement eviction is traced with its table"
+    );
+    assert!(
+        counts.irip_evict_by_table.iter().any(|&c| c > 0),
+        "the run must exercise IRIP replacement"
     );
 }
 

@@ -44,7 +44,8 @@ pub use addr::{
 };
 pub use audit::{check_monotonic, AuditReport, CounterSet, Violation};
 pub use prefetcher::{
-    MissContext, PageDistance, PrefetchDecision, PrefetchOrigin, ThreadId, TlbPrefetcher,
+    MissContext, PageDistance, PrefetchComponent, PrefetchDecision, PrefetchOrigin,
+    PrefetcherEvent, ThreadId, TlbPrefetcher,
 };
 pub use rng::{SplitMix64, Xoshiro256StarStar};
 pub use stats::{geometric_mean, Ratio, SatCounter};

@@ -94,6 +94,59 @@ pub struct PrefetchOrigin {
     pub distance: PageDistance,
 }
 
+/// The engine inside a composite prefetcher that produced a decision, so
+/// the observability layer can attribute every prefetch's fate (fill, PB
+/// hit, unused eviction) back to the component that asked for it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PrefetchComponent {
+    /// One of IRIP's prediction tables, by table index (0 = 1-slot table).
+    IripTable(u8),
+    /// The sequential-distance prefetcher engaged when IRIP stays silent.
+    Sdp,
+    /// The FNL+MMA front-end path: translations fetched ahead of i-cache
+    /// prefetches crossing a page boundary.
+    Icache,
+    /// Any engine without finer-grained attribution (the dSTLB baselines,
+    /// SP/ASP/DP/MP, and the unbounded Markov variants).
+    Other,
+}
+
+impl PrefetchComponent {
+    /// Dense index for per-component counter arrays. IRIP tables above 3
+    /// fold into the last table bucket so the array stays fixed-size even
+    /// for tuning configs with more tables.
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            PrefetchComponent::IripTable(t) => (t as usize).min(3),
+            PrefetchComponent::Sdp => 4,
+            PrefetchComponent::Icache => 5,
+            PrefetchComponent::Other => 6,
+        }
+    }
+
+    /// Number of dense component buckets (`index()` range).
+    pub const COUNT: usize = 7;
+}
+
+/// A state transition inside a prefetcher that the observability layer
+/// wants on the event timeline but that happens out of the MMU's sight —
+/// today, replacement-policy evictions inside IRIP's prediction tables.
+/// Captured only when event capture is enabled (see
+/// [`TlbPrefetcher::set_event_capture`]); the disabled path records
+/// nothing and costs one branch on the rare eviction path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PrefetcherEvent {
+    /// The replacement policy evicted a valid entry from prediction table
+    /// `table`; `vpn` is the victim's tag (the miss page it predicted for).
+    TableEvict {
+        /// Index of the table the entry was evicted from.
+        table: u8,
+        /// The victim entry's tag VPN.
+        vpn: VirtPage,
+    },
+}
+
 /// One prefetch request emitted by a prefetcher.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PrefetchDecision {
@@ -106,6 +159,8 @@ pub struct PrefetchDecision {
     /// Provenance for confidence-training feedback; `None` for prefetchers
     /// without trained state (e.g. SP/SDP).
     pub origin: Option<PrefetchOrigin>,
+    /// Which engine inside the prefetcher produced this request.
+    pub component: PrefetchComponent,
 }
 
 impl PrefetchDecision {
@@ -115,6 +170,7 @@ impl PrefetchDecision {
             vpn,
             spatial: false,
             origin: None,
+            component: PrefetchComponent::Other,
         }
     }
 
@@ -124,12 +180,19 @@ impl PrefetchDecision {
             vpn,
             spatial: true,
             origin: None,
+            component: PrefetchComponent::Other,
         }
     }
 
     /// Attaches provenance to this decision.
     pub fn with_origin(mut self, origin: PrefetchOrigin) -> Self {
         self.origin = Some(origin);
+        self
+    }
+
+    /// Tags the decision with the component that produced it.
+    pub fn with_component(mut self, component: PrefetchComponent) -> Self {
+        self.component = component;
         self
     }
 }
@@ -170,6 +233,26 @@ pub trait TlbPrefetcher: Send {
     /// Total prediction-state storage in bits, for ISO-storage comparisons
     /// (§6.2, §6.3). Stateless prefetchers report 0.
     fn storage_bits(&self) -> u64;
+
+    /// Turns internal event capture on or off. Only the traced MMU enables
+    /// this; the default implementation (and the disabled state) records
+    /// nothing, so untraced runs pay nothing.
+    fn set_event_capture(&mut self, on: bool) {
+        let _ = on;
+    }
+
+    /// Moves captured [`PrefetcherEvent`]s into `out`, oldest first. The
+    /// traced MMU drains after every `on_stlb_miss` call, so capture
+    /// buffers stay small. Default: nothing to drain.
+    fn drain_events(&mut self, out: &mut Vec<PrefetcherEvent>) {
+        let _ = out;
+    }
+
+    /// Downcast hook for tests and analysis tooling that need a concrete
+    /// prefetcher's internal statistics. Default: no downcast available.
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        None
+    }
 }
 
 /// A prefetcher that never prefetches; the paper's no-prefetching baseline.

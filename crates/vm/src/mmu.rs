@@ -21,11 +21,13 @@
 //! data misses pay their demand walks).
 
 use morrigan_mem::MemoryHierarchy;
-use morrigan_obs::{EventKind, NullRecorder, PbProbeOutcome, Recorder, TraceEvent, WalkClass};
+use morrigan_obs::{
+    EventKind, NullRecorder, PbProbeOutcome, PrefetchDropReason, Recorder, TraceEvent, WalkClass,
+};
 use morrigan_types::prefetcher::NullPrefetcher;
 use morrigan_types::{
-    CounterSet, MissContext, PhysPage, PrefetchDecision, ThreadId, TlbPrefetcher, VirtAddr,
-    VirtPage,
+    CounterSet, MissContext, PhysPage, PrefetchComponent, PrefetchDecision, PrefetcherEvent,
+    ThreadId, TlbPrefetcher, VirtAddr, VirtPage,
 };
 use serde::{Deserialize, Serialize};
 
@@ -232,6 +234,18 @@ pub struct TranslationOutcome {
     pub pfn: PhysPage,
 }
 
+/// Maps the core-side component tag onto the obs crate's mirror enum
+/// (obs stays dependency-free, so the two types meet here, at the
+/// emission boundary — the same pattern as `WalkKind`/`WalkClass`).
+fn component_tag(c: PrefetchComponent) -> morrigan_obs::PrefetchComponent {
+    match c {
+        PrefetchComponent::IripTable(t) => morrigan_obs::PrefetchComponent::irip_table(t),
+        PrefetchComponent::Sdp => morrigan_obs::PrefetchComponent::Sdp,
+        PrefetchComponent::Icache => morrigan_obs::PrefetchComponent::Icache,
+        PrefetchComponent::Other => morrigan_obs::PrefetchComponent::Other,
+    }
+}
+
 /// The MMU.
 ///
 /// Generic over a [`Recorder`]: the default [`NullRecorder`] compiles
@@ -253,6 +267,9 @@ pub struct Mmu<R: Recorder = NullRecorder> {
     prefetcher: Box<dyn TlbPrefetcher>,
     /// Reused scratch buffer for prefetch decisions.
     scratch: Vec<PrefetchDecision>,
+    /// Reused scratch buffer for prefetcher-internal events (table
+    /// evictions), drained only under a live recorder.
+    event_scratch: Vec<PrefetcherEvent>,
     /// Trace-event sink.
     rec: R,
     /// Counters.
@@ -293,6 +310,13 @@ impl<R: Recorder> Mmu<R> {
         prefetcher: Box<dyn TlbPrefetcher>,
         rec: R,
     ) -> Self {
+        let mut prefetcher = prefetcher;
+        if R::ENABLED {
+            // Ask the prefetcher to capture its internal replacement
+            // events; the NullRecorder path leaves capture off so the
+            // untraced hot path stays untouched.
+            prefetcher.set_event_capture(true);
+        }
         Self {
             itlb: Tlb::new(cfg.itlb),
             dtlb: Tlb::new(cfg.dtlb),
@@ -303,6 +327,7 @@ impl<R: Recorder> Mmu<R> {
             page_table,
             prefetcher,
             scratch: Vec::with_capacity(16),
+            event_scratch: Vec::new(),
             rec,
             cfg,
             stats: MmuStats::default(),
@@ -478,6 +503,12 @@ impl<R: Recorder> Mmu<R> {
         self.prefetcher.name()
     }
 
+    /// The attached prefetcher (downcast via `as_any` for
+    /// implementation-specific statistics).
+    pub fn prefetcher(&self) -> &dyn TlbPrefetcher {
+        self.prefetcher.as_ref()
+    }
+
     /// Prediction-state storage of the attached prefetcher, in bits.
     pub fn prefetcher_storage_bits(&self) -> u64 {
         self.prefetcher.storage_bits()
@@ -566,7 +597,14 @@ impl<R: Recorder> Mmu<R> {
                         PbProbeOutcome::HitReady
                     };
                     self.emit(probe_at, vpn, EventKind::PbProbe(outcome));
-                    self.emit(probe_at, vpn, EventKind::PbPromote);
+                    self.emit(
+                        probe_at,
+                        vpn,
+                        EventKind::PbPromote {
+                            component: component_tag(hit.component),
+                            late: hit.remaining_latency > 0,
+                        },
+                    );
                 }
                 if let Some(origin) = hit.origin {
                     self.prefetcher.on_prefetch_hit(&origin);
@@ -625,6 +663,21 @@ impl<R: Recorder> Mmu<R> {
             self.issue_prefetch(decision, now, mem);
         }
         self.scratch = decisions;
+        if R::ENABLED {
+            // Surface prediction-table replacement events (RLFU victims)
+            // the prefetcher captured while digesting this miss.
+            let mut events = std::mem::take(&mut self.event_scratch);
+            events.clear();
+            self.prefetcher.drain_events(&mut events);
+            for event in &events {
+                match *event {
+                    PrefetcherEvent::TableEvict { table, vpn } => {
+                        self.emit(now, vpn, EventKind::IripEvict { table });
+                    }
+                }
+            }
+            self.event_scratch = events;
+        }
     }
 
     /// Issues one prefetch request: duplicate check, background walk, PB
@@ -641,25 +694,52 @@ impl<R: Recorder> Mmu<R> {
         };
         if already_staged {
             self.stats.prefetches_duplicate += 1;
+            self.emit(
+                now,
+                vpn,
+                EventKind::PrefetchDrop {
+                    component: component_tag(decision.component),
+                    reason: PrefetchDropReason::Duplicate,
+                },
+            );
             return;
         }
         let Some(walk) = self
             .walker
             .walk(&self.page_table, mem, vpn, WalkKind::Prefetch, now)
         else {
-            return; // faulting prefetch suppressed
+            // Faulting prefetch suppressed.
+            self.emit(
+                now,
+                vpn,
+                EventKind::PrefetchDrop {
+                    component: component_tag(decision.component),
+                    reason: PrefetchDropReason::Fault,
+                },
+            );
+            return;
         };
         self.stats.prefetches_issued += 1;
         if R::ENABLED {
-            self.emit(now, vpn, EventKind::PrefetchIssue);
+            self.emit(
+                now,
+                vpn,
+                EventKind::PrefetchIssue {
+                    component: component_tag(decision.component),
+                },
+            );
             self.emit_walk(vpn, WalkClass::Prefetch, &walk);
         }
         match self.cfg.placement {
             PrefetchPlacement::Buffer => {
-                let victim = self
-                    .pb
-                    .insert(vpn, walk.pfn, walk.completed_at, decision.origin);
-                self.emit_pb_fill(vpn, walk.completed_at, &victim, now);
+                let victim = self.pb.insert(
+                    vpn,
+                    walk.pfn,
+                    walk.completed_at,
+                    decision.origin,
+                    decision.component,
+                );
+                self.emit_pb_fill(vpn, walk.completed_at, &victim, now, decision.component);
                 self.correct_eviction(victim, now, mem);
             }
             PrefetchPlacement::Stlb => {
@@ -676,9 +756,23 @@ impl<R: Recorder> Mmu<R> {
                 match self.cfg.placement {
                     PrefetchPlacement::Buffer => {
                         if !self.pb.contains(neighbor) {
-                            let victim = self.pb.insert(neighbor, pfn, walk.completed_at, None);
+                            // Spatial extensions are credited to the
+                            // component that asked for the anchor page.
+                            let victim = self.pb.insert(
+                                neighbor,
+                                pfn,
+                                walk.completed_at,
+                                None,
+                                decision.component,
+                            );
                             self.stats.spatial_ptes_staged += 1;
-                            self.emit_pb_fill(neighbor, walk.completed_at, &victim, now);
+                            self.emit_pb_fill(
+                                neighbor,
+                                walk.completed_at,
+                                &victim,
+                                now,
+                                decision.component,
+                            );
                             self.correct_eviction(victim, now, mem);
                         }
                     }
@@ -703,12 +797,25 @@ impl<R: Recorder> Mmu<R> {
         ready_at: u64,
         victim: &Option<crate::prefetch_buffer::PbEntry>,
         now: u64,
+        component: PrefetchComponent,
     ) {
         if R::ENABLED {
             if let Some(victim) = victim {
-                self.emit(now, victim.vpn, EventKind::PbEvict);
+                self.emit(
+                    now,
+                    victim.vpn,
+                    EventKind::PbEvict {
+                        component: component_tag(victim.component),
+                    },
+                );
             }
-            self.emit(ready_at, vpn, EventKind::PbFill);
+            self.emit(
+                ready_at,
+                vpn,
+                EventKind::PbFill {
+                    component: component_tag(component),
+                },
+            );
         }
     }
 
@@ -785,8 +892,20 @@ impl<R: Recorder> Mmu<R> {
             .walk(&self.page_table, mem, vpn, WalkKind::Prefetch, now)?;
         self.stats.icache_prefetches_issued += 1;
         self.emit_walk(vpn, WalkClass::Prefetch, &walk);
-        let victim = self.pb.insert(vpn, walk.pfn, walk.completed_at, None);
-        self.emit_pb_fill(vpn, walk.completed_at, &victim, now);
+        let victim = self.pb.insert(
+            vpn,
+            walk.pfn,
+            walk.completed_at,
+            None,
+            PrefetchComponent::Icache,
+        );
+        self.emit_pb_fill(
+            vpn,
+            walk.completed_at,
+            &victim,
+            now,
+            PrefetchComponent::Icache,
+        );
         self.correct_eviction(victim, now, mem);
         Some(walk.latency)
     }
@@ -852,9 +971,15 @@ impl<R: Recorder> Mmu<R> {
     /// the eviction events for flushed PB entries carry a real time.
     pub fn context_switch_at(&mut self, now: u64) {
         if R::ENABLED {
-            let flushed: Vec<VirtPage> = self.pb.resident_vpns().collect();
-            for vpn in flushed {
-                self.emit(now, vpn, EventKind::PbEvict);
+            let flushed: Vec<(VirtPage, PrefetchComponent)> = self.pb.resident_entries().collect();
+            for (vpn, component) in flushed {
+                self.emit(
+                    now,
+                    vpn,
+                    EventKind::PbEvict {
+                        component: component_tag(component),
+                    },
+                );
             }
         }
         self.itlb.flush();

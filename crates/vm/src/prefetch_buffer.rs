@@ -12,7 +12,7 @@
 //! only saves the *remaining* latency (this is the effect that cripples
 //! naive page-crossing I-cache prefetchers in Fig 10).
 
-use morrigan_types::{CounterSet, PhysPage, PrefetchOrigin, VirtPage};
+use morrigan_types::{CounterSet, PhysPage, PrefetchComponent, PrefetchOrigin, VirtPage};
 use serde::{Deserialize, Serialize};
 
 /// One prefetched translation staged in the PB.
@@ -26,6 +26,8 @@ pub struct PbEntry {
     pub ready_at: u64,
     /// Which prediction slot produced this prefetch, for confidence credit.
     pub origin: Option<PrefetchOrigin>,
+    /// Which prefetch engine staged this entry, for trace attribution.
+    pub component: PrefetchComponent,
     stamp: u64,
 }
 
@@ -39,6 +41,8 @@ pub struct PbHit {
     pub remaining_latency: u64,
     /// Provenance for prefetcher confidence training.
     pub origin: Option<PrefetchOrigin>,
+    /// Which prefetch engine staged the hit entry.
+    pub component: PrefetchComponent,
 }
 
 /// PB counters. Together they form a closed ledger: every entry that ever
@@ -198,6 +202,7 @@ impl PrefetchBuffer {
                     pfn: e.pfn,
                     remaining_latency: remaining,
                     origin: e.origin,
+                    component: e.component,
                 })
             }
             None => {
@@ -220,6 +225,7 @@ impl PrefetchBuffer {
         pfn: PhysPage,
         ready_at: u64,
         origin: Option<PrefetchOrigin>,
+        component: PrefetchComponent,
     ) -> Option<PbEntry> {
         self.tick += 1;
         if let Some(e) = self.entries.iter_mut().find(|e| e.vpn == vpn) {
@@ -245,6 +251,7 @@ impl PrefetchBuffer {
             pfn,
             ready_at,
             origin,
+            component,
             stamp: self.tick,
         });
         victim
@@ -287,6 +294,12 @@ impl PrefetchBuffer {
         self.entries.iter().map(|e| e.vpn)
     }
 
+    /// Staged entries as `(vpn, component)` pairs, in no particular
+    /// order; the component lets the MMU attribute flush evictions.
+    pub fn resident_entries(&self) -> impl Iterator<Item = (VirtPage, PrefetchComponent)> + '_ {
+        self.entries.iter().map(|e| (e.vpn, e.component))
+    }
+
     /// Empties the buffer (context switch).
     pub fn flush(&mut self) {
         self.stats.evicted_unused += self.entries.len() as u64;
@@ -317,7 +330,7 @@ mod tests {
     #[test]
     fn hit_removes_entry() {
         let mut pb = PrefetchBuffer::new(4, 2);
-        pb.insert(VirtPage::new(1), pfn(1), 0, None);
+        pb.insert(VirtPage::new(1), pfn(1), 0, None, PrefetchComponent::Other);
         let hit = pb.take(VirtPage::new(1), 10).expect("staged entry");
         assert_eq!(hit.pfn, pfn(1));
         assert_eq!(hit.remaining_latency, 0);
@@ -332,7 +345,13 @@ mod tests {
     #[test]
     fn inflight_hit_charges_remaining_latency() {
         let mut pb = PrefetchBuffer::new(4, 2);
-        pb.insert(VirtPage::new(2), pfn(2), 150, None);
+        pb.insert(
+            VirtPage::new(2),
+            pfn(2),
+            150,
+            None,
+            PrefetchComponent::Other,
+        );
         let hit = pb.take(VirtPage::new(2), 100).expect("staged entry");
         assert_eq!(hit.remaining_latency, 50);
         assert_eq!(pb.stats.hits_inflight, 1);
@@ -342,9 +361,9 @@ mod tests {
     #[test]
     fn lru_eviction_counts_unused() {
         let mut pb = PrefetchBuffer::new(2, 2);
-        pb.insert(VirtPage::new(1), pfn(1), 0, None);
-        pb.insert(VirtPage::new(2), pfn(2), 0, None);
-        pb.insert(VirtPage::new(3), pfn(3), 0, None); // evicts 1
+        pb.insert(VirtPage::new(1), pfn(1), 0, None, PrefetchComponent::Other);
+        pb.insert(VirtPage::new(2), pfn(2), 0, None, PrefetchComponent::Other);
+        pb.insert(VirtPage::new(3), pfn(3), 0, None, PrefetchComponent::Other); // evicts 1
         assert_eq!(pb.stats.evicted_unused, 1);
         assert!(!pb.contains(VirtPage::new(1)));
         assert!(pb.contains(VirtPage::new(2)));
@@ -354,8 +373,20 @@ mod tests {
     #[test]
     fn reinsert_keeps_earliest_ready_time() {
         let mut pb = PrefetchBuffer::new(2, 2);
-        pb.insert(VirtPage::new(1), pfn(1), 100, None);
-        pb.insert(VirtPage::new(1), pfn(1), 500, None);
+        pb.insert(
+            VirtPage::new(1),
+            pfn(1),
+            100,
+            None,
+            PrefetchComponent::Other,
+        );
+        pb.insert(
+            VirtPage::new(1),
+            pfn(1),
+            500,
+            None,
+            PrefetchComponent::Other,
+        );
         assert_eq!(pb.len(), 1);
         assert_eq!(pb.stats.inserts, 1, "a refresh is not a new entry");
         assert_eq!(pb.stats.refreshes, 1);
@@ -370,7 +401,13 @@ mod tests {
             source: VirtPage::new(9),
             distance: PageDistance(3),
         };
-        pb.insert(VirtPage::new(12), pfn(12), 0, Some(origin));
+        pb.insert(
+            VirtPage::new(12),
+            pfn(12),
+            0,
+            Some(origin),
+            PrefetchComponent::Other,
+        );
         let hit = pb.take(VirtPage::new(12), 0).expect("staged");
         assert_eq!(hit.origin, Some(origin));
     }
@@ -378,8 +415,8 @@ mod tests {
     #[test]
     fn flush_counts_all_as_unused() {
         let mut pb = PrefetchBuffer::new(4, 2);
-        pb.insert(VirtPage::new(1), pfn(1), 0, None);
-        pb.insert(VirtPage::new(2), pfn(2), 0, None);
+        pb.insert(VirtPage::new(1), pfn(1), 0, None, PrefetchComponent::Other);
+        pb.insert(VirtPage::new(2), pfn(2), 0, None, PrefetchComponent::Other);
         pb.flush();
         assert_eq!(pb.stats.evicted_unused, 2);
         assert!(pb.is_empty());
@@ -388,10 +425,10 @@ mod tests {
     #[test]
     fn ledger_balances_through_mixed_operations() {
         let mut pb = PrefetchBuffer::new(2, 2);
-        pb.insert(VirtPage::new(1), pfn(1), 0, None);
-        pb.insert(VirtPage::new(2), pfn(2), 0, None);
-        pb.insert(VirtPage::new(2), pfn(2), 50, None); // refresh
-        pb.insert(VirtPage::new(3), pfn(3), 0, None); // evicts 1
+        pb.insert(VirtPage::new(1), pfn(1), 0, None, PrefetchComponent::Other);
+        pb.insert(VirtPage::new(2), pfn(2), 0, None, PrefetchComponent::Other);
+        pb.insert(VirtPage::new(2), pfn(2), 50, None, PrefetchComponent::Other); // refresh
+        pb.insert(VirtPage::new(3), pfn(3), 0, None, PrefetchComponent::Other); // evicts 1
         let _ = pb.take(VirtPage::new(2), 10); // hit
         assert!(pb.invalidate(VirtPage::new(3)));
         assert!(!pb.invalidate(VirtPage::new(3)), "already gone");
@@ -407,9 +444,27 @@ mod tests {
     #[test]
     fn asid_invalidate_keeps_ledger_closed() {
         let mut pb = PrefetchBuffer::new(8, 2);
-        pb.insert(VirtPage::new(1).with_asid(1), pfn(1), 0, None);
-        pb.insert(VirtPage::new(2).with_asid(1), pfn(2), 0, None);
-        pb.insert(VirtPage::new(1).with_asid(2), pfn(3), 0, None);
+        pb.insert(
+            VirtPage::new(1).with_asid(1),
+            pfn(1),
+            0,
+            None,
+            PrefetchComponent::Other,
+        );
+        pb.insert(
+            VirtPage::new(2).with_asid(1),
+            pfn(2),
+            0,
+            None,
+            PrefetchComponent::Other,
+        );
+        pb.insert(
+            VirtPage::new(1).with_asid(2),
+            pfn(3),
+            0,
+            None,
+            PrefetchComponent::Other,
+        );
         assert_eq!(pb.occupancy_for_asid(1), 2);
         assert_eq!(pb.invalidate_asid(1), 2);
         assert_eq!(pb.occupancy_for_asid(1), 0);
@@ -426,7 +481,7 @@ mod tests {
     fn hit_rate_math() {
         let mut pb = PrefetchBuffer::new(4, 2);
         assert_eq!(pb.hit_rate(), 0.0);
-        pb.insert(VirtPage::new(1), pfn(1), 0, None);
+        pb.insert(VirtPage::new(1), pfn(1), 0, None, PrefetchComponent::Other);
         let _ = pb.take(VirtPage::new(1), 0);
         let _ = pb.take(VirtPage::new(2), 0);
         assert!((pb.hit_rate() - 0.5).abs() < 1e-12);

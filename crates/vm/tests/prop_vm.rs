@@ -2,7 +2,7 @@
 
 use morrigan_mem::{HierarchyConfig, MemoryHierarchy};
 use morrigan_types::prefetcher::NullPrefetcher;
-use morrigan_types::{PhysPage, ThreadId, VirtPage};
+use morrigan_types::{PhysPage, PrefetchComponent, ThreadId, VirtPage};
 use morrigan_vm::{
     Mmu, MmuConfig, PageTable, PagingStructureCaches, PrefetchBuffer, PscConfig, PscHit, Tlb,
     TlbConfig, WalkKind, Walker, WalkerConfig,
@@ -188,7 +188,7 @@ proptest! {
             let vpn = VirtPage::new(vpn_raw);
             now += dt;
             match op {
-                0..=3 => { pb.insert(vpn, PhysPage::new(vpn_raw + 1), now + dt, None); }
+                0..=3 => { pb.insert(vpn, PhysPage::new(vpn_raw + 1), now + dt, None, PrefetchComponent::Other); }
                 4 | 5 => { pb.take(vpn, now); }
                 6 => { pb.invalidate(vpn); }
                 _ => pb.flush(),
@@ -304,7 +304,7 @@ proptest! {
         let mut pb = PrefetchBuffer::new(16, 1);
         for &(asid, page) in &inserts {
             let vpn = VirtPage::new(page).with_asid(asid);
-            pb.insert(vpn, PhysPage::new(page + 1), 0, None);
+            pb.insert(vpn, PhysPage::new(page + 1), 0, None, PrefetchComponent::Other);
         }
         let total: usize = (1u16..=3).map(|a| pb.occupancy_for_asid(a)).sum();
         prop_assert_eq!(total, pb.len());

@@ -4,7 +4,8 @@
 use morrigan_suite::mem::{Cache, CacheConfig};
 use morrigan_suite::prefetcher::{Irip, IripConfig, Morrigan, MorriganConfig};
 use morrigan_suite::types::{
-    CacheLine, MissContext, PhysPage, ThreadId, TlbPrefetcher, VirtAddr, VirtPage,
+    CacheLine, MissContext, PhysPage, PrefetchComponent, ThreadId, TlbPrefetcher, VirtAddr,
+    VirtPage,
 };
 use morrigan_suite::vm::{PageTable, PrefetchBuffer, Tlb, TlbConfig};
 use morrigan_suite::workloads::{InstructionStream, ServerWorkload, ServerWorkloadConfig};
@@ -54,7 +55,7 @@ proptest! {
     ) {
         let mut pb = PrefetchBuffer::new(16, 2);
         for &v in &vpns {
-            pb.insert(VirtPage::new(v), PhysPage::new(v + 1), 0, None);
+            pb.insert(VirtPage::new(v), PhysPage::new(v + 1), 0, None, PrefetchComponent::Other);
             prop_assert!(pb.len() <= 16);
         }
         for &v in &vpns {
