@@ -30,7 +30,19 @@
 //! speedup of that width over a serial (width-1) reference pass
 //! (`parallel_speedup`; `0.0` on hosts without spare cores, where
 //! nothing was measured). `--check` gates the committed 4-core row:
-//! when it was produced at width >= 4, its speedup must be >= 2x.
+//! when it was produced at width >= 4, its speedup must be >= 2x; when
+//! the committed baseline was produced on a narrower host (width < 4,
+//! so nothing was measured and the field reads 0.0) the gate is
+//! *skipped with a logged warning* — regenerate the baseline on a
+//! >= 4-CPU host to arm it.
+//!
+//! The v7 schema adds page-run batching telemetry: every row carries
+//! `probes_issued` / `probes_elided` / `runs_consumed` — translation
+//! probes the stepping loops actually made vs elided through same-page
+//! run batching, and whole index runs consumed. Both modes fail if any
+//! figure reports zero elided probes (the batching plumbing silently
+//! disengaged), and `--check` gates each figure's `sampled_ipc_rel_err`
+//! individually so one noisy figure can't hide inside the aggregate.
 //!
 //! Scale comes from [`bench_scale`]: the criterion profile unless
 //! `MORRIGAN_INSTR`/`MORRIGAN_FULL` override it.
@@ -87,6 +99,15 @@ struct FigureRun {
     record_istlb_misses: u64,
     /// Cycles summed over the figure's journaled records (IPC deviation).
     record_cycles: u64,
+    /// Translation probes the stepping loops actually issued, summed
+    /// over the figure's simulations (warmup included).
+    probes_issued: u64,
+    /// Probes elided — same-line fetches and same-page run batching.
+    /// Zero means the counters (and likely the batching) fell off.
+    probes_elided: u64,
+    /// Whole page-index runs consumed by the batched stepping path.
+    /// Zero on figures that only exercise fallback paths (SMT).
+    runs_consumed: u64,
 }
 
 impl FigureRun {
@@ -263,6 +284,7 @@ fn run_figures(scale: &Scale, sampling: Option<SamplingConfig>) -> Vec<FigureRun
             record_istlb_misses += record.metrics.mmu.istlb_misses;
             record_cycles += record.metrics.cycles;
         }
+        let elision = runner.elision_totals();
         let machine_threads = if cores > 1 {
             effective_machine_threads(cores)
         } else {
@@ -304,12 +326,15 @@ fn run_figures(scale: &Scale, sampling: Option<SamplingConfig>) -> Vec<FigureRun
             record_instructions,
             record_istlb_misses,
             record_cycles,
+            probes_issued: elision.probes_issued,
+            probes_elided: elision.probes_elided,
+            runs_consumed: elision.runs_consumed,
         };
         eprintln!(
             "[simbench] {label} {name}: {instructions} instructions in {seconds:.3} s = \
              {:.2} MIPS over {} core(s) at width {} (workload-gen {:.3} s, trace-build \
              {:.3} s over {} traces serving {} streams, simulate {:.3} s, parallel \
-             speedup {:.2})",
+             speedup {:.2}, elided {}/{} probes over {} runs)",
             fig.mips(),
             fig.cores,
             fig.machine_threads,
@@ -319,6 +344,9 @@ fn run_figures(scale: &Scale, sampling: Option<SamplingConfig>) -> Vec<FigureRun
             fig.streams_served,
             fig.simulate_seconds,
             fig.parallel_speedup,
+            fig.probes_elided,
+            fig.probes_issued + fig.probes_elided,
+            fig.runs_consumed,
         );
         runs.push(fig);
     }
@@ -330,7 +358,7 @@ fn run_figures(scale: &Scale, sampling: Option<SamplingConfig>) -> Vec<FigureRun
 /// the SMARTS-sampled pass, aligned with `runs` by index.
 fn render(scale: &Scale, runs: &[FigureRun], sampled: &[FigureRun]) -> String {
     let mut out = String::with_capacity(4096);
-    out.push_str("{\n  \"schema\": \"morrigan-bench-simloop-v6\",\n");
+    out.push_str("{\n  \"schema\": \"morrigan-bench-simloop-v7\",\n");
     out.push_str(&format!(
         "  \"scale\": {{\"warmup\": {}, \"measure\": {}, \"workloads\": {}, \"smt_pairs\": {}, \
          \"cores\": {}, \"tenants\": {}}},\n",
@@ -347,7 +375,8 @@ fn render(scale: &Scale, runs: &[FigureRun], sampled: &[FigureRun]) -> String {
              \"instructions\": {}, \"seconds\": {}, \
              \"workload_gen_seconds\": {}, \"trace_build_seconds\": {}, \
              \"simulate_seconds\": {}, \"workloads_materialized\": {}, \
-             \"streams_served\": {}, \"mips\": {}, \"per_core_mips\": {}",
+             \"streams_served\": {}, \"probes_issued\": {}, \"probes_elided\": {}, \
+             \"runs_consumed\": {}, \"mips\": {}, \"per_core_mips\": {}",
             f.name,
             f.cores,
             f.machine_threads,
@@ -358,6 +387,9 @@ fn render(scale: &Scale, runs: &[FigureRun], sampled: &[FigureRun]) -> String {
             json_f64(f.simulate_seconds),
             f.workloads_materialized,
             f.streams_served,
+            f.probes_issued,
+            f.probes_elided,
+            f.runs_consumed,
             json_f64(f.mips()),
             json_f64(f.per_core_mips()),
         ));
@@ -387,12 +419,17 @@ fn render(scale: &Scale, runs: &[FigureRun], sampled: &[FigureRun]) -> String {
     let simulate: f64 = runs.iter().map(|f| f.simulate_seconds).sum();
     let materialized: u64 = runs.iter().map(|f| f.workloads_materialized).sum();
     let served: u64 = runs.iter().map(|f| f.streams_served).sum();
+    let probes_issued: u64 = runs.iter().map(|f| f.probes_issued).sum();
+    let probes_elided: u64 = runs.iter().map(|f| f.probes_elided).sum();
+    let runs_consumed: u64 = runs.iter().map(|f| f.runs_consumed).sum();
     let acc = Accuracy::new(runs, sampled);
     out.push_str(&format!(
         "  \"total\": {{\"instructions\": {instructions}, \"seconds\": {}, \
          \"workload_gen_seconds\": {}, \"trace_build_seconds\": {}, \
          \"simulate_seconds\": {}, \"workloads_materialized\": {materialized}, \
-         \"streams_served\": {served}, \"single_core_mips\": {}, \
+         \"streams_served\": {served}, \"probes_issued\": {probes_issued}, \
+         \"probes_elided\": {probes_elided}, \"runs_consumed\": {runs_consumed}, \
+         \"single_core_mips\": {}, \
          \"multi_core_mips\": {}, \"sampled_seconds\": {}, \
          \"sampled_simulate_seconds\": {}, \"sampled_speedup\": {}, \
          \"sampled_mpki_rel_err\": {}, \"sampled_ipc_rel_err\": {}, \"mips\": {}}}\n}}\n",
@@ -565,6 +602,23 @@ fn main() -> ExitCode {
         }
     }
 
+    // Page-run batching must be visibly engaged on every figure: even
+    // the fallback paths (SMT colocation, interval sampling) count
+    // same-line fetches as elided probes, so a zero here means the
+    // counters — and almost certainly the batching itself — silently
+    // fell out of the stepping loops. Enforced in both modes so a
+    // regenerated baseline can never commit the regression.
+    for f in runs.iter().chain(sampled.iter()) {
+        if f.probes_elided == 0 {
+            eprintln!(
+                "simbench: PAGE-RUN BATCHING BUG: {} ({} core(s)) reports zero \
+                 elided probes over {} instructions",
+                f.name, f.cores, f.instructions
+            );
+            failed = true;
+        }
+    }
+
     match check_path {
         None => {
             if failed {
@@ -648,38 +702,97 @@ fn main() -> ExitCode {
                 failed = true;
             }
 
-            // Parallel-scaling gate: a committed bench-scale baseline
-            // produced on a host with >= 4 spare cores must show the
-            // 4-core epoch driver actually scaling (>= 2x its serial
-            // reference). Baselines regenerated on narrower hosts record
-            // machine_threads < 4 and are exempt — there was nothing to
-            // scale onto, and parallel_speedup reads 0.0 (unmeasured).
-            let committed_width = baseline_figure_field(&doc, "fig21_multicore", "machine_threads");
-            let committed_parallel =
-                baseline_figure_field(&doc, "fig21_multicore", "parallel_speedup");
-            if let (Some(width), Some(speedup)) = (committed_width, committed_parallel) {
-                println!(
-                    "simbench: committed 4-core parallel speedup {speedup:.2}x at width \
-                     {width:.0}"
-                );
-                if width >= 4.0 && speedup < 2.0 {
+            // Per-figure IPC gate: sampled IPC is extrapolated (the
+            // fast-forward's cycles are recharged from the detail
+            // windows' CPI regression), so unlike MPKI it CAN drift —
+            // fig03 sat at a 6.4 % deviation while the aggregate
+            // averaged it down to 0.6 %, because the fast-forward froze
+            // the cache hierarchy and compressed the SPEC loops' reuse
+            // distances. With functional cache warming in the
+            // fast-forward the worst per-figure deviation measured is
+            // ~2.7 % (the multicore records, whose shared-LLC epoch
+            // interleaving the warm can't fully reproduce); 4 % gives
+            // those headroom while still catching any one figure
+            // regressing the way fig03 did (6.4 %). The regression only
+            // converges over multiple detail windows, so figures whose
+            // streams are too short to span a few sampling periods
+            // (reduced-scale CI runs) are skipped with a note — the
+            // committed baseline's bench-scale values stay pinned per
+            // figure by tests/baseline.rs regardless.
+            let period = SamplingConfig::default_schedule().period();
+            for (f, s) in runs.iter().zip(&sampled) {
+                let per_stream = f.instructions / f.streams_served.max(1);
+                if per_stream < 4 * period {
+                    println!(
+                        "simbench: note: per-figure IPC gate skipped for {} \
+                         ({per_stream} instructions/stream < 4 sampling periods)",
+                        f.name
+                    );
+                    continue;
+                }
+                let err = rel_err(f.ipc(), s.ipc());
+                if err > 0.04 {
                     eprintln!(
-                        "simbench: PARALLEL SCALING REGRESSION: committed 4-core \
-                         parallel_speedup {speedup:.2}x < 2x at width {width:.0}"
+                        "simbench: SAMPLED IPC REGRESSION: {} sampled IPC deviates \
+                         {err:.4} (> 0.04) from the full run",
+                        f.name
                     );
                     failed = true;
                 }
             }
 
+            // Parallel-scaling gate: a committed bench-scale baseline
+            // produced on a host with >= 4 spare cores must show the
+            // 4-core epoch driver actually scaling (>= 2x its serial
+            // reference). A baseline regenerated on a narrower host
+            // records machine_threads < 4 and parallel_speedup 0.0
+            // (unmeasured, not "0x") — the gate then SKIPS with a loud
+            // warning instead of silently passing, so a 1-CPU runner
+            // can't quietly disarm the scaling check forever. To re-arm
+            // it, regenerate the baseline on a host with >= 4 available
+            // CPUs: `cargo run --release -p morrigan-bench --bin
+            // simbench -- --out BENCH_simloop.json` and commit the
+            // result.
+            let committed_width = baseline_figure_field(&doc, "fig21_multicore", "machine_threads");
+            let committed_parallel =
+                baseline_figure_field(&doc, "fig21_multicore", "parallel_speedup");
+            if let (Some(width), Some(speedup)) = (committed_width, committed_parallel) {
+                if width >= 4.0 {
+                    println!(
+                        "simbench: committed 4-core parallel speedup {speedup:.2}x at width \
+                         {width:.0}"
+                    );
+                    if speedup < 2.0 {
+                        eprintln!(
+                            "simbench: PARALLEL SCALING REGRESSION: committed 4-core \
+                             parallel_speedup {speedup:.2}x < 2x at width {width:.0}"
+                        );
+                        failed = true;
+                    }
+                } else {
+                    eprintln!(
+                        "simbench: WARNING: parallel-scaling gate SKIPPED — the committed \
+                         baseline was generated at epoch-driver width {width:.0} (< 4), so \
+                         no 4-core speedup was measured (parallel_speedup 0.0 means \
+                         unmeasured). Regenerate BENCH_simloop.json on a host with >= 4 \
+                         available CPUs to arm this gate."
+                    );
+                }
+            }
+
             // Sampled-speed gate: the fast-forward path must actually be
             // faster than detailed stepping. The floor is deliberately
-            // loose (1.2x) because CI checks at a reduced scale where
-            // warmup transients dominate; the bench-scale >= 2x claim is
-            // pinned by the committed baseline's sampled_speedup (see
-            // tests/baseline.rs).
-            if acc.speedup() < 1.2 {
+            // loose (1.05x): functional cache warming spends roughly a
+            // third of the sampled pass keeping the hierarchy's
+            // replacement state live across skip stretches (the price of
+            // the per-figure IPC gate above), and CI checks at a reduced
+            // scale where warmup transients eat most of what remains
+            // (measured ~1.15x there, ~1.3x at bench scale). The
+            // bench-scale speedup claim is pinned by the committed
+            // baseline's sampled_speedup (see tests/baseline.rs).
+            if acc.speedup() < 1.05 {
                 eprintln!(
-                    "simbench: SAMPLED SPEED REGRESSION: simulate-phase speedup {:.2}x < 1.2x",
+                    "simbench: SAMPLED SPEED REGRESSION: simulate-phase speedup {:.2}x < 1.05x",
                     acc.speedup()
                 );
                 failed = true;

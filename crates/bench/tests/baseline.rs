@@ -7,9 +7,12 @@
 //! * every figure row — including the multi-core `fig21_multicore` one —
 //!   must report a nonzero `simulate_seconds` (the machine used to drop
 //!   its per-core phase profiles, zeroing the row);
-//! * the bench-scale sampled pass must actually deliver its headline
-//!   speedup (`sampled_speedup >= 2`) at honest accuracy
-//!   (`sampled_mpki_rel_err <= 0.01`).
+//! * the bench-scale sampled pass must actually deliver a real speedup
+//!   (`sampled_speedup >= 1.15` — functional cache warming, the fix for
+//!   the fig03 frozen-cache IPC bias, spends roughly a third of the
+//!   sampled pass, so the pre-warming 2x headline no longer holds) at
+//!   honest accuracy (`sampled_mpki_rel_err <= 0.01`, per-figure
+//!   `sampled_ipc_rel_err <= 0.04`).
 
 /// The committed baseline at the workspace root.
 fn committed_baseline() -> String {
@@ -54,19 +57,23 @@ fn figure_rows(doc: &str) -> Vec<&str> {
 }
 
 #[test]
-fn committed_baseline_is_schema_v6() {
+fn committed_baseline_is_schema_v7() {
     let doc = committed_baseline();
     assert!(
-        doc.contains("\"schema\": \"morrigan-bench-simloop-v6\""),
-        "baseline must be the v6 schema (regenerate with `simbench --out`)"
+        doc.contains("\"schema\": \"morrigan-bench-simloop-v7\""),
+        "baseline must be the v7 schema (regenerate with `simbench --out`)"
     );
     assert!(
         doc.contains("\"sampling\": \""),
-        "v6 baselines record the sampled pass's schedule"
+        "v7 baselines record the sampled pass's schedule"
     );
     assert!(
         doc.contains("\"figure\": \"fig21_multicore_8core\""),
-        "v6 baselines carry the 8-core scaling row"
+        "v7 baselines carry the 8-core scaling row"
+    );
+    assert!(
+        doc.contains("\"probes_elided\": "),
+        "v7 baselines carry the page-run elision telemetry"
     );
 }
 
@@ -97,10 +104,15 @@ fn every_figure_row_reports_a_real_simulate_phase() {
 fn committed_sampled_speedup_and_accuracy_hold() {
     let doc = committed_baseline();
     let total = &doc[doc.rfind("\"total\"").expect("total object")..];
+    // 1.15x, not the pre-warming 2x: the sampled fast-forward now
+    // functionally warms the full cache hierarchy (DESIGN.md §11), which
+    // buys the per-figure IPC bound below at roughly a third of the
+    // sampled pass. An accuracy-free 2x is one env switch away
+    // (MORRIGAN_NO_FF_WARM=1) but is not what this baseline commits to.
     let speedup = field(total, "sampled_speedup");
     assert!(
-        speedup >= 2.0,
-        "bench-scale sampled simulate-phase speedup must be >= 2x, got {speedup:.2}x"
+        speedup >= 1.15,
+        "bench-scale sampled simulate-phase speedup must be >= 1.15x, got {speedup:.2}x"
     );
     let mpki_err = field(total, "sampled_mpki_rel_err");
     assert!(
@@ -150,6 +162,41 @@ fn committed_multi_core_rows_report_parallel_scaling() {
         "the 4-core fig21 row and the 8-core scaling row must both be multi-core, \
          got {multi_core_rows}"
     );
+}
+
+#[test]
+fn committed_per_figure_ipc_deviation_is_bounded() {
+    // IPC is *extrapolated* (the fast-forward's cycles are recharged
+    // from the detail windows' CPI regression), so unlike MPKI it can
+    // drift per figure while the aggregate averages it away — fig03 sat
+    // at 6.4 % that way. With functional warming the worst figure (the
+    // shared-LLC multicore rows) measures ~2.7 %; 4 % bounds it.
+    let doc = committed_baseline();
+    for row in figure_rows(&doc) {
+        let err = field(row, "sampled_ipc_rel_err");
+        assert!(
+            err.abs() <= 0.04,
+            "per-figure sampled IPC deviation must be <= 4%: {row:.120}"
+        );
+    }
+}
+
+#[test]
+fn committed_figures_all_elide_probes() {
+    // The page-run index must be engaged on every figure — including
+    // the SMT and multi-core rows that take the per-instruction
+    // fallback paths, which elide via the same-line fast path.
+    let doc = committed_baseline();
+    for row in figure_rows(&doc) {
+        assert!(
+            field(row, "probes_elided") > 0.0,
+            "every figure must elide same-page probes: {row:.120}"
+        );
+        assert!(
+            field(row, "probes_issued") > 0.0,
+            "every figure must still issue real probes: {row:.120}"
+        );
+    }
 }
 
 #[test]

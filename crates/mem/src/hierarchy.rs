@@ -312,6 +312,50 @@ impl MemoryHierarchy {
         }
     }
 
+    /// Functionally warms the hierarchy for `line`: the sampled
+    /// fast-forward's cache warming, with no latency computed and no
+    /// statistics recorded. Each level uses one merged
+    /// [`Cache::warm_fill`] scan — promote on hit, install as MRU on a
+    /// miss — stopping at the first hit, so the final residency matches
+    /// what a demand [`MemoryHierarchy::access`] would have left behind
+    /// and detail windows open onto the replacement state a continuous
+    /// run would have instead of a frozen snapshot.
+    ///
+    /// The warm is deliberately **full-depth and symmetric** (both
+    /// sides, all levels, the whole skip stretch). Every cheaper
+    /// variant was measured and rejected: L1-only warming left the
+    /// frozen-window bias in place (the SPEC frontend figure *worsened*
+    /// from +6.4 % to +7.6 % sampled IPC error), warming only the tail
+    /// of each skip stretch (2 k–12.5 k instructions) still read
+    /// +4–6 % there because that figure's reuse distances span the
+    /// whole stretch, and instruction-side-only warming biased *every*
+    /// figure by +3–12 % — unrefreshed data lines age out under
+    /// one-sided fill pressure. Full warming brings the worst per-figure
+    /// deviation to ≈2.7 % and the SPEC figure to +0.03 %, at the cost
+    /// of roughly a third of the sampled run (the L2/LLC tag+stamp
+    /// arrays are host-cache-cold on every scan); EXPERIMENTS.md tracks
+    /// the resulting sampled-speedup floor. The served/miss counters
+    /// stay detail-window samples for the extrapolation layer, and the
+    /// L2 prefetcher is neither trained nor credited. The fast-forward
+    /// paths honour `MORRIGAN_NO_FF_WARM=1` as an ablation switch that
+    /// reproduces the pre-warming sampled numbers.
+    pub fn warm(&mut self, line: CacheLine, instruction_side: bool) {
+        let l1_hit = if instruction_side {
+            self.l1i.warm_fill(line)
+        } else {
+            self.l1d.warm_fill(line)
+        };
+        if l1_hit {
+            return;
+        }
+        if self.l2.warm_fill(line) {
+            return;
+        }
+        if !self.llc_probe(line) {
+            self.llc_fill(line);
+        }
+    }
+
     /// LLC probe, routed through the epoch view when one is installed.
     #[inline]
     fn llc_probe(&mut self, line: CacheLine) -> bool {

@@ -5,7 +5,7 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
 use morrigan_obs::PhaseProfile;
-use morrigan_sim::SamplingConfig;
+use morrigan_sim::{ElisionCounters, SamplingConfig};
 
 use crate::spec::{RunRecord, RunSpec};
 use crate::workload_cache::{WorkloadCache, WorkloadCacheStats};
@@ -57,6 +57,9 @@ pub struct Runner {
     /// Host wall-time phase split summed over every *executed* simulation
     /// (cached records add nothing — no simulation ran).
     phase_totals: Mutex<PhaseProfile>,
+    /// Page-run probe/elision counters summed over every *executed*
+    /// simulation (same accounting discipline as `phase_totals`).
+    elision_totals: Mutex<ElisionCounters>,
     /// Materialized workload traces shared across worker threads: each
     /// distinct workload is generated once per invocation and replayed
     /// by every spec that uses it. Defaults to in-memory; see
@@ -80,6 +83,7 @@ impl Runner {
             cache_hits: AtomicU64::new(0),
             instructions_simulated: AtomicU64::new(0),
             phase_totals: Mutex::new(PhaseProfile::new()),
+            elision_totals: Mutex::new(ElisionCounters::default()),
             workloads: WorkloadCache::in_memory(),
         }
     }
@@ -222,6 +226,12 @@ impl Runner {
         *self.phase_totals.lock().unwrap()
     }
 
+    /// Page-run probe/elision counters summed over every simulation this
+    /// runner actually executed (cache hits contribute nothing).
+    pub fn elision_totals(&self) -> ElisionCounters {
+        *self.elision_totals.lock().unwrap()
+    }
+
     /// The worker count used for batches.
     pub fn threads(&self) -> usize {
         self.threads
@@ -325,6 +335,7 @@ impl Runner {
                 self.instructions_simulated
                     .fetch_add(spec.instructions_cost(), Ordering::Relaxed);
                 self.phase_totals.lock().unwrap().merge(&record.phases);
+                self.elision_totals.lock().unwrap().add(&record.elision);
                 *slots[j].lock().unwrap() = Some(record);
             };
 

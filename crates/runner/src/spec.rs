@@ -13,8 +13,8 @@ use morrigan_baselines::{
 };
 use morrigan_obs::{PhaseProfile, TraceRecorder};
 use morrigan_sim::{
-    IntervalSample, Machine, MachineSummary, Metrics, SamplingConfig, SimConfig, Simulator,
-    SystemConfig,
+    ElisionCounters, IntervalSample, Machine, MachineSummary, Metrics, SamplingConfig, SimConfig,
+    Simulator, SystemConfig,
 };
 use morrigan_types::prefetcher::NullPrefetcher;
 use morrigan_types::{AuditReport, TlbPrefetcher};
@@ -690,6 +690,7 @@ impl RunSpec {
             audit: machine.audit_report().cloned(),
             intervals: Vec::new(),
             phases,
+            elision: machine.elision_counters(),
             machine: Some(machine.summary().clone()),
             analysis: None,
         }
@@ -712,6 +713,7 @@ impl RunSpec {
             audit: simulator.audit_report().cloned(),
             intervals: simulator.interval_samples().to_vec(),
             phases: *simulator.phase_profile(),
+            elision: simulator.elision_counters(),
             machine: None,
             analysis: None,
         }
@@ -743,6 +745,12 @@ pub struct RunRecord {
     /// nondeterministic — deliberately *not* part of the record's JSON
     /// rendering; the runner aggregates it for the throughput bench.
     pub phases: PhaseProfile,
+    /// Page-run probe/elision counters (whole run, warmup included;
+    /// summed across cores for machine records). Host-side batching
+    /// telemetry like `phases` — not part of the record's JSON rendering
+    /// (the batched and per-instruction paths must render byte-identical
+    /// records); the runner aggregates it for the throughput bench.
+    pub elision: ElisionCounters,
     /// Per-core results and shootdown accounting, present iff the spec's
     /// workload is [`WorkloadSpec::Multi`] (the record-level `metrics`
     /// then carries the machine aggregate: summed counters, makespan

@@ -257,8 +257,13 @@ impl WorkloadCache {
         len: u64,
         build: &impl Fn() -> Box<dyn InstructionStream>,
     ) -> Option<Materialized> {
-        // ~17 bytes per instruction across the three packed arrays.
-        let projected = len * 16 + len / 8;
+        // ~17 bytes per instruction across the three packed arrays, plus
+        // the page-run index: 4 bytes per run entry, dominated by d-runs
+        // at roughly one per eight instructions on the server suite
+        // (i-runs are far longer). Actual accounting uses
+        // `PackedTrace::resident_bytes` after capture; this pre-check
+        // only guards against starting a build that cannot fit.
+        let projected = len * 16 + len / 8 + len / 2;
         let resident = self.resident_bytes.load(Ordering::Relaxed);
         if resident + projected > self.max_resident_bytes {
             eprintln!(

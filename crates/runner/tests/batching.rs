@@ -66,6 +66,7 @@ fn execute_unbatched(spec: &RunSpec) -> RunRecord {
         audit: simulator.audit_report().cloned(),
         intervals: simulator.interval_samples().to_vec(),
         phases: *simulator.phase_profile(),
+        elision: simulator.elision_counters(),
         machine: None,
         analysis: None,
     }

@@ -65,9 +65,9 @@ mod metrics;
 pub mod sampling;
 mod simulator;
 
-pub use audit::{audit_metrics, audit_state};
+pub use audit::{assert_probe_conservation, audit_metrics, audit_state};
 pub use config::{CoreConfig, IcachePrefetcherKind, SimConfig, SystemConfig, TopologyConfig};
 pub use machine::{Machine, MachineSummary, INTERLEAVE_QUANTUM};
 pub use metrics::{IntervalSample, Metrics};
 pub use sampling::SamplingConfig;
-pub use simulator::Simulator;
+pub use simulator::{ElisionCounters, Simulator};

@@ -72,7 +72,8 @@ use crate::config::{SimConfig, SystemConfig, TopologyConfig};
 use crate::metrics::{IntervalSample, Metrics};
 use crate::sampling::SamplingConfig;
 use crate::simulator::{
-    audit_default, profile_default, scale_sampled_metrics, window_metrics, Simulator, Snapshot,
+    audit_default, profile_default, scale_sampled_metrics, window_metrics, ElisionCounters,
+    Simulator, Snapshot,
 };
 
 /// Instructions a core executes per epoch. Small enough that
@@ -457,6 +458,16 @@ impl Machine {
         &self.system
     }
 
+    /// Machine-wide fetch-side probe/elision counters, summed across
+    /// cores (warmup included; meaningful mid-run or after).
+    pub fn elision_counters(&self) -> ElisionCounters {
+        let mut total = ElisionCounters::default();
+        for lane in &self.cores {
+            total.add(&lane.sim.elision_counters());
+        }
+        total
+    }
+
     /// Runs every core through warmup then measurement, returning the
     /// aggregate metrics: counters summed across cores, cycles taken as
     /// the per-core maximum (makespan), so `ipc()` is aggregate IPC.
@@ -527,6 +538,16 @@ impl Machine {
         }
         self.drive(cfg.warmup_instructions + cfg.measure_instructions);
         self.recording = false;
+        // Lanes never go through `Simulator::run`, so enforce the
+        // fetch-side probe conservation law here, per core.
+        for lane in &self.cores {
+            let c = lane.sim.elision_counters();
+            crate::audit::assert_probe_conservation(
+                c.probes_issued,
+                c.probes_elided,
+                lane.sim.retired(),
+            );
+        }
         let ends: Vec<Snapshot> = self.cores.iter().map(|l| l.sim.snapshot()).collect();
         if self.interval.is_some() {
             // Flush each core's final (possibly partial) epoch so the
@@ -641,8 +662,9 @@ impl Machine {
                     .expect("shared stlb lock");
                 lane.sim.mmu_mut().swap_stlb(stlb);
             }
-            for _ in 0..quantum {
-                lane.sim.step_auto();
+            let mut left = quantum;
+            while left > 0 {
+                left -= lane.sim.step_auto_block(left);
             }
             let llc = Arc::get_mut(&mut self.shared_llc)
                 .expect("single-core machine uniquely owns the shared llc");
@@ -734,9 +756,9 @@ impl Machine {
                     for _ in 0..epochs {
                         // --- Run phase: frozen reads, logged writes ---
                         for (li, lane) in lanes.iter_mut().enumerate() {
-                            let quantum = INTERLEAVE_QUANTUM.min(target - lane.sim.retired());
-                            for _ in 0..quantum {
-                                lane.sim.step_auto();
+                            let mut left = INTERLEAVE_QUANTUM.min(target - lane.sim.retired());
+                            while left > 0 {
+                                left -= lane.sim.step_auto_block(left);
                             }
                             let mut slot = slots[lane_base + li].lock().expect("epoch slot lock");
                             let slot = &mut *slot;

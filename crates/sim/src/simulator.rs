@@ -12,7 +12,7 @@ use morrigan_types::{
     PAGE_SHIFT,
 };
 use morrigan_vm::{Mmu, MmuStats, PageTable, PbStats, WalkerStats};
-use morrigan_workloads::{InstructionStream, TraceInstruction};
+use morrigan_workloads::{scan_page_runs, InstructionStream, TraceInstruction};
 
 use crate::audit::{audit_metrics, audit_state};
 use crate::config::{IcachePrefetcherKind, SimConfig, SystemConfig};
@@ -57,11 +57,80 @@ const CPI_INIT: u64 = 1 << CPI_SHIFT;
 const CPI_MIN: u64 = CPI_INIT / 8;
 
 /// A refillable buffer over one workload stream: the simulator drains it
-/// an instruction at a time and refills it in [`FILL_BLOCK`] chunks.
+/// an instruction at a time (or a page run at a time on the batched
+/// path) and refills it in [`FILL_BLOCK`] chunks.
 #[derive(Debug, Default)]
 struct StreamBuffer {
     buf: Vec<TraceInstruction>,
     cursor: usize,
+    /// Page-run partition of `buf` (exclusive end positions in buffer
+    /// coordinates; see [`InstructionStream::fill_block_runs`]). Only
+    /// meaningful while `runs_valid` holds — the legacy per-instruction
+    /// refill leaves them stale.
+    irun_ends: Vec<u32>,
+    drun_ends: Vec<u32>,
+    /// Positions into the run vectors of the first run ending after
+    /// `cursor`; advanced monotonically by the batched consumer.
+    irun_pos: usize,
+    drun_pos: usize,
+    runs_valid: bool,
+}
+
+impl StreamBuffer {
+    /// Makes the run partition cover `buf[cursor..]`, rescanning only if
+    /// the last refill came through the legacy (run-less) path — e.g. a
+    /// batched quantum following an interval-mode stretch.
+    fn ensure_runs(&mut self) {
+        if self.runs_valid {
+            return;
+        }
+        let (mut iruns, mut druns) = (
+            std::mem::take(&mut self.irun_ends),
+            std::mem::take(&mut self.drun_ends),
+        );
+        iruns.clear();
+        druns.clear();
+        scan_page_runs(&self.buf[self.cursor..], &mut iruns, &mut druns);
+        let base = self.cursor as u32;
+        for e in &mut iruns {
+            *e += base;
+        }
+        for e in &mut druns {
+            *e += base;
+        }
+        self.irun_ends = iruns;
+        self.drun_ends = druns;
+        self.irun_pos = 0;
+        self.drun_pos = 0;
+        self.runs_valid = true;
+    }
+}
+
+/// Page-run elision counters for one run (warmup included): how many
+/// fetch-side translation probes were actually issued vs elided, and how
+/// many run segments the batched stepping consumed. The fetch-side
+/// conservation law `probes_issued + probes_elided == instructions` is
+/// asserted at the end of every [`Simulator::run`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ElisionCounters {
+    /// Fetch-side `translate_instr` calls actually performed.
+    pub probes_issued: u64,
+    /// Instructions that issued no fetch-side probe: same-line fetches
+    /// plus new-line fetches covered by a page run's first probe.
+    pub probes_elided: u64,
+    /// Page-run segments consumed by the batched stepping paths (zero
+    /// when the per-instruction fallback ran: SMT, fine profiling, or
+    /// `MORRIGAN_NO_PAGE_RUNS=1`).
+    pub runs_consumed: u64,
+}
+
+impl ElisionCounters {
+    /// Accumulates another counter set (multi-core lane aggregation).
+    pub fn add(&mut self, other: &ElisionCounters) {
+        self.probes_issued += other.probes_issued;
+        self.probes_elided += other.probes_elided;
+        self.runs_consumed += other.runs_consumed;
+    }
 }
 
 /// Snapshot subtraction over a `[start, end)` window. Used for both the
@@ -96,7 +165,8 @@ pub(crate) fn window_metrics(start: &Snapshot, end: &Snapshot) -> Metrics {
 /// Rescales the detail-only counters of a sampled window: stall cycles,
 /// L1I demand misses, L1I served references, and the I-cache-prefetcher
 /// counters only advance during detail steps (the fast-forward warms
-/// the MMU, not the cache hierarchy), so each window total is the
+/// MMU and cache *state* but records no cache statistics), so each
+/// window total is the
 /// detailed sum scaled by the window's instruction-to-detailed ratio
 /// (u128 intermediate — counters × instructions overflows u64 at bench
 /// scale). Per-counter floor division keeps every audited inequality
@@ -320,6 +390,23 @@ pub struct Simulator<R: Recorder = NullRecorder> {
     /// a full run): the measured component of a sampled window's cycle
     /// reconstruction.
     detail_cycles: u64,
+    // --- page-run batched stepping ---
+    /// Whether the batched (run-segmented) stepping paths are allowed;
+    /// `MORRIGAN_NO_PAGE_RUNS=1` forces the per-instruction fallback.
+    page_runs: bool,
+    /// Fetch-side probe/elision accounting (see [`ElisionCounters`]).
+    probes_issued: u64,
+    probes_elided: u64,
+    runs_consumed: u64,
+    /// Last data line warmed by the fast-forward, as a one-entry dedupe
+    /// memo: a repeat touch of a line that is already MRU in its set
+    /// cannot change any LRU order, so consecutive same-line data
+    /// accesses warm once. Shared by both fast-forward paths (the access
+    /// sequences are identical, so the memo evolves identically and the
+    /// batched/legacy byte-identity holds) and cleared at every
+    /// detail-window fold and context switch, where intervening traffic
+    /// could have demoted the memoized line.
+    ff_warm_dline: Option<CacheLine>,
     // --- host-side phase profiling ---
     /// Wall-time buckets. The coarse workload-gen split is always timed
     /// (two `Instant` reads per `fill_block` refill, noise-level); the
@@ -343,6 +430,24 @@ pub(crate) fn audit_default() -> bool {
 /// requires them off by default).
 pub(crate) fn profile_default() -> bool {
     std::env::var("MORRIGAN_PROFILE").is_ok_and(|v| v == "1")
+}
+
+/// Fast-forward cache warming enablement: on unless `MORRIGAN_NO_FF_WARM=1`
+/// is exported. The ablation switch reproduces the pre-warming sampled
+/// numbers (frozen caches across skip stretches) for error-attribution
+/// experiments; cached in a `OnceLock` because the check sits on the
+/// per-access fast-forward path.
+fn ff_warm_enabled() -> &'static bool {
+    static ON: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    ON.get_or_init(|| !std::env::var("MORRIGAN_NO_FF_WARM").is_ok_and(|v| v == "1"))
+}
+
+/// Default page-run batching enablement: on unless `MORRIGAN_NO_PAGE_RUNS=1`
+/// is exported. The escape hatch exists for A/B verification (the batched
+/// and per-instruction paths must produce byte-identical records) and as
+/// a one-line mitigation if a workload ever trips an elision bug.
+pub(crate) fn page_runs_default() -> bool {
+    !std::env::var("MORRIGAN_NO_PAGE_RUNS").is_ok_and(|v| v == "1")
 }
 
 impl<R: Recorder> std::fmt::Debug for Simulator<R> {
@@ -478,6 +583,11 @@ impl<R: Recorder> Simulator<R> {
             detail_fe_misses: 0,
             in_detail_window: false,
             detail_cycles: 0,
+            page_runs: page_runs_default(),
+            probes_issued: 0,
+            probes_elided: 0,
+            runs_consumed: 0,
+            ff_warm_dline: None,
             phase: PhaseProfile::new(),
             profile_fine: profile_default(),
             line_scratch: Vec::with_capacity(16),
@@ -575,6 +685,24 @@ impl<R: Recorder> Simulator<R> {
         assert!(block > 0, "block size must be positive");
         assert!(!self.ran, "block size must be set before running");
         self.fill_block = block;
+    }
+
+    /// Fetch-side probe/elision counters of the (possibly in-progress)
+    /// run, warmup included.
+    pub fn elision_counters(&self) -> ElisionCounters {
+        ElisionCounters {
+            probes_issued: self.probes_issued,
+            probes_elided: self.probes_elided,
+            runs_consumed: self.runs_consumed,
+        }
+    }
+
+    /// Forces page-run batched stepping on or off, overriding the
+    /// `MORRIGAN_NO_PAGE_RUNS` default (equivalence tests drive both
+    /// paths in one process).
+    pub fn set_page_runs(&mut self, enabled: bool) {
+        assert!(!self.ran, "page-run mode must be set before running");
+        self.page_runs = enabled;
     }
 
     /// The audit report of the completed run, when auditing was enabled.
@@ -694,8 +822,9 @@ impl<R: Recorder> Simulator<R> {
                 cfg.measure_instructions
             ))
         });
-        for _ in 0..cfg.warmup_instructions {
-            self.step_auto();
+        let mut left = cfg.warmup_instructions;
+        while left > 0 {
+            left -= self.step_auto_block(left);
         }
         if let Some(r) = report.as_mut() {
             audit_state(r, "end of warmup", &self.mmu, &self.mem);
@@ -705,8 +834,9 @@ impl<R: Recorder> Simulator<R> {
         let start = self.snapshot();
         match self.interval {
             None => {
-                for _ in 0..cfg.measure_instructions {
-                    self.step_auto();
+                let mut left = cfg.measure_instructions;
+                while left > 0 {
+                    left -= self.step_auto_block(left);
                 }
             }
             Some(interval) => {
@@ -714,7 +844,10 @@ impl<R: Recorder> Simulator<R> {
                 // snapshot per epoch boundary. Epoch metrics are pure
                 // snapshot differences, so they telescope: summing them
                 // reproduces the window metrics exactly (the sampler test
-                // pins this).
+                // pins this). Stays per-instruction deliberately — a
+                // conservative run break at every sampler epoch edge, per
+                // the page-run design — since interval runs are rare
+                // diagnostics.
                 let mut done = 0u64;
                 let mut epoch_start = start;
                 while done < cfg.measure_instructions {
@@ -736,6 +869,11 @@ impl<R: Recorder> Simulator<R> {
             }
         }
         let end = self.snapshot();
+        crate::audit::assert_probe_conservation(
+            self.probes_issued,
+            self.probes_elided,
+            self.retired,
+        );
 
         let mut metrics = window_metrics(&start, &end);
         // The run-level IPC denominator must never be zero; epoch samples
@@ -834,17 +972,25 @@ impl<R: Recorder> Simulator<R> {
         }
     }
 
+    /// The context-switch reset shared by every stepping path: ASID bump
+    /// in the MMU, I-cache-prefetcher flush, fetch-line invalidation, and
+    /// translation-memo hygiene.
+    fn context_switch_reset(&mut self) {
+        self.mmu.context_switch_at(self.fetch_cycle);
+        if let Some(p) = self.icache_pref.as_mut() {
+            p.flush();
+        }
+        for t in &mut self.threads {
+            t.cur_vline = None;
+        }
+        self.xlat_memo.fill((NO_VPN, NO_PFN));
+        self.ff_warm_dline = None;
+    }
+
     fn step_impl<const PROF: bool>(&mut self) {
         if let Some(interval) = self.system.context_switch_interval {
             if self.retired > 0 && self.retired.is_multiple_of(interval) {
-                self.mmu.context_switch_at(self.fetch_cycle);
-                if let Some(p) = self.icache_pref.as_mut() {
-                    p.flush();
-                }
-                for t in &mut self.threads {
-                    t.cur_vline = None;
-                }
-                self.xlat_memo.fill((NO_VPN, NO_PFN));
+                self.context_switch_reset();
             }
         }
         let nthreads = self.workloads.len();
@@ -874,6 +1020,7 @@ impl<R: Recorder> Simulator<R> {
                 self.phase
                     .add(Phase::WorkloadGen, gen_start.elapsed().as_secs_f64());
                 buf.cursor = 0;
+                buf.runs_valid = false;
             }
             let instr = buf.buf[buf.cursor];
             buf.cursor += 1;
@@ -901,6 +1048,7 @@ impl<R: Recorder> Simulator<R> {
         let new_line = self.threads[thread_idx].cur_vline != Some(vline);
         if new_line {
             self.threads[thread_idx].cur_vline = Some(vline);
+            self.probes_issued += 1;
 
             // Translation: charge everything beyond the 1-cycle I-TLB hit.
             let t0 = PROF.then(Instant::now);
@@ -949,6 +1097,8 @@ impl<R: Recorder> Simulator<R> {
                         .add(Phase::IcachePrefetch, t0.elapsed().as_secs_f64());
                 }
             }
+        } else {
+            self.probes_elided += 1;
         }
 
         // Fetch-width accounting.
@@ -1051,50 +1201,541 @@ impl<R: Recorder> Simulator<R> {
         };
         let pos = self.retired % s.period();
         if pos == 0 {
-            // Skip→detail transition (and run start): mark the window
-            // open. The whole window feeds the estimator — an earlier
-            // measured-second-half split (SMARTS-style detailed warming)
-            // measured no better here, because the fast-forward keeps
-            // every MMU structure warm and the remaining post-skip
-            // pipeline transient is ROB-sized, noise against multi-k
-            // windows — and halving the sample just raised the fit
-            // variance.
-            self.seg_retired = self.retired;
-            self.seg_cycle = self.last_retire;
-            self.seg_fe_miss = self.fe_misses();
-            self.in_detail_window = true;
+            self.open_detail_window();
         }
         if pos < s.detail {
             self.step();
         } else {
             if pos == s.detail {
-                // Detail→skip transition: fold the window just finished
-                // into the pooled estimator sums and refresh the live
-                // CPI. A single window's CPI rides the workload's phase
-                // noise (per-10k-epoch IPC swings ±15 % on the server
-                // suite); pooling every window keeps the fast-forward
-                // clock anchored to the run's mean detail CPI, whose
-                // variance shrinks as windows accumulate. Guarded
-                // against degenerate windows (a zero-cycle window would
-                // freeze simulated time).
-                let di = self.retired - self.seg_retired;
-                let dc = self.last_retire - self.seg_cycle;
-                if di > 0 && dc > 0 {
-                    let dm = self.fe_misses() - self.seg_fe_miss;
-                    self.cpi_instr_sum += di;
-                    self.cpi_cycle_sum += dc;
-                    self.reg_windows += 1;
-                    self.reg_miss_sum += dm;
-                    self.reg_miss2_sum += dm as u128 * dm as u128;
-                    self.reg_misscyc_sum += dm as u128 * dc as u128;
-                    self.cpi_fp =
-                        ((self.cpi_cycle_sum << CPI_SHIFT) / self.cpi_instr_sum).max(CPI_MIN);
-                }
-                self.detail_fe_misses += self.fe_misses() - self.seg_fe_miss;
-                self.in_detail_window = false;
+                self.fold_detail_window();
             }
             self.ff_step();
         }
+    }
+
+    /// Skip→detail transition (and run start): mark the window open. The
+    /// whole window feeds the estimator — an earlier measured-second-half
+    /// split (SMARTS-style detailed warming) measured no better here,
+    /// because the fast-forward keeps every MMU structure warm and the
+    /// remaining post-skip pipeline transient is ROB-sized, noise against
+    /// multi-k windows — and halving the sample just raised the fit
+    /// variance.
+    fn open_detail_window(&mut self) {
+        self.seg_retired = self.retired;
+        self.seg_cycle = self.last_retire;
+        self.seg_fe_miss = self.fe_misses();
+        self.in_detail_window = true;
+    }
+
+    /// Detail→skip transition: fold the window just finished into the
+    /// pooled estimator sums and refresh the live CPI. A single window's
+    /// CPI rides the workload's phase noise (per-10k-epoch IPC swings
+    /// ±15 % on the server suite); pooling every window keeps the
+    /// fast-forward clock anchored to the run's mean detail CPI, whose
+    /// variance shrinks as windows accumulate. Guarded against degenerate
+    /// windows (a zero-cycle window would freeze simulated time).
+    fn fold_detail_window(&mut self) {
+        let di = self.retired - self.seg_retired;
+        let dc = self.last_retire - self.seg_cycle;
+        if di > 0 && dc > 0 {
+            let dm = self.fe_misses() - self.seg_fe_miss;
+            self.cpi_instr_sum += di;
+            self.cpi_cycle_sum += dc;
+            self.reg_windows += 1;
+            self.reg_miss_sum += dm;
+            self.reg_miss2_sum += dm as u128 * dm as u128;
+            self.reg_misscyc_sum += dm as u128 * dc as u128;
+            self.cpi_fp = ((self.cpi_cycle_sum << CPI_SHIFT) / self.cpi_instr_sum).max(CPI_MIN);
+        }
+        self.detail_fe_misses += self.fe_misses() - self.seg_fe_miss;
+        self.in_detail_window = false;
+        // The detail window's demand traffic may have demoted or evicted
+        // the memoized line; the next fast-forward stretch re-warms it.
+        self.ff_warm_dline = None;
+    }
+
+    /// Executes up to `max` instructions (at least one) under the active
+    /// schedule through the page-run batched paths, returning how many
+    /// retired. Callers drive it as `left -= step_auto_block(left)`.
+    ///
+    /// Falls back to one [`step_auto`] per call when batching is
+    /// unavailable: SMT colocation (the per-`smt_block` thread rotation
+    /// interleaves streams below run granularity), fine phase profiling
+    /// (the batched body has no per-site timers), or an explicit
+    /// `MORRIGAN_NO_PAGE_RUNS=1` / [`set_page_runs`] opt-out.
+    ///
+    /// Batched blocks never cross a schedule edge: detail blocks are
+    /// clipped to the detail window, fast-forward blocks to the period
+    /// end, and both paths clip to the next context-switch boundary — so
+    /// every window open/fold and every context switch fires at exactly
+    /// the retirement count the per-instruction path would, and the two
+    /// paths stay byte-identical.
+    ///
+    /// [`step_auto`]: Simulator::step_auto
+    /// [`set_page_runs`]: Simulator::set_page_runs
+    pub(crate) fn step_auto_block(&mut self, max: u64) -> u64 {
+        debug_assert!(max > 0, "step_auto_block needs a positive budget");
+        if !self.page_runs || self.workloads.len() != 1 || self.profile_fine {
+            self.step_auto();
+            return 1;
+        }
+        let Some(s) = self.sampling else {
+            return self.detail_block(max);
+        };
+        let pos = self.retired % s.period();
+        if pos == 0 {
+            self.open_detail_window();
+        }
+        if pos < s.detail {
+            self.detail_block(max.min(s.detail - pos))
+        } else {
+            if pos == s.detail {
+                self.fold_detail_window();
+            }
+            self.ff_block(max.min(s.period() - pos))
+        }
+    }
+
+    /// Refills `buf` through the run-indexed bulk path (replay streams
+    /// with a persisted index skip the rescan entirely).
+    fn refill_runs(&mut self, buf: &mut StreamBuffer) {
+        buf.buf.clear();
+        let gen_start = Instant::now();
+        self.workloads[0].fill_block_runs(
+            &mut buf.buf,
+            &mut buf.irun_ends,
+            &mut buf.drun_ends,
+            self.fill_block,
+        );
+        self.phase
+            .add(Phase::WorkloadGen, gen_start.elapsed().as_secs_f64());
+        buf.cursor = 0;
+        buf.irun_pos = 0;
+        buf.drun_pos = 0;
+        buf.runs_valid = true;
+    }
+
+    /// Runs up to `max` instructions through the detailed model in
+    /// run-segmented batches. Single-workload only (the dispatcher
+    /// guarantees it).
+    fn detail_block(&mut self, max: u64) -> u64 {
+        let mut budget = max;
+        if let Some(interval) = self.system.context_switch_interval {
+            if self.retired > 0 && self.retired.is_multiple_of(interval) {
+                self.context_switch_reset();
+            }
+            // Clip so the next switch boundary lands on a block entry.
+            budget = budget.min(interval - self.retired % interval);
+        }
+        let mut buf = std::mem::take(&mut self.stream_bufs[0]);
+        let mut done = 0u64;
+        while done < budget {
+            if buf.cursor == buf.buf.len() {
+                self.refill_runs(&mut buf);
+            } else {
+                buf.ensure_runs();
+            }
+            let take = ((budget - done) as usize).min(buf.buf.len() - buf.cursor);
+            self.detail_consume(&mut buf, take);
+            done += take as u64;
+        }
+        self.stream_bufs[0] = buf;
+        done
+    }
+
+    /// Consumes `take` buffered instructions through the detailed model,
+    /// one page-run segment at a time.
+    ///
+    /// Identical to `take` consecutive [`Simulator::step`] calls, by the
+    /// elision argument (DESIGN.md §14): within an i-run every new-line
+    /// fetch after the segment's first real `translate_instr` is a
+    /// guaranteed iTLB hit — the page was made resident by that probe and
+    /// nothing inside the run can evict it (the iTLB is only written by
+    /// `translate_instr`, and a context switch can only land on a block
+    /// entry) — and a hit's entire effect is one stats bump plus an LRU
+    /// touch, reproduced in bulk by `note_elided_instr_hits` before the
+    /// next real probe. Same-page data accesses within a d-run elide
+    /// `translate_data` symmetrically. Everything timing-visible (ROB,
+    /// fetch width, I-cache and D-cache accesses, the I-cache prefetcher,
+    /// retirement) still runs per instruction.
+    fn detail_consume(&mut self, buf: &mut StreamBuffer, take: usize) {
+        let core = self.system.core;
+        let thread = ThreadId(0);
+        let start = buf.cursor;
+        let end = start + take;
+        // Catch the run cursors up to the buffer cursor (a previous
+        // consume may have stopped mid-run).
+        while buf.irun_ends[buf.irun_pos] as usize <= start {
+            buf.irun_pos += 1;
+        }
+        while buf.drun_ends[buf.drun_pos] as usize <= start {
+            buf.drun_pos += 1;
+        }
+
+        let mut cur_vline = self.threads[0].cur_vline;
+        let issued0 = self.probes_issued;
+
+        // Current i-run segment: the first new-line fetch issues a real
+        // probe (a hit when the segment continues an already-resident
+        // page — exactly what the per-instruction path would issue) and
+        // caches the segment's PFN; later new lines elide.
+        let mut iseg_pfn = PhysPage::new(0);
+        let mut iseg_vpn = 0u64;
+        let mut iseg_probed = false;
+        let mut elided_i = 0u64;
+        let mut inext = (buf.irun_ends[buf.irun_pos] as usize).min(end);
+
+        // Current d-run segment, same lazy-first-probe discipline. D-runs
+        // partition the block independently of i-runs, so this state
+        // carries across i-run boundaries.
+        let mut dseg_pfn = PhysPage::new(0);
+        let mut dseg_vpn = 0u64;
+        let mut dseg_probed = false;
+        let mut pending_d = 0u64;
+        let mut dnext = buf.drun_ends[buf.drun_pos] as usize;
+
+        let mut i = start;
+        while i < end {
+            let seg_end = inext;
+            while i < seg_end {
+                let instr = buf.buf[i];
+
+                // --- ROB admission: stall fetch while the ROB is full. ---
+                while self.rob_len >= core.rob_size {
+                    let head = self.rob_ring[self.rob_head];
+                    self.rob_head += 1;
+                    if self.rob_head == core.rob_size {
+                        self.rob_head = 0;
+                    }
+                    self.rob_len -= 1;
+                    if head > self.fetch_cycle {
+                        self.fetch_cycle = head;
+                        self.fetched_this_cycle = 0;
+                    }
+                }
+
+                // --- Front end ---
+                let vline = instr.pc.raw() >> 6;
+                if cur_vline != Some(vline) {
+                    cur_vline = Some(vline);
+                    let tr_stall;
+                    if iseg_probed {
+                        elided_i += 1;
+                        tr_stall = 0;
+                    } else {
+                        self.probes_issued += 1;
+                        let tr = self.mmu.translate_instr(
+                            instr.pc,
+                            thread,
+                            self.fetch_cycle,
+                            &mut self.mem,
+                        );
+                        tr_stall = tr.latency.saturating_sub(self.system.mmu.itlb.latency);
+                        iseg_pfn = tr.pfn;
+                        iseg_vpn = instr.pc.raw() >> PAGE_SHIFT;
+                        iseg_probed = true;
+                    }
+                    self.istlb_stall_cycles += tr_stall;
+
+                    let pline = CacheLine::new(
+                        iseg_pfn.raw() << (PAGE_SHIFT - 6) | (instr.pc.page_offset() >> 6),
+                    );
+                    let ic = self.mem.access(pline, AccessClass::IFetch);
+                    let ic_stall = ic.latency.saturating_sub(self.system.mem.l1i.latency);
+                    self.icache_stall_cycles += ic_stall;
+                    self.mem.prefetch_next_ifetch_set(pline);
+
+                    let bubble = tr_stall + ic_stall;
+                    if bubble > 0 {
+                        self.fetch_cycle += bubble;
+                        self.fetched_this_cycle = 0;
+                    }
+                    if self.icache_pref.is_some() {
+                        self.run_icache_prefetcher(vline);
+                    }
+                }
+
+                // Fetch-width accounting.
+                self.fetched_this_cycle += 1;
+                if self.fetched_this_cycle >= core.fetch_width {
+                    self.fetch_cycle += 1;
+                    self.fetched_this_cycle = 0;
+                }
+
+                // --- Back end ---
+                let mut complete = self.fetch_cycle + core.pipeline_depth;
+                if let Some(mem_access) = instr.mem {
+                    if i >= dnext {
+                        // Crossed into a new d-run: settle the old one
+                        // before its successor's real probe.
+                        if pending_d > 0 {
+                            self.mmu
+                                .note_elided_data_hits(VirtPage::new(dseg_vpn), pending_d);
+                            pending_d = 0;
+                        }
+                        dseg_probed = false;
+                        while buf.drun_ends[buf.drun_pos] as usize <= i {
+                            buf.drun_pos += 1;
+                        }
+                        dnext = buf.drun_ends[buf.drun_pos] as usize;
+                    }
+                    let tr_extra;
+                    let pfn;
+                    if dseg_probed {
+                        pending_d += 1;
+                        tr_extra = 0;
+                        pfn = dseg_pfn;
+                    } else {
+                        let tr = self.mmu.translate_data(
+                            mem_access.addr,
+                            thread,
+                            self.fetch_cycle,
+                            &mut self.mem,
+                        );
+                        tr_extra = tr.latency.saturating_sub(self.system.mmu.dtlb.latency);
+                        dseg_pfn = tr.pfn;
+                        dseg_vpn = mem_access.addr.raw() >> PAGE_SHIFT;
+                        dseg_probed = true;
+                        pfn = tr.pfn;
+                    }
+                    let pline = CacheLine::new(
+                        pfn.raw() << (PAGE_SHIFT - 6) | (mem_access.addr.page_offset() >> 6),
+                    );
+                    let dc = self.mem.access(pline, AccessClass::Data);
+                    complete += tr_extra + dc.latency.saturating_sub(self.system.mem.l1d.latency);
+                }
+
+                // In-order retirement (see `step_impl`).
+                let mut retire = complete.max(self.last_retire);
+                let width = core.retire_width as usize;
+                if self.retire_len >= width {
+                    let gate = self.retire_ring[self.retire_head];
+                    retire = retire.max(gate + 1);
+                    self.retire_ring[self.retire_head] = retire;
+                    self.retire_head += 1;
+                    if self.retire_head == width {
+                        self.retire_head = 0;
+                    }
+                } else {
+                    let mut slot = self.retire_head + self.retire_len;
+                    if slot >= width {
+                        slot -= width;
+                    }
+                    self.retire_ring[slot] = retire;
+                    self.retire_len += 1;
+                }
+                let mut slot = self.rob_head + self.rob_len;
+                if slot >= core.rob_size {
+                    slot -= core.rob_size;
+                }
+                self.rob_ring[slot] = retire;
+                self.rob_len += 1;
+                self.detail_cycles += retire - self.last_retire;
+                self.last_retire = retire;
+                i += 1;
+            }
+
+            // i-run segment end: settle the elided probes before the next
+            // segment's real one can touch the iTLB.
+            if elided_i > 0 {
+                self.mmu
+                    .note_elided_instr_hits(VirtPage::new(iseg_vpn), elided_i);
+                elided_i = 0;
+            }
+            self.runs_consumed += 1;
+            if i < end {
+                iseg_probed = false;
+                while buf.irun_ends[buf.irun_pos] as usize <= i {
+                    buf.irun_pos += 1;
+                }
+                inext = (buf.irun_ends[buf.irun_pos] as usize).min(end);
+            }
+        }
+        if pending_d > 0 {
+            self.mmu
+                .note_elided_data_hits(VirtPage::new(dseg_vpn), pending_d);
+        }
+        self.threads[0].cur_vline = cur_vline;
+        buf.cursor = end;
+        self.probes_elided += take as u64 - (self.probes_issued - issued0);
+        self.retired += take as u64;
+        self.detailed += take as u64;
+    }
+
+    /// Runs up to `max` instructions through the functional fast-forward
+    /// in run-segmented batches (the batched counterpart of
+    /// [`Simulator::ff_step`], with the same context-switch clipping as
+    /// [`Simulator::detail_block`]).
+    fn ff_block(&mut self, max: u64) -> u64 {
+        let mut budget = max;
+        if let Some(interval) = self.system.context_switch_interval {
+            if self.retired > 0 && self.retired.is_multiple_of(interval) {
+                self.context_switch_reset();
+            }
+            budget = budget.min(interval - self.retired % interval);
+        }
+        let mut buf = std::mem::take(&mut self.stream_bufs[0]);
+        let mut done = 0u64;
+        while done < budget {
+            if buf.cursor == buf.buf.len() {
+                self.refill_runs(&mut buf);
+                Self::warm_block(&self.mmu, &buf.buf);
+            } else {
+                buf.ensure_runs();
+            }
+            let take = ((budget - done) as usize).min(buf.buf.len() - buf.cursor);
+            self.ff_consume(&mut buf, take);
+            done += take as u64;
+        }
+        self.stream_bufs[0] = buf;
+        done
+    }
+
+    /// Consumes `take` buffered instructions functionally, one page-run
+    /// segment at a time — the same elision argument as
+    /// [`Simulator::detail_consume`] (TLB hits observe nothing
+    /// time-dependent, so deferring their LRU touches is invisible),
+    /// plus a reconstructed clock: `ff_step` advances the fixed-point
+    /// accumulator *after* its translations, so the j-th instruction of
+    /// the batch sees `fc0 + ((acc0 + j·cpi_fp) >> CPI_SHIFT)` — exact,
+    /// because the accumulator residue is always below `1 << CPI_SHIFT`,
+    /// making the carved whole-cycle total a pure function of j. The
+    /// clock is only materialized for the real MMU calls; one bulk settle
+    /// at the end restores `fetch_cycle`/`cpi_acc`/`last_retire` to the
+    /// per-step values.
+    fn ff_consume(&mut self, buf: &mut StreamBuffer, take: usize) {
+        let thread = ThreadId(0);
+        let start = buf.cursor;
+        let end = start + take;
+        while buf.irun_ends[buf.irun_pos] as usize <= start {
+            buf.irun_pos += 1;
+        }
+        while buf.drun_ends[buf.drun_pos] as usize <= start {
+            buf.drun_pos += 1;
+        }
+
+        let fc0 = self.fetch_cycle;
+        let acc0 = self.cpi_acc;
+        let fp = self.cpi_fp;
+        debug_assert!(acc0 < 1 << CPI_SHIFT, "accumulator residue invariant");
+        let clock = |j: usize| fc0 + ((acc0 + j as u64 * fp) >> CPI_SHIFT);
+
+        let mut cur_vline = self.threads[0].cur_vline;
+        let issued0 = self.probes_issued;
+
+        let mut iseg_vpn = 0u64;
+        let mut iseg_pfn = 0u64;
+        let mut iseg_probed = false;
+        let mut elided_i = 0u64;
+        let mut inext = (buf.irun_ends[buf.irun_pos] as usize).min(end);
+
+        let mut dseg_vpn = 0u64;
+        let mut dseg_pfn = 0u64;
+        let mut dseg_probed = false;
+        let mut pending_d = 0u64;
+        let mut dnext = buf.drun_ends[buf.drun_pos] as usize;
+
+        let mut i = start;
+        while i < end {
+            let seg_end = inext;
+            while i < seg_end {
+                let instr = buf.buf[i];
+                let vline = instr.pc.raw() >> 6;
+                if cur_vline != Some(vline) {
+                    cur_vline = Some(vline);
+                    if iseg_probed {
+                        elided_i += 1;
+                    } else {
+                        self.probes_issued += 1;
+                        let now = clock(i - start);
+                        let tr = self
+                            .mmu
+                            .translate_instr(instr.pc, thread, now, &mut self.mem);
+                        iseg_vpn = instr.pc.raw() >> PAGE_SHIFT;
+                        iseg_pfn = tr.pfn.raw();
+                        iseg_probed = true;
+                    }
+                    // Cache warming per line transition, exactly as
+                    // `ff_step`: elided transitions share the segment's
+                    // page, so the cached PFN yields the same physical
+                    // line the per-step translation would.
+                    if *ff_warm_enabled() {
+                        let pline = CacheLine::new(
+                            iseg_pfn << (PAGE_SHIFT - 6) | (instr.pc.page_offset() >> 6),
+                        );
+                        self.mem.warm(pline, true);
+                    }
+                }
+                if let Some(mem_access) = instr.mem {
+                    if i >= dnext {
+                        if pending_d > 0 {
+                            self.mmu
+                                .note_elided_data_hits(VirtPage::new(dseg_vpn), pending_d);
+                            pending_d = 0;
+                        }
+                        dseg_probed = false;
+                        while buf.drun_ends[buf.drun_pos] as usize <= i {
+                            buf.drun_pos += 1;
+                        }
+                        dnext = buf.drun_ends[buf.drun_pos] as usize;
+                    }
+                    if dseg_probed {
+                        pending_d += 1;
+                    } else {
+                        let now = clock(i - start);
+                        let tr =
+                            self.mmu
+                                .translate_data(mem_access.addr, thread, now, &mut self.mem);
+                        dseg_vpn = mem_access.addr.raw() >> PAGE_SHIFT;
+                        dseg_pfn = tr.pfn.raw();
+                        dseg_probed = true;
+                    }
+                    if *ff_warm_enabled() {
+                        let pline = CacheLine::new(
+                            dseg_pfn << (PAGE_SHIFT - 6) | (mem_access.addr.page_offset() >> 6),
+                        );
+                        if self.ff_warm_dline != Some(pline) {
+                            self.ff_warm_dline = Some(pline);
+                            self.mem.warm(pline, false);
+                        }
+                    }
+                }
+                i += 1;
+            }
+            if elided_i > 0 {
+                self.mmu
+                    .note_elided_instr_hits(VirtPage::new(iseg_vpn), elided_i);
+                elided_i = 0;
+            }
+            self.runs_consumed += 1;
+            if i < end {
+                iseg_probed = false;
+                while buf.irun_ends[buf.irun_pos] as usize <= i {
+                    buf.irun_pos += 1;
+                }
+                inext = (buf.irun_ends[buf.irun_pos] as usize).min(end);
+            }
+        }
+        if pending_d > 0 {
+            self.mmu
+                .note_elided_data_hits(VirtPage::new(dseg_vpn), pending_d);
+        }
+        self.threads[0].cur_vline = cur_vline;
+        buf.cursor = end;
+        self.probes_elided += take as u64 - (self.probes_issued - issued0);
+
+        // Bulk clock settle: whole cycles carved off the accumulator
+        // exactly as `take` per-step advances would have, with
+        // `fetched_this_cycle` reset iff any of them advanced.
+        let total = acc0 + take as u64 * fp;
+        let adv = total >> CPI_SHIFT;
+        self.cpi_acc = total - (adv << CPI_SHIFT);
+        if adv > 0 {
+            self.fetch_cycle = fc0 + adv;
+            self.fetched_this_cycle = 0;
+            self.last_retire += adv;
+        }
+        self.retired += take as u64;
     }
 
     /// Executes one instruction *functionally*: the identical context
@@ -1103,30 +1744,28 @@ impl<R: Recorder> Simulator<R> {
     /// very same MMU code paths, so every TLB/PSC/PB/walker/prefetcher
     /// counter and state bit advances exactly as it would in a detail
     /// step and the paper's headline iSTLB metrics stay *measured*, not
-    /// estimated. The cache hierarchy's demand accesses and the I-cache
-    /// prefetcher are skipped along with the ROB/retire/stall model:
-    /// their counters become detail-window samples that
-    /// [`scale_sampled_metrics`] extrapolates, and the cache-warmth
-    /// timing effect is absorbed by the next detail window's warming
-    /// half. Skipping *both* reference classes is deliberate — warming
-    /// one side only (say I-fetches without data) skews L2/LLC
-    /// cross-class contention and biases the measured CPI, while a
-    /// symmetric skip lets detailed warming rebuild both sides evenly.
-    /// (Page-walk references still reach the hierarchy through the
-    /// walker, keeping the walk-ref conservation laws exact.) Simulated
-    /// time advances by the fixed-point CPI measured over the most
-    /// recent detail window.
+    /// estimated. The cache hierarchy is *functionally warmed*
+    /// ([`MemoryHierarchy::warm`]): every demand line — I-fetch per line
+    /// transition, data per access — is promoted or installed MRU
+    /// through all levels without latency or statistics (full-depth and
+    /// symmetric by measurement: every cheaper variant left or worsened
+    /// the bias, see the `warm` doc). Without
+    /// it, skip stretches froze the caches and compressed every
+    /// cross-window reuse distance by the sampling ratio, which inflated
+    /// detail-window hit rates — and thus measured IPC — for working
+    /// sets straddling a capacity boundary (the SPEC suite's loops were
+    /// up to 30 % optimistic; the streaming server suite barely
+    /// noticed). The stall/served counters stay
+    /// detail-window samples that [`scale_sampled_metrics`]
+    /// extrapolates, and the ROB/retire/stall model and the I-cache
+    /// prefetcher remain skipped. (Page-walk references still reach the
+    /// hierarchy through the walker, keeping the walk-ref conservation
+    /// laws exact.) Simulated time advances by the fixed-point CPI
+    /// measured over the most recent detail window.
     fn ff_step(&mut self) {
         if let Some(interval) = self.system.context_switch_interval {
             if self.retired > 0 && self.retired.is_multiple_of(interval) {
-                self.mmu.context_switch_at(self.fetch_cycle);
-                if let Some(p) = self.icache_pref.as_mut() {
-                    p.flush();
-                }
-                for t in &mut self.threads {
-                    t.cur_vline = None;
-                }
-                self.xlat_memo.fill((NO_VPN, NO_PFN));
+                self.context_switch_reset();
             }
         }
         let nthreads = self.workloads.len();
@@ -1152,6 +1791,7 @@ impl<R: Recorder> Simulator<R> {
                 self.phase
                     .add(Phase::WorkloadGen, gen_start.elapsed().as_secs_f64());
                 buf.cursor = 0;
+                buf.runs_valid = false;
                 // Batched SoA pre-screen of the block's leading pages:
                 // pulls the TLB sets the next ~1k instructions will probe
                 // into the host cache. Read-only, so LRU/stats are
@@ -1168,19 +1808,38 @@ impl<R: Recorder> Simulator<R> {
         // discarded, every MMU side effect (TLB/PSC fills, walker and PB
         // activity, iTLB-prefetcher training — including the walker's
         // page-walk references into the cache hierarchy) happens exactly
-        // as in a detail step. Demand cache accesses are the skipped
-        // timing model's concern and stay detail-only.
+        // as in a detail step, and the demand line warms the cache
+        // hierarchy's replacement state (no latency, no statistics).
+        let warm_now = *ff_warm_enabled();
         let vline = instr.pc.raw() >> 6;
         if self.threads[thread_idx].cur_vline != Some(vline) {
             self.threads[thread_idx].cur_vline = Some(vline);
-            let _ = self
+            self.probes_issued += 1;
+            let tr = self
                 .mmu
                 .translate_instr(instr.pc, thread, self.fetch_cycle, &mut self.mem);
+            if warm_now {
+                let pline = CacheLine::new(
+                    tr.pfn.raw() << (PAGE_SHIFT - 6) | (instr.pc.page_offset() >> 6),
+                );
+                self.mem.warm(pline, true);
+            }
+        } else {
+            self.probes_elided += 1;
         }
         if let Some(mem_access) = instr.mem {
-            let _ =
+            let tr =
                 self.mmu
                     .translate_data(mem_access.addr, thread, self.fetch_cycle, &mut self.mem);
+            if warm_now {
+                let pline = CacheLine::new(
+                    tr.pfn.raw() << (PAGE_SHIFT - 6) | (mem_access.addr.page_offset() >> 6),
+                );
+                if self.ff_warm_dline != Some(pline) {
+                    self.ff_warm_dline = Some(pline);
+                    self.mem.warm(pline, false);
+                }
+            }
         }
 
         // Time advance: whole cycles carved off the fixed-point CPI

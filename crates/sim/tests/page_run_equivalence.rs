@@ -1,0 +1,246 @@
+//! Property tests: page-run batched stepping is *byte-identical* to the
+//! per-instruction path.
+//!
+//! Each test builds two simulators over the same deterministic workload
+//! and configuration, forces page-run batching on in one and off in the
+//! other, and requires every observable output to match exactly: the
+//! full metrics struct, the stats-invariant audit report (check counts
+//! included), and — in the traced variant — the complete MMU event
+//! stream. The space swept covers arbitrary delivery block sizes (down
+//! to the `fill_block = 1` escape hatch, which forces a run rescan per
+//! instruction), sampled and full-detail schedules, and context-switch
+//! intervals that land mid-block, mid-run, and on run boundaries.
+
+use morrigan::{Morrigan, MorriganConfig};
+use morrigan_obs::TraceRecorder;
+use morrigan_sim::{SamplingConfig, SimConfig, Simulator, SystemConfig};
+use morrigan_workloads::{
+    InstructionStream, PackedReplay, PackedTrace, ServerWorkload, ServerWorkloadConfig,
+};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn server(seed: u64) -> Box<ServerWorkload> {
+    Box::new(ServerWorkload::new(ServerWorkloadConfig::qmm_like(
+        format!("t{seed}"),
+        seed,
+    )))
+}
+
+/// One run with batching forced on or off; audit always on so the full
+/// law set is part of the comparison.
+fn run_one(
+    workload: Box<dyn InstructionStream>,
+    system: SystemConfig,
+    cfg: SimConfig,
+    sampling: Option<SamplingConfig>,
+    fill_block: usize,
+    page_runs: bool,
+) -> (morrigan_sim::Metrics, String, u64) {
+    let mut sim = Simulator::new(
+        system,
+        workload,
+        Box::new(Morrigan::new(MorriganConfig::default())),
+    );
+    sim.set_audit(true);
+    sim.set_sampling(sampling);
+    sim.set_fill_block(fill_block);
+    sim.set_page_runs(page_runs);
+    let metrics = sim.run(cfg);
+    let report = sim
+        .audit_report()
+        .expect("audit was enabled")
+        .render()
+        .to_string();
+    let c = sim.elision_counters();
+    assert_eq!(
+        c.probes_issued + c.probes_elided,
+        cfg.warmup_instructions + cfg.measure_instructions,
+        "fetch-side probe conservation"
+    );
+    if page_runs {
+        assert!(c.runs_consumed > 0, "batched path must actually engage");
+    } else {
+        assert_eq!(c.runs_consumed, 0, "fallback path must not consume runs");
+    }
+    (metrics, report, c.probes_elided)
+}
+
+/// Delivery block sizes worth sweeping: the degenerate 1 (a refill and
+/// run rescan per instruction), small odd sizes that misalign refills
+/// against runs, and the production 1024.
+const FILL_BLOCKS: [usize; 6] = [1, 3, 7, 17, 257, 1024];
+
+/// Context-switch schedules: off, or an interval landing mid-block.
+fn cs_interval(sel: u64, raw: u64) -> Option<u64> {
+    (sel > 0).then_some(500 + raw % 4_500)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Full-detail runs: arbitrary seeds, block sizes (including the
+    /// degenerate 1), and context-switch intervals.
+    #[test]
+    fn detail_path_matches_per_instruction(
+        seed in 0u64..1000,
+        fill_sel in 0usize..6,
+        cs_sel in 0u64..3,
+        cs_raw in 0u64..4_500,
+    ) {
+        let fill_block = FILL_BLOCKS[fill_sel];
+        let system = SystemConfig {
+            context_switch_interval: cs_interval(cs_sel, cs_raw),
+            ..SystemConfig::default()
+        };
+        let cfg = SimConfig { warmup_instructions: 3_000, measure_instructions: 9_000 };
+        let batched = run_one(server(seed), system, cfg, None, fill_block, true);
+        let legacy = run_one(server(seed), system, cfg, None, fill_block, false);
+        prop_assert_eq!(batched.0, legacy.0, "metrics must be byte-identical");
+        prop_assert_eq!(batched.1, legacy.1, "audit reports must be identical");
+        prop_assert!(batched.2 >= legacy.2, "batching can only elide more probes");
+    }
+
+    /// Sampled runs: the batched fast-forward must reproduce the
+    /// fixed-point clock reconstruction exactly, across schedules whose
+    /// window edges land anywhere relative to block and run boundaries.
+    #[test]
+    fn sampled_path_matches_per_instruction(
+        seed in 0u64..1000,
+        fill_sel in 0usize..6,
+        detail in 50u64..400,
+        skip in 50u64..2_000,
+        cs_sel in 0u64..3,
+        cs_raw in 0u64..4_500,
+    ) {
+        let fill_block = FILL_BLOCKS[fill_sel];
+        let system = SystemConfig {
+            context_switch_interval: cs_interval(cs_sel, cs_raw),
+            ..SystemConfig::default()
+        };
+        let cfg = SimConfig { warmup_instructions: 3_000, measure_instructions: 9_000 };
+        let s = Some(SamplingConfig { detail, skip });
+        let batched = run_one(server(seed), system, cfg, s, fill_block, true);
+        let legacy = run_one(server(seed), system, cfg, s, fill_block, false);
+        prop_assert_eq!(batched.0, legacy.0, "metrics must be byte-identical");
+        prop_assert_eq!(batched.1, legacy.1, "audit reports must be identical");
+    }
+
+    /// Replay through a persisted `.mpt` run index must match live
+    /// generation with a fresh per-block scan *and* the per-instruction
+    /// path: three deliveries of the same instruction stream, one set of
+    /// results.
+    #[test]
+    fn persisted_index_replay_matches_live_generation(
+        seed in 0u64..500,
+        fill_sel in 0usize..6,
+    ) {
+        let fill_block = FILL_BLOCKS[fill_sel];
+        let cfg = SimConfig { warmup_instructions: 2_000, measure_instructions: 6_000 };
+        let total = cfg.warmup_instructions + cfg.measure_instructions
+            + morrigan_workloads::REPLAY_SLACK;
+        let trace = Arc::new(PackedTrace::capture(&mut *server(seed), total));
+        let system = SystemConfig::default();
+        let replay_batched = run_one(
+            Box::new(PackedReplay::new(Arc::clone(&trace))),
+            system, cfg, None, fill_block, true,
+        );
+        let live_batched = run_one(server(seed), system, cfg, None, fill_block, true);
+        let live_legacy = run_one(server(seed), system, cfg, None, fill_block, false);
+        prop_assert_eq!(&replay_batched.0, &live_batched.0);
+        prop_assert_eq!(&replay_batched.1, &live_batched.1);
+        prop_assert_eq!(&live_batched.0, &live_legacy.0);
+        prop_assert_eq!(&live_batched.1, &live_legacy.1);
+    }
+}
+
+/// The recorded MMU event stream — every translation, walk, prefetch,
+/// and I-cache-crossing event with its cycle stamp — is identical under
+/// batching: elided probes are exactly the calls that record nothing.
+#[test]
+fn traced_event_stream_is_identical() {
+    let run = |page_runs: bool| {
+        let mut sim = Simulator::with_recorder(
+            SystemConfig {
+                context_switch_interval: Some(7_919),
+                ..SystemConfig::default()
+            },
+            vec![server(7) as Box<dyn InstructionStream>],
+            Box::new(Morrigan::new(MorriganConfig::default())),
+            TraceRecorder::new(),
+        );
+        sim.set_audit(true);
+        sim.set_page_runs(page_runs);
+        let metrics = sim.run(SimConfig {
+            warmup_instructions: 10_000,
+            measure_instructions: 40_000,
+        });
+        let rec = sim.into_recorder();
+        let events: Vec<_> = rec.events().copied().collect();
+        (metrics, events)
+    };
+    let (bm, bev) = run(true);
+    let (lm, lev) = run(false);
+    assert_eq!(bm, lm, "metrics diverged under tracing");
+    assert_eq!(bev.len(), lev.len(), "event counts diverged");
+    assert_eq!(bev, lev, "event streams diverged");
+}
+
+/// Sampled + traced: the reconstructed fast-forward clock stamps events
+/// at exactly the cycles the per-step accumulator would.
+#[test]
+fn sampled_traced_event_stream_is_identical() {
+    let run = |page_runs: bool| {
+        let mut sim = Simulator::with_recorder(
+            SystemConfig::default(),
+            vec![server(11) as Box<dyn InstructionStream>],
+            Box::new(Morrigan::new(MorriganConfig::default())),
+            TraceRecorder::new(),
+        );
+        sim.set_audit(true);
+        sim.set_sampling(Some(SamplingConfig {
+            detail: 300,
+            skip: 1_700,
+        }));
+        sim.set_page_runs(page_runs);
+        let metrics = sim.run(SimConfig {
+            warmup_instructions: 10_000,
+            measure_instructions: 40_000,
+        });
+        let rec = sim.into_recorder();
+        let events: Vec<_> = rec.events().copied().collect();
+        (metrics, events)
+    };
+    let (bm, bev) = run(true);
+    let (lm, lev) = run(false);
+    assert_eq!(bm, lm, "metrics diverged under sampled tracing");
+    assert_eq!(bev, lev, "event streams diverged under sampled tracing");
+}
+
+/// SMT colocation falls back to per-instruction stepping but must keep
+/// the probe-conservation law and consume no runs.
+#[test]
+fn smt_fallback_conserves_probes() {
+    let pair = morrigan_workloads::suites::smt_pairs(1).remove(0);
+    let mut sim = Simulator::new_smt(
+        SystemConfig::default(),
+        vec![
+            Box::new(ServerWorkload::new(pair.0)),
+            Box::new(ServerWorkload::new(pair.1)),
+        ],
+        Box::new(Morrigan::new(MorriganConfig::default())),
+    );
+    sim.set_page_runs(true);
+    let cfg = SimConfig {
+        warmup_instructions: 5_000,
+        measure_instructions: 15_000,
+    };
+    sim.run(cfg);
+    let c = sim.elision_counters();
+    assert_eq!(c.probes_issued + c.probes_elided, 20_000);
+    assert!(
+        c.probes_elided > 0,
+        "same-line fetches still count as elided"
+    );
+    assert_eq!(c.runs_consumed, 0);
+}

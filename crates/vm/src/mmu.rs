@@ -819,6 +819,32 @@ impl<R: Recorder> Mmu<R> {
         }
     }
 
+    /// Accounts `count` elided instruction-fetch translations of a page
+    /// whose residency the caller just proved with a real
+    /// [`translate_instr`](Self::translate_instr) hit.
+    ///
+    /// A hit's entire footprint is `stats.instr_translations += 1` plus
+    /// the iTLB's LRU-clock promotion, so settling a same-page run in
+    /// bulk here leaves the MMU bit-for-bit where `count` real lookups
+    /// would have — the identity the page-run stepping path relies on.
+    /// Nothing that promotes iTLB entries may run between the proving
+    /// hit and this call (the non-promoting `contains`/`peek` probes
+    /// used by readiness checks and prefetch duplicate filters are
+    /// fine); [`Tlb::touch_repeat`] panics if the entry vanished.
+    #[inline]
+    pub fn note_elided_instr_hits(&mut self, vpn: VirtPage, count: u64) {
+        self.stats.instr_translations += count;
+        self.itlb.touch_repeat(vpn, count);
+    }
+
+    /// Data-side twin of [`Self::note_elided_instr_hits`]: accounts
+    /// `count` elided data translations of a page resident in the dTLB.
+    #[inline]
+    pub fn note_elided_data_hits(&mut self, vpn: VirtPage, count: u64) {
+        self.stats.data_translations += count;
+        self.dtlb.touch_repeat(vpn, count);
+    }
+
     /// Translates a data access at `addr`.
     pub fn translate_data(
         &mut self,

@@ -167,6 +167,40 @@ impl Tlb {
         None
     }
 
+    /// Applies the LRU-clock effect of `count` back-to-back hits on the
+    /// resident entry for `vpn` without performing the lookups: the
+    /// clock advances once per elided probe and the entry's stamp lands
+    /// on the final tick — bit-for-bit what `count` calls to
+    /// [`lookup`](Self::lookup) would leave behind, since a hit's only
+    /// side effects are the tick increment, the stamp refresh, and the
+    /// `last_idx` memo. The page-run stepping path uses this to settle
+    /// a whole same-page run after one real probe.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vpn` is not resident. Callers elide only after a real
+    /// hit proved residency and nothing ran in between that could
+    /// evict; a miss here means the elision contract was broken and the
+    /// simulation would silently diverge.
+    pub fn touch_repeat(&mut self, vpn: VirtPage, count: u64) {
+        if count == 0 {
+            return;
+        }
+        self.tick += count;
+        let key = vpn.raw();
+        let li = self.last_idx;
+        if self.vpns[li] == key {
+            self.stamps[li] = self.tick;
+            return;
+        }
+        let range = self.set_range(vpn);
+        let start = range.start;
+        let w = scan::find_tag(&self.vpns[range], key)
+            .expect("touch_repeat target must be resident (elision contract)");
+        self.stamps[start + w] = self.tick;
+        self.last_idx = start + w;
+    }
+
     /// Whether `vpn` is resident, without disturbing LRU state.
     pub fn contains(&self, vpn: VirtPage) -> bool {
         let key = vpn.raw();
@@ -466,5 +500,54 @@ mod tests {
         assert!(tlb.contains(set0(1)));
         let evicted = tlb.insert(set0(3), pfn(3), true);
         assert_eq!(evicted, Some(set0(1)), "contains() must not refresh LRU");
+    }
+
+    #[test]
+    fn touch_repeat_equals_repeated_lookups() {
+        // Drive two TLBs through the same history, one with real
+        // lookups, one eliding them via touch_repeat; every observable
+        // field must match, including the clock and the next eviction.
+        let mut real = tiny();
+        let mut elided = tiny();
+        for t in [&mut real, &mut elided] {
+            t.insert(set0(1), pfn(1), true);
+            t.insert(set0(2), pfn(2), true);
+        }
+        assert_eq!(real.lookup(set0(1)), Some(pfn(1)));
+        assert_eq!(elided.lookup(set0(1)), Some(pfn(1)));
+        for _ in 0..7 {
+            real.lookup(set0(1));
+        }
+        elided.touch_repeat(set0(1), 7);
+        assert_eq!(real.tick, elided.tick);
+        assert_eq!(real.stamps, elided.stamps);
+        assert_eq!(real.last_idx, elided.last_idx);
+        assert_eq!(
+            real.insert(set0(3), pfn(3), true),
+            elided.insert(set0(3), pfn(3), true)
+        );
+    }
+
+    #[test]
+    fn touch_repeat_finds_entry_after_last_idx_moved() {
+        let mut tlb = tiny();
+        tlb.insert(set0(1), pfn(1), true);
+        tlb.insert(set0(2), pfn(2), true);
+        // set 1 (odd VPN): moves last_idx away from set0(1)'s way.
+        tlb.insert(VirtPage::new(3), pfn(9), true);
+        tlb.lookup(VirtPage::new(3));
+        tlb.touch_repeat(set0(1), 2);
+        // The touched entry is now MRU: inserting evicts the other way.
+        let evicted = tlb.insert(set0(4), pfn(4), true);
+        assert_eq!(evicted, Some(set0(2)));
+        assert!(tlb.contains(set0(1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "elision contract")]
+    fn touch_repeat_on_absent_entry_panics() {
+        let mut tlb = tiny();
+        tlb.insert(set0(1), pfn(1), true);
+        tlb.touch_repeat(set0(2), 1);
     }
 }

@@ -1,7 +1,7 @@
 //! The trace-instruction format and the stream interface the simulator
 //! consumes.
 
-use morrigan_types::{VirtAddr, VirtPage};
+use morrigan_types::{VirtAddr, VirtPage, PAGE_SHIFT};
 use serde::{Deserialize, Serialize};
 
 /// One data memory access attached to an instruction.
@@ -57,6 +57,39 @@ pub trait InstructionStream: Send {
         }
     }
 
+    /// Appends the next `n` instructions to `out` and fills the two
+    /// page-run vectors describing them: `irun_ends` holds the exclusive
+    /// end positions (relative to the delivered block, last entry `n`)
+    /// of maximal same-page fetch spans, `drun_ends` the same for spans
+    /// whose data accesses all touch one page. Both run vectors are
+    /// cleared first; `out` is appended to, like [`fill_block`].
+    ///
+    /// The default implementation delegates to [`fill_block`] and scans
+    /// the delivered block with [`scan_page_runs`]; replay streams with
+    /// a persisted run index override it to skip the rescan.
+    ///
+    /// The partition is valid but **not canonical**: an override backed
+    /// by a whole-trace index may split a span the fresh scan merges
+    /// (a data span continuing across a refill boundary whose in-block
+    /// prefix has no access). Consumers must rely only on the span
+    /// invariants — same fetch page within an i-run, at most one data
+    /// page within a d-run — never on a particular split.
+    ///
+    /// [`fill_block`]: InstructionStream::fill_block
+    fn fill_block_runs(
+        &mut self,
+        out: &mut Vec<TraceInstruction>,
+        irun_ends: &mut Vec<u32>,
+        drun_ends: &mut Vec<u32>,
+        n: usize,
+    ) {
+        let start = out.len();
+        self.fill_block(out, n);
+        irun_ends.clear();
+        drun_ends.clear();
+        scan_page_runs(&out[start..], irun_ends, drun_ends);
+    }
+
     /// The contiguous virtual code region `(first page, page count)` this
     /// stream fetches from; the simulator maps it before running.
     fn code_region(&self) -> (VirtPage, u64);
@@ -74,6 +107,43 @@ pub trait InstructionStream: Send {
     /// the address space.
     fn regions(&self) -> Vec<(VirtPage, u64)> {
         vec![self.code_region(), self.data_region()]
+    }
+}
+
+/// Scans `instrs` into page runs, appending exclusive end positions
+/// (relative to the slice) to the two vectors.
+///
+/// An *i-run* is a maximal span of instructions whose PCs share a
+/// virtual page. A *d-run* is a span whose data accesses all touch one
+/// page; instructions with no data access extend whichever span they
+/// fall in. Both vectors end with `instrs.len()` when the slice is
+/// non-empty, so a consumer can walk them as a partition of the block.
+pub fn scan_page_runs(
+    instrs: &[TraceInstruction],
+    irun_ends: &mut Vec<u32>,
+    drun_ends: &mut Vec<u32>,
+) {
+    let mut ipage = u64::MAX;
+    let mut dpage = None::<u64>;
+    for (i, instr) in instrs.iter().enumerate() {
+        let page = instr.pc.raw() >> PAGE_SHIFT;
+        if page != ipage {
+            if i > 0 {
+                irun_ends.push(i as u32);
+            }
+            ipage = page;
+        }
+        if let Some(mem) = instr.mem {
+            let page = mem.addr.raw() >> PAGE_SHIFT;
+            if dpage.is_some_and(|p| p != page) {
+                drun_ends.push(i as u32);
+            }
+            dpage = Some(page);
+        }
+    }
+    if !instrs.is_empty() {
+        irun_ends.push(instrs.len() as u32);
+        drun_ends.push(instrs.len() as u32);
     }
 }
 

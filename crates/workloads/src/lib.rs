@@ -33,7 +33,7 @@ pub mod suites;
 mod trace_file;
 mod zipf;
 
-pub use instruction::{InstructionStream, MemAccess, TraceInstruction};
+pub use instruction::{scan_page_runs, InstructionStream, MemAccess, TraceInstruction};
 pub use multi::{AsidStream, ScheduledStream};
 pub use packed::{fnv1a, PackedReplay, PackedTrace, REPLAY_SLACK};
 pub use server::{ServerWorkload, ServerWorkloadConfig};

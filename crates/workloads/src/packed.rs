@@ -23,12 +23,25 @@
 //! * `mems:  Vec<u64>` — data addresses, [`NO_MEM`] when absent;
 //! * `writes: Vec<u64>` — store flags, one bit per instruction.
 //!
+//! ## Page-run index
+//!
+//! Instruction fetch is overwhelmingly sequential within a page, so one
+//! iTLB probe can vouch for a whole run of same-page fetches. The trace
+//! carries a run-length index computed once at capture — maximal spans
+//! of same-page PCs (`irun_ends`) and spans whose data accesses all
+//! touch one page (`drun_ends`), each stored as strictly increasing
+//! exclusive end positions with the last entry equal to the trace
+//! length. The simulator consumes runs through
+//! [`fill_block_runs`](crate::InstructionStream::fill_block_runs),
+//! issuing a single translation per run and reconciling statistics and
+//! LRU recency in bulk at run end.
+//!
 //! ## On-disk format (`MORRIGAN_WORKLOAD_CACHE`)
 //!
 //! Little-endian, versioned by magic, self-verified:
 //!
 //! ```text
-//! magic      "MRGNPKT1"                                8 bytes
+//! magic      "MRGNPKT2"                                8 bytes
 //! key_hash   FNV-1a 64 of the cache key string         u64
 //! len        instruction count                         u64
 //! code_base, code_pages, data_base, data_pages         4 × u64
@@ -38,8 +51,13 @@
 //! mem bitset (1 = instruction has a data access)       ⌈len/64⌉ × u64
 //! mem addrs  zigzag(delta) varints, present entries only
 //! write bitset                                         ⌈len/64⌉ × u64
+//! irun count u64, then end-position deltas as varints
+//! drun count u64, then end-position deltas as varints
 //! hash       FNV-1a 64 of every preceding byte         u64
 //! ```
+//!
+//! Version 1 files (magic `MRGNPKT1`, no run index) fail the magic
+//! check and take the caller's existing rebuild-non-fatal path.
 //!
 //! Page-level control flow makes consecutive-PC deltas small most of the
 //! time (straight-line fetch advances by 4 bytes), so the delta-varint
@@ -52,7 +70,7 @@
 use std::io::{self, BufReader, BufWriter, Read, Write};
 use std::path::Path;
 
-use morrigan_types::{VirtAddr, VirtPage};
+use morrigan_types::{VirtAddr, VirtPage, PAGE_SHIFT};
 
 use crate::instruction::{InstructionStream, MemAccess, TraceInstruction};
 
@@ -62,7 +80,11 @@ const NO_MEM: u64 = u64::MAX;
 
 /// On-disk magic; bump the trailing digit on any format change so stale
 /// cache files from older revisions fail the magic check and rebuild.
-const MAGIC: &[u8; 8] = b"MRGNPKT1";
+const MAGIC: &[u8; 8] = b"MRGNPKT2";
+
+/// The previous on-disk magic (no page-run index). Recognized only to
+/// produce a precise "older format" error; the file is rebuilt.
+const MAGIC_V1: &[u8; 8] = b"MRGNPKT1";
 
 /// Extra instructions captured beyond a run's `warmup + measure` length.
 ///
@@ -104,6 +126,48 @@ pub struct PackedTrace {
     mems: Vec<u64>,
     /// Store flags, one bit per instruction (bit i of word i/64).
     writes: Vec<u64>,
+    /// Page-run index over `pcs`: exclusive end positions of maximal
+    /// same-page fetch spans, strictly increasing, last entry == `len`.
+    /// `u32` holds any plausible trace (the capture asserts the bound).
+    irun_ends: Vec<u32>,
+    /// Page-run index over `mems`: exclusive end positions of spans
+    /// whose data accesses all touch one page (instructions with no
+    /// access extend whichever span they fall in).
+    drun_ends: Vec<u32>,
+}
+
+/// Builds both page-run indices from the packed arrays in one pass.
+fn build_page_runs(pcs: &[u64], mems: &[u64]) -> (Vec<u32>, Vec<u32>) {
+    assert!(
+        pcs.len() <= u32::MAX as usize,
+        "page-run index stores end positions as u32; trace of {} instructions overflows",
+        pcs.len()
+    );
+    let mut irun_ends = Vec::new();
+    let mut drun_ends = Vec::new();
+    let mut ipage = u64::MAX;
+    let mut dpage = None::<u64>;
+    for i in 0..pcs.len() {
+        let page = pcs[i] >> PAGE_SHIFT;
+        if page != ipage {
+            if i > 0 {
+                irun_ends.push(i as u32);
+            }
+            ipage = page;
+        }
+        if mems[i] != NO_MEM {
+            let page = mems[i] >> PAGE_SHIFT;
+            if dpage.is_some_and(|p| p != page) {
+                drun_ends.push(i as u32);
+            }
+            dpage = Some(page);
+        }
+    }
+    if !pcs.is_empty() {
+        irun_ends.push(pcs.len() as u32);
+        drun_ends.push(pcs.len() as u32);
+    }
+    (irun_ends, drun_ends)
 }
 
 impl PackedTrace {
@@ -139,6 +203,7 @@ impl PackedTrace {
             }
             filled += chunk;
         }
+        let (irun_ends, drun_ends) = build_page_runs(&pcs, &mems);
         Self {
             name: stream.name().to_string(),
             code_region: stream.code_region(),
@@ -146,6 +211,8 @@ impl PackedTrace {
             pcs,
             mems,
             writes,
+            irun_ends,
+            drun_ends,
         }
     }
 
@@ -164,9 +231,27 @@ impl PackedTrace {
         &self.name
     }
 
-    /// Resident size of the packed arrays in bytes.
+    /// Resident size of the packed arrays in bytes, page-run index
+    /// included (it lives in the same `WorkloadCache` resident budget
+    /// as the instruction arrays it accelerates).
     pub fn resident_bytes(&self) -> u64 {
-        (self.pcs.len() * 8 + self.mems.len() * 8 + self.writes.len() * 8) as u64
+        (self.pcs.len() * 8
+            + self.mems.len() * 8
+            + self.writes.len() * 8
+            + self.irun_ends.len() * 4
+            + self.drun_ends.len() * 4) as u64
+    }
+
+    /// The page-run index over fetch addresses: exclusive end positions
+    /// of maximal same-page PC spans.
+    pub fn irun_ends(&self) -> &[u32] {
+        &self.irun_ends
+    }
+
+    /// The page-run index over data addresses: exclusive end positions
+    /// of spans whose accesses all touch one page.
+    pub fn drun_ends(&self) -> &[u32] {
+        &self.drun_ends
     }
 
     /// Decodes instruction `i`.
@@ -250,6 +335,16 @@ impl PackedTrace {
         for &word in &self.writes {
             out.write_all(&word.to_le_bytes())?;
         }
+        for ends in [&self.irun_ends, &self.drun_ends] {
+            out.write_all(&(ends.len() as u64).to_le_bytes())?;
+            let mut prev = 0u32;
+            for &end in ends.iter() {
+                // Strictly increasing, so the delta is ≥ 1 and a plain
+                // (unsigned) varint; runs are short, so most are 1 byte.
+                write_varint(&mut out, (end - prev) as u64)?;
+                prev = end;
+            }
+        }
 
         let hash = out.hash;
         let mut inner = out.inner;
@@ -271,6 +366,11 @@ impl PackedTrace {
         let mut input = Hashing::new(BufReader::new(file));
         let mut magic = [0u8; 8];
         input.read_exact(&mut magic)?;
+        if &magic == MAGIC_V1 {
+            return Err(bad(
+                "packed trace is format v1 (no page-run index); rebuilding as v2",
+            ));
+        }
         if &magic != MAGIC {
             return Err(bad("not a Morrigan packed trace (or an older format)"));
         }
@@ -322,6 +422,27 @@ impl PackedTrace {
         for word in &mut writes {
             *word = read_u64(&mut input)?;
         }
+        let mut run_sections = [Vec::new(), Vec::new()];
+        for ends in &mut run_sections {
+            let count = read_u64(&mut input)? as usize;
+            if count > len {
+                return Err(bad("page-run index longer than the trace"));
+            }
+            ends.reserve_exact(count);
+            let mut prev = 0u64;
+            for _ in 0..count {
+                prev += read_varint(&mut input)?;
+                if prev > len as u64 {
+                    return Err(bad("page-run end position past the end of the trace"));
+                }
+                ends.push(prev as u32);
+            }
+            if ends.last().is_some_and(|&last| last as usize != len) || (len > 0 && ends.is_empty())
+            {
+                return Err(bad("page-run index does not cover the trace"));
+            }
+        }
+        let [irun_ends, drun_ends] = run_sections;
 
         let computed = input.hash;
         let mut trailer = [0u8; 8];
@@ -338,9 +459,70 @@ impl PackedTrace {
                 pcs,
                 mems,
                 writes,
+                irun_ends,
+                drun_ends,
             },
             build_seconds,
         ))
+    }
+
+    /// Writes the trace in the retired v1 format (no page-run index) —
+    /// test support for exercising the v1 → v2 rebuild fallback.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from creating or writing the file.
+    #[doc(hidden)]
+    pub fn write_v1_for_tests(
+        &self,
+        path: impl AsRef<Path>,
+        key_hash: u64,
+        build_seconds: f64,
+    ) -> io::Result<()> {
+        let file = std::fs::File::create(path)?;
+        let mut out = Hashing::new(BufWriter::new(file));
+        out.write_all(MAGIC_V1)?;
+        for v in [
+            key_hash,
+            self.len(),
+            self.code_region.0.raw(),
+            self.code_region.1,
+            self.data_region.0.raw(),
+            self.data_region.1,
+            build_seconds.to_bits(),
+            self.name.len() as u64,
+        ] {
+            out.write_all(&v.to_le_bytes())?;
+        }
+        out.write_all(self.name.as_bytes())?;
+        let mut prev = 0u64;
+        for &pc in &self.pcs {
+            write_varint(&mut out, zigzag(pc.wrapping_sub(prev) as i64))?;
+            prev = pc;
+        }
+        let mut present = vec![0u64; self.pcs.len().div_ceil(64)];
+        for (i, &mem) in self.mems.iter().enumerate() {
+            if mem != NO_MEM {
+                present[i / 64] |= 1 << (i % 64);
+            }
+        }
+        for &word in &present {
+            out.write_all(&word.to_le_bytes())?;
+        }
+        let mut prev = 0u64;
+        for &mem in &self.mems {
+            if mem != NO_MEM {
+                write_varint(&mut out, zigzag(mem.wrapping_sub(prev) as i64))?;
+                prev = mem;
+            }
+        }
+        for &word in &self.writes {
+            out.write_all(&word.to_le_bytes())?;
+        }
+        let hash = out.hash;
+        let mut inner = out.inner;
+        inner.write_all(&hash.to_le_bytes())?;
+        inner.flush()
     }
 }
 
@@ -443,12 +625,23 @@ impl<T: Read> Read for Hashing<T> {
 pub struct PackedReplay {
     trace: std::sync::Arc<PackedTrace>,
     cursor: usize,
+    /// Positions into the trace's run indices of the first run ending
+    /// after `cursor`. Replay is strictly forward, so these only ever
+    /// advance — `fill_block_runs` slices the persisted index instead
+    /// of rescanning the block.
+    irun_pos: usize,
+    drun_pos: usize,
 }
 
 impl PackedReplay {
     /// A replay cursor positioned at the start of `trace`.
     pub fn new(trace: std::sync::Arc<PackedTrace>) -> Self {
-        Self { trace, cursor: 0 }
+        Self {
+            trace,
+            cursor: 0,
+            irun_pos: 0,
+            drun_pos: 0,
+        }
     }
 
     /// Instructions consumed so far.
@@ -517,6 +710,56 @@ impl InstructionStream for PackedReplay {
             }
         }));
         self.cursor = end;
+    }
+
+    /// Run-aware refill: the instructions come from [`fill_block`]'s
+    /// slice fast path, the run boundaries from the index persisted at
+    /// capture — clipped to the block and rebased to it — so no rescan
+    /// of the delivered instructions happens at all.
+    ///
+    /// [`fill_block`]: InstructionStream::fill_block
+    fn fill_block_runs(
+        &mut self,
+        out: &mut Vec<TraceInstruction>,
+        irun_ends: &mut Vec<u32>,
+        drun_ends: &mut Vec<u32>,
+        n: usize,
+    ) {
+        let start = self.cursor;
+        self.fill_block(out, n);
+        let end = self.cursor;
+        irun_ends.clear();
+        drun_ends.clear();
+        if start == end {
+            return;
+        }
+        for (ends, pos, out_ends) in [
+            (&self.trace.irun_ends, &mut self.irun_pos, irun_ends),
+            (&self.trace.drun_ends, &mut self.drun_pos, drun_ends),
+        ] {
+            // The cursor only moves forward (next_instruction/fill_block
+            // included), so catching the run position up is a short —
+            // usually zero-iteration — skip, not a search.
+            while *pos < ends.len() && ends[*pos] as usize <= start {
+                *pos += 1;
+            }
+            let mut i = *pos;
+            loop {
+                let e = if i < ends.len() {
+                    ends[i] as usize
+                } else {
+                    end
+                };
+                if e >= end {
+                    // Block boundaries clip runs; the tail resumes next
+                    // refill (`*pos` stays on the clipped run).
+                    out_ends.push((end - start) as u32);
+                    break;
+                }
+                out_ends.push((e - start) as u32);
+                i += 1;
+            }
+        }
     }
 
     fn code_region(&self) -> (VirtPage, u64) {
@@ -657,6 +900,81 @@ mod tests {
         let err = PackedTrace::read_from(&path, fnv1a(b"key-b")).expect_err("key must bind");
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn page_run_index_matches_fresh_scan() {
+        let trace = capture(17, 40_000);
+        let instrs: Vec<TraceInstruction> =
+            (0..trace.len() as usize).map(|i| trace.get(i)).collect();
+        let (mut iruns, mut druns) = (Vec::new(), Vec::new());
+        crate::instruction::scan_page_runs(&instrs, &mut iruns, &mut druns);
+        assert_eq!(trace.irun_ends(), &iruns[..]);
+        assert_eq!(trace.drun_ends(), &druns[..]);
+        assert_eq!(*iruns.last().unwrap() as u64, trace.len());
+        assert_eq!(*druns.last().unwrap() as u64, trace.len());
+    }
+
+    #[test]
+    fn fill_block_runs_agrees_with_default_scan() {
+        let trace = Arc::new(capture(19, 30_000));
+        let mut replay = PackedReplay::new(trace.clone());
+        let (mut out, mut iruns, mut druns) = (Vec::new(), Vec::new(), Vec::new());
+        let mut consumed = 0usize;
+        for &n in [1usize, 1024, 7, 333, 4096, 1, 2048].iter().cycle() {
+            let n = n.min(30_000 - consumed);
+            if n == 0 {
+                break;
+            }
+            out.clear();
+            replay.fill_block_runs(&mut out, &mut iruns, &mut druns, n);
+            let (mut si, mut sd) = (Vec::new(), Vec::new());
+            crate::instruction::scan_page_runs(&out, &mut si, &mut sd);
+            // i-runs are canonical: every instruction has a PC, so a
+            // fresh scan and the persisted index agree exactly.
+            assert_eq!(iruns, si, "iruns at offset {consumed}, block {n}");
+            // d-runs may be split finer by the index when a span crosses
+            // a refill boundary; the fresh scan's boundaries (real page
+            // changes) must all be present, and every indexed span must
+            // still touch at most one data page.
+            assert_eq!(*druns.last().unwrap() as usize, n);
+            assert!(druns.windows(2).all(|w| w[0] < w[1]));
+            assert!(sd.iter().all(|b| druns.contains(b)), "at offset {consumed}");
+            let mut begin = 0usize;
+            for &e in &druns {
+                let pages: std::collections::HashSet<u64> = out[begin..e as usize]
+                    .iter()
+                    .filter_map(|i| i.mem.map(|m| m.addr.raw() >> 12))
+                    .collect();
+                assert!(pages.len() <= 1, "d-run spans {} pages", pages.len());
+                begin = e as usize;
+            }
+            consumed += n;
+        }
+    }
+
+    #[test]
+    fn v1_file_is_rejected_with_rebuild_error() {
+        let trace = capture(23, 2_000);
+        let key = fnv1a(b"v1-key");
+        let path = std::env::temp_dir().join(format!("morrigan-pk-v1-{}.mpt", std::process::id()));
+        trace.write_v1_for_tests(&path, key, 0.5).expect("write v1");
+        let err = PackedTrace::read_from(&path, key).expect_err("v1 must be rejected");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(
+            err.to_string().contains("v1"),
+            "error names the version: {err}"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn resident_bytes_counts_the_run_index() {
+        let trace = capture(29, 10_000);
+        let arrays = (trace.pcs.len() * 8 + trace.mems.len() * 8 + trace.writes.len() * 8) as u64;
+        let index = (trace.irun_ends.len() * 4 + trace.drun_ends.len() * 4) as u64;
+        assert!(index > 0);
+        assert_eq!(trace.resident_bytes(), arrays + index);
     }
 
     #[test]

@@ -12,8 +12,8 @@
 use std::sync::Arc;
 
 use morrigan_workloads::{
-    InstructionStream, PackedReplay, PackedTrace, ServerWorkload, ServerWorkloadConfig,
-    SpecWorkload, SpecWorkloadConfig, TraceInstruction,
+    scan_page_runs, InstructionStream, PackedReplay, PackedTrace, ServerWorkload,
+    ServerWorkloadConfig, SpecWorkload, SpecWorkloadConfig, TraceInstruction,
 };
 use proptest::prelude::*;
 
@@ -136,5 +136,47 @@ proptest! {
         let expected = drain(&mut ServerWorkload::new(cfg), n);
         let got = drain(&mut PackedReplay::new(Arc::new(loaded)), n);
         prop_assert_eq!(got, expected);
+    }
+
+    /// Version migration: a stale v1 file (no page-run index) is rejected
+    /// with an error naming "v1" — the exact signal the workload cache's
+    /// rebuild fallback keys on — and the rebuilt v2 file round-trips
+    /// with the page-run index intact and canonical (equal to a fresh
+    /// scan of the decoded instructions).
+    #[test]
+    fn v1_files_trigger_rebuild_and_v2_keeps_run_index(
+        seed in 0u64..100_000,
+        n in 500usize..2_500,
+    ) {
+        let cfg = ServerWorkloadConfig::qmm_like(format!("prop-v12-{seed}"), seed);
+        let trace = PackedTrace::capture(&mut ServerWorkload::new(cfg.clone()), n as u64);
+        let key = morrigan_workloads::fnv1a(format!("{cfg:?}|{n}").as_bytes());
+        let path = std::env::temp_dir().join(format!(
+            "morrigan-prop-v12-{}-{seed}-{n}.mpt",
+            std::process::id()
+        ));
+        trace.write_v1_for_tests(&path, key, 0.5).expect("write v1");
+        let err = PackedTrace::read_from(&path, key).expect_err("v1 must be rejected");
+        prop_assert!(
+            err.to_string().contains("v1"),
+            "rebuild trigger must name the stale version, got: {}", err
+        );
+
+        // The cache's fallback path: rebuild in place and persist as v2.
+        trace.write_to(&path, key, 0.5).expect("write v2");
+        let (loaded, _) = PackedTrace::read_from(&path, key).expect("read v2");
+        std::fs::remove_file(&path).ok();
+        prop_assert_eq!(loaded.irun_ends(), trace.irun_ends());
+        prop_assert_eq!(loaded.drun_ends(), trace.drun_ends());
+        prop_assert_eq!(&loaded, &trace);
+
+        // The persisted index must agree with a fresh scan of the decoded
+        // instructions, so replay-side run consumption sees the same
+        // spans a live generator would produce.
+        let instrs: Vec<_> = (0..n).map(|i| loaded.get(i)).collect();
+        let (mut si, mut sd) = (Vec::new(), Vec::new());
+        scan_page_runs(&instrs, &mut si, &mut sd);
+        prop_assert_eq!(loaded.irun_ends(), si.as_slice());
+        prop_assert_eq!(loaded.drun_ends(), sd.as_slice());
     }
 }
